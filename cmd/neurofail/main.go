@@ -1,0 +1,376 @@
+// Command neurofail is the CLI for the When-Neurons-Fail library: train
+// ε'-approximations, compute Forward Error Propagation bounds, inject
+// failures, quantise with Theorem 5 certificates, and run the boosting
+// simulation.
+//
+// Usage:
+//
+//	neurofail train    -target sine -widths 16 -k 1 -epochs 400 -out net.json
+//	neurofail bounds   -net net.json -faults 2 -c 1 -eps 0.4 -epsprime 0.1
+//	neurofail inject   -net net.json -faults 2 -mode crash
+//	neurofail quantize -net net.json -bits 8
+//	neurofail boost    -net net.json -faults 1 -eps 0.4 -epsprime 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/activation"
+	"repro/internal/approx"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "bounds":
+		err = cmdBounds(os.Args[2:])
+	case "inject":
+		err = cmdInject(os.Args[2:])
+	case "quantize":
+		err = cmdQuantize(os.Args[2:])
+	case "boost":
+		err = cmdBoost(os.Args[2:])
+	case "montecarlo":
+		err = cmdMonteCarlo(os.Args[2:])
+	case "stream":
+		err = cmdStream(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neurofail:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `neurofail <command> [flags]
+
+commands:
+  train     train an ε'-approximation of a target and save it as JSON
+  bounds    compute Fep / tolerance certificates for a saved network
+  inject    inject failures and compare measured error with the bound
+  quantize   build a fixed-point implementation with a Theorem 5 certificate
+  boost      simulate the Corollary 2 boosting scheme in virtual time
+  montecarlo sample random failure configurations: error profile vs the bound
+  stream     process a stream while failures accumulate on a schedule
+
+run 'neurofail <command> -h' for per-command flags`)
+}
+
+func targets() map[string]approx.Target {
+	m := map[string]approx.Target{}
+	for _, t := range approx.Standard() {
+		key := strings.SplitN(t.Name(), "(", 2)[0]
+		if _, dup := m[key]; !dup {
+			m[key] = t
+		}
+	}
+	m["sine"] = approx.Sine1D(1)
+	m["xor"] = approx.XORLike()
+	m["control"] = approx.ControlSurface()
+	return m
+}
+
+func evalInputs(d int) [][]float64 {
+	if d <= 2 {
+		return metrics.Grid(d, 41)
+	}
+	return metrics.RandomPoints(rng.New(12345), d, 500)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	targetName := fs.String("target", "sine", "target function (sine, xor, control, franke2d, ...)")
+	widthsArg := fs.String("widths", "16", "comma-separated hidden layer widths")
+	k := fs.Float64("k", 1, "Lipschitz constant of the tuned sigmoid")
+	epochs := fs.Int("epochs", 400, "training epochs")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "net.json", "output file")
+	fs.Parse(args)
+
+	target, ok := targets()[*targetName]
+	if !ok {
+		return fmt.Errorf("unknown target %q", *targetName)
+	}
+	widths, err := cliutil.ParseWidths(*widthsArg)
+	if err != nil {
+		return err
+	}
+	net, rep, sup := train.Fit(target, widths, activation.NewSigmoid(*k), train.Config{
+		Epochs: *epochs, LR: 0.1, Momentum: 0.9, Seed: *seed,
+	})
+	if err := cliutil.SaveNetwork(*out, net); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %s: MSE %.5f, sup-norm ε' = %.4f -> %s\n",
+		*widthsArg, target.Name(), rep.FinalLoss, sup, *out)
+	return nil
+}
+
+func cmdBounds(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	faultsArg := fs.String("faults", "1", "faults per layer (uniform or comma-separated)")
+	c := fs.Float64("c", 1, "synaptic capacity / deviation bound C")
+	eps := fs.Float64("eps", 0, "required accuracy ε (0 = skip tolerance check)")
+	epsPrime := fs.Float64("epsprime", 0, "achieved accuracy ε'")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	s := core.ShapeOf(net)
+	faults, err := cliutil.ParseFaults(*faultsArg, net.Layers())
+	if err != nil {
+		return err
+	}
+	cliutil.ClampFaults(faults, s.Widths)
+	fmt.Printf("network: L=%d widths=%v K=%g w_m=%v\n", s.Layers(), s.Widths, s.K, s.MaxW)
+	fmt.Printf("faults:  %v\n", faults)
+	fmt.Printf("Fep (Byzantine, C=%g):  %.6f\n", *c, core.Fep(s, faults, *c))
+	fmt.Printf("Fep (crash):            %.6f\n", core.CrashFep(s, faults))
+	synFaults := append(append([]int{}, faults...), 0)
+	fmt.Printf("SynapseFep (C=%g):      %.6f\n", *c, core.SynapseFep(s, synFaults, *c))
+	if *eps > 0 {
+		fmt.Printf("tolerated (Byzantine):  %v\n", core.Tolerates(s, faults, *c, *eps, *epsPrime))
+		fmt.Printf("tolerated (crash):      %v\n", core.CrashTolerates(s, faults, *eps, *epsPrime))
+		fmt.Printf("required signals/layer: %v (Corollary 2)\n", core.RequiredSignals(s, faults))
+	}
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	faultsArg := fs.String("faults", "1", "faults per layer")
+	mode := fs.String("mode", "crash", "crash or byzantine")
+	c := fs.Float64("c", 1, "capacity for byzantine mode")
+	adversarial := fs.Bool("adversarial", true, "target heaviest weights (false = random)")
+	seed := fs.Uint64("seed", 7, "seed for random plans")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	s := core.ShapeOf(net)
+	faults, err := cliutil.ParseFaults(*faultsArg, net.Layers())
+	if err != nil {
+		return err
+	}
+	cliutil.ClampFaults(faults, s.Widths)
+	var plan fault.Plan
+	if *adversarial {
+		plan = fault.AdversarialNeuronPlan(net, faults)
+	} else {
+		plan = fault.RandomNeuronPlan(rng.New(*seed), net, faults)
+	}
+	inputs := evalInputs(net.InputDim)
+	var measured, bound float64
+	switch *mode {
+	case "crash":
+		measured = fault.MaxError(net, plan, fault.Crash{}, inputs)
+		bound = core.CrashFep(s, faults)
+	case "byzantine":
+		measured = fault.MaxError(net, plan, fault.Byzantine{C: *c, Sem: core.DeviationCap}, inputs)
+		bound = core.Fep(s, faults, *c)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	fmt.Printf("plan: %d neuron failures (%s)\n", len(plan.Neurons), *mode)
+	fmt.Printf("measured max |Fneu - Ffail| over %d inputs: %.6f\n", len(inputs), measured)
+	fmt.Printf("Fep bound:                                  %.6f\n", bound)
+	if bound > 0 {
+		fmt.Printf("bound utilisation: %.1f%%\n", 100*measured/bound)
+	}
+	if measured > bound*(1+1e-9) {
+		return fmt.Errorf("bound violated — this is a bug")
+	}
+	return nil
+}
+
+func cmdQuantize(args []string) error {
+	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	bits := fs.Int("bits", 8, "fixed-point weight bits")
+	actBits := fs.Int("actbits", 0, "activation bits (0 = full precision)")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	q, err := quant.Quantize(net, quant.Options{WeightBits: *bits, ActBits: *actBits})
+	if err != nil {
+		return err
+	}
+	inputs := evalInputs(net.InputDim)
+	fmt.Printf("weights: %d bits (memory %.1fx smaller than float64)\n",
+		*bits, float64(quant.FullPrecisionBits(net))/float64(q.MemoryBits()))
+	fmt.Printf("measured accuracy loss: %.6f\n", q.MeasuredError(inputs))
+	fmt.Printf("Theorem 5 certificate:  %.6f\n", q.Bound())
+	return nil
+}
+
+func cmdBoost(args []string) error {
+	fs := flag.NewFlagSet("boost", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	faultsArg := fs.String("faults", "1", "crash distribution to boost against")
+	eps := fs.Float64("eps", 0.4, "required accuracy ε")
+	epsPrime := fs.Float64("epsprime", 0.1, "achieved accuracy ε'")
+	trials := fs.Int("trials", 50, "simulation trials")
+	seed := fs.Uint64("seed", 3, "seed")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	faults, err := cliutil.ParseFaults(*faultsArg, net.Layers())
+	if err != nil {
+		return err
+	}
+	waits, err := dist.CertifiedWaits(net, faults, *eps, *epsPrime)
+	if err != nil {
+		return err
+	}
+	lat := dist.HeavyTail{Base: 1, TailProb: 0.25, TailScale: 25}
+	r := rng.New(*seed)
+	var tBase, tBoost, worst float64
+	for i := 0; i < *trials; i++ {
+		x := make([]float64, net.InputDim)
+		r.Floats(x, 0, 1)
+		s := r.Uint64()
+		base, err := dist.Simulate(net, x, lat, nil, rng.New(s))
+		if err != nil {
+			return err
+		}
+		boost, err := dist.Simulate(net, x, lat, waits, rng.New(s))
+		if err != nil {
+			return err
+		}
+		tBase += base.FinishTime
+		tBoost += boost.FinishTime
+		if e := math.Abs(boost.Output - net.Forward(x)); e > worst {
+			worst = e
+		}
+	}
+	n := float64(*trials)
+	fmt.Printf("certified waits per layer: %v (Corollary 2, faults %v)\n", waits, faults)
+	fmt.Printf("mean completion time: baseline %.2f, boosted %.2f (speedup %.2fx)\n",
+		tBase/n, tBoost/n, tBase/tBoost)
+	fmt.Printf("worst boosted error %.6f within certified slack %.6f\n", worst, *eps-*epsPrime)
+	return nil
+}
+
+func cmdMonteCarlo(args []string) error {
+	fs := flag.NewFlagSet("montecarlo", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	faultsArg := fs.String("faults", "1", "faults per layer")
+	c := fs.Float64("c", 0, "byzantine capacity (0 = crash failures)")
+	trials := fs.Int("trials", 500, "random configurations to sample")
+	seed := fs.Uint64("seed", 9, "seed")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	s := core.ShapeOf(net)
+	faults, err := cliutil.ParseFaults(*faultsArg, net.Layers())
+	if err != nil {
+		return err
+	}
+	cliutil.ClampFaults(faults, s.Widths)
+	inputs := evalInputs(net.InputDim)
+	prof := fault.MonteCarlo(net, faults, *c, core.DeviationCap, inputs, *trials, rng.New(*seed))
+	var bound float64
+	if *c == 0 {
+		bound = core.CrashFep(s, faults)
+	} else {
+		bound = core.Fep(s, faults, *c)
+	}
+	fmt.Printf("random failure profile over %d configurations (faults %v):\n", prof.Trials, faults)
+	fmt.Printf("  mean %.5f  median %.5f  q90 %.5f  q99 %.5f  max %.5f\n",
+		prof.Stats.Mean, prof.Stats.Median, prof.Q90, prof.Q99, prof.Stats.Max)
+	fmt.Printf("  worst-case Fep bound: %.5f (max reaches %.1f%% of it)\n",
+		bound, 100*prof.Stats.Max/bound)
+	return nil
+}
+
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	netPath := fs.String("net", "net.json", "network file")
+	rounds := fs.Int("rounds", 12, "stream length")
+	every := fs.Int("every", 3, "one neuron fails every N rounds")
+	c := fs.Float64("c", 1, "byzantine capacity")
+	byz := fs.Bool("byzantine", false, "failures lie instead of crashing")
+	eps := fs.Float64("eps", 0, "accuracy requirement for the degradation forecast")
+	epsPrime := fs.Float64("epsprime", 0, "achieved accuracy")
+	seed := fs.Uint64("seed", 5, "seed")
+	fs.Parse(args)
+
+	net, err := cliutil.LoadNetwork(*netPath)
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	inputs := make([][]float64, *rounds)
+	for i := range inputs {
+		inputs[i] = make([]float64, net.InputDim)
+		r.Floats(inputs[i], 0, 1)
+	}
+	var schedule []dist.FailureEvent
+	used := map[fault.NeuronFault]bool{}
+	for round := 0; round < *rounds; round += *every {
+		layer := r.Intn(net.Layers()) + 1
+		for try := 0; try < 20; try++ {
+			nf := fault.NeuronFault{Layer: layer, Index: r.Intn(net.Width(layer))}
+			if !used[nf] {
+				used[nf] = true
+				schedule = append(schedule, dist.FailureEvent{Round: round, Neuron: nf, Byzantine: *byz})
+				break
+			}
+		}
+	}
+	if *eps > 0 {
+		dp := dist.DegradationPoint(net, *rounds, schedule, *c, *eps, *epsPrime)
+		if dp < 0 {
+			fmt.Printf("forecast: the whole %d-round schedule stays certified at ε=%.3f\n", *rounds, *eps)
+		} else {
+			fmt.Printf("forecast: certification lost at round %d (ε=%.3f)\n", dp, *eps)
+		}
+	}
+	results, err := dist.Stream(net, inputs, schedule, *c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("round  faulty  error      certificate")
+	for _, res := range results {
+		fmt.Printf("%5d  %6d  %9.5f  %11.5f\n", res.Round, res.Faulty, res.Err, res.Certified)
+	}
+	return nil
+}

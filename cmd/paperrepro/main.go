@@ -1,0 +1,88 @@
+// Command paperrepro regenerates every figure of the paper's evaluation
+// plus one harness per theorem/application, as indexed in DESIGN.md, and
+// prints the tables the paper's figures plot. The rendered output is the
+// source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperrepro              # run everything to stdout
+//	paperrepro -only F3,T1  # run a subset
+//	paperrepro -out data.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	out := flag.String("out", "", "also write the report to this file")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-3s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		selected = nil
+		for _, e := range all {
+			if want[e.ID] {
+				selected = append(selected, e)
+				delete(want, e.ID)
+			}
+		}
+		if len(want) > 0 {
+			fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment ids: %v\n", keys(want))
+			os.Exit(2)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "When Neurons Fail — experiment reproduction (%d experiments)\n", len(selected))
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		res := e.Run()
+		if err := res.Render(w); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%.1fs)\n", time.Since(t0).Seconds())
+	}
+	fmt.Fprintf(w, "\ntotal: %.1fs\n", time.Since(start).Seconds())
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package neurofail_test
+
+import (
+	"fmt"
+
+	neurofail "repro"
+)
+
+// Example certifies and verifies a fault distribution on a tiny network
+// built by hand — the full train/certify/inject loop lives in
+// examples/quickstart.
+func Example() {
+	r := neurofail.NewRand(1)
+	net := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2,
+		Widths:   []int{8},
+		Act:      neurofail.NewSigmoid(1),
+	}, 0.1)
+	shape := neurofail.ShapeOf(net)
+
+	faults := []int{2}
+	bound := neurofail.CrashFep(shape, faults)
+
+	// Any two crashes are masked whenever the accuracy slack exceeds the
+	// Forward Error Propagation.
+	epsPrime := 0.05
+	eps := epsPrime + bound + 0.01
+	fmt.Println(neurofail.CrashTolerates(shape, faults, eps, epsPrime))
+
+	// And the measurement agrees: kill the two heaviest neurons.
+	plan := neurofail.AdversarialPlan(net, faults)
+	x := []float64{0.3, 0.7}
+	damaged := neurofail.FaultedForward(net, plan, neurofail.Crash(), x)
+	diff := net.Forward(x) - damaged
+	if diff < 0 {
+		diff = -diff
+	}
+	fmt.Println(diff <= bound)
+	// Output:
+	// true
+	// true
+}

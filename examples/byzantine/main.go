@@ -1,0 +1,56 @@
+// Byzantine: Lemma 1 and the capacity assumption, on the real distributed
+// runtime. The network runs as goroutine neuron processes communicating
+// over channels; one process turns Byzantine and lies — including telling
+// DIFFERENT lies to different receivers (equivocation). With bounded
+// synaptic capacity the damage obeys Fep; as the capacity grows the
+// damage grows without bound (Lemma 1: no network tolerates a single
+// Byzantine neuron under unbounded transmission).
+package main
+
+import (
+	"fmt"
+	"math"
+
+	neurofail "repro"
+	"repro/internal/dist"
+)
+
+func main() {
+	target := neurofail.Sine1D(1)
+	net, _, epsPrime := neurofail.Fit(target, []int{12}, neurofail.NewSigmoid(1),
+		neurofail.TrainConfig{Epochs: 300, LR: 0.1, Momentum: 0.9, Seed: 11})
+	fmt.Printf("trained: ε' = %.4f\n\n", epsPrime)
+
+	shape := neurofail.ShapeOf(net)
+	plan := neurofail.AdversarialPlan(net, []int{1}) // one traitor
+	x := []float64{0.42}
+	healthy := net.Forward(x)
+	fmt.Printf("healthy output at x=%v: %.4f\n\n", x, healthy)
+
+	fmt.Println("capacity C   distributed_err   Fep_bound   ε'+err still ε-ok at ε=0.5?")
+	for _, c := range []float64{0.01, 0.05, 0.1, 0.5, 1, 4, 16, 64, 256} {
+		// The traitor equivocates: +C to even receivers, -C to odd ones.
+		res, err := neurofail.RunDistributed(net, plan, dist.Equivocate{C: c}, x)
+		if err != nil {
+			panic(err)
+		}
+		damage := math.Abs(res.Output - healthy)
+		bound := neurofail.Fep(shape, []int{1}, c)
+		fmt.Printf("%9.2f   %15.4f   %9.4f   %v\n",
+			c, damage, bound, epsPrime+damage <= 0.5)
+	}
+	fmt.Println("\nnote: with a single layer the damage EQUALS the bound — the worst-case")
+	fmt.Println("adversary (heaviest output weight) attains it, i.e. Theorem 2 is tight")
+
+	fmt.Println("\nthe damage scales linearly with the channel capacity: with unbounded")
+	fmt.Println("transmission a single Byzantine neuron breaks ANY ε (Lemma 1); with")
+	fmt.Println("bounded capacity, Theorem 3 certifies exactly how much over-provision buys safety")
+
+	// Crash for contrast: capacity-independent.
+	crashRes, err := neurofail.RunDistributed(net, plan, nil, x)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncrash of the same neuron: error %.4f regardless of capacity (bounded by the activation range)\n",
+		math.Abs(crashRes.Output-healthy))
+}

@@ -1,0 +1,88 @@
+// Flight control: the paper's motivating class of critical applications
+// (Section I cites neural flight control, radar and electric vehicles)
+// cannot stop for a recovery learning phase when hardware neurons die.
+//
+// This example trains the same controller twice — once naively, once with
+// the Fep-regularised scheme the paper proposes as future work (Section
+// VI) — and shows that only the second one can be CERTIFIED to survive
+// in-flight neuron failures, at a small accuracy premium (the
+// robustness/ease-of-learning dilemma of Section V-C). It then kills the
+// certified number of worst-case neurons mid-flight and verifies the
+// degraded controller, without any retraining, still meets its ε.
+package main
+
+import (
+	"fmt"
+
+	neurofail "repro"
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/train"
+)
+
+func main() {
+	// The controller approximates a smooth response map
+	// (angle-of-attack, airspeed, elevator command) -> actuator output.
+	target := neurofail.ControlSurface()
+	const missionBudget = 0.5 // allowed extra actuator error under faults
+
+	fmt.Println("controller      mse      ε'      CrashFep(3)  certified_faults/layer")
+	type candidate struct {
+		name string
+		net  *neurofail.Network
+		sup  float64
+	}
+	var cands []candidate
+	for _, cfg := range []struct {
+		name    string
+		penalty float64
+	}{
+		{"naive", 0},
+		{"fep-regularised", 0.003},
+	} {
+		net, rep, sup := train.Fit(target, []int{32}, activation.NewSigmoid(1), train.Config{
+			Epochs: 400, LR: 0.1, Momentum: 0.9, Seed: 7,
+			FepPenalty: cfg.penalty, FepFaults: []int{3}, FepC: 1,
+		})
+		s := neurofail.ShapeOf(net)
+		certified := neurofail.MaxUniformFaults(s, s.ActCap, missionBudget)
+		fmt.Printf("%-15s  %.5f  %.4f  %11.4f  %d\n",
+			cfg.name, rep.FinalLoss, sup, neurofail.CrashFep(s, []int{3}), certified)
+		cands = append(cands, candidate{cfg.name, net, sup})
+	}
+
+	// Deploy the certifiable one.
+	net := cands[1].net
+	epsPrime := cands[1].sup
+	shape := neurofail.ShapeOf(net)
+	certified := neurofail.MaxUniformFaults(shape, shape.ActCap, missionBudget)
+	eps := epsPrime + missionBudget
+	fmt.Printf("\ndeploying the fep-regularised controller: ε' = %.4f, mission ε = %.4f\n", epsPrime, eps)
+	fmt.Printf("pre-flight certificate: masks any %d crashed neurons (Theorem 3)\n", certified)
+
+	// In flight: a failure burst kills the worst possible neurons — the
+	// heaviest-weight ones, the adversary of the tightness proofs.
+	faults := []int{certified}
+	plan := neurofail.AdversarialPlan(net, faults)
+	fmt.Printf("in-flight failure burst: %d neurons lost (adversarial placement)\n", len(plan.Neurons))
+
+	// The degraded controller keeps flying — no recovery learning.
+	inputs := metrics.RandomPoints(neurofail.NewRand(99), 3, 2000)
+	bound := neurofail.CrashFep(shape, faults)
+	worst := neurofail.MaxFaultError(net, plan, neurofail.Crash(), inputs)
+	fmt.Printf("worst actuator deviation across %d states: %.4f (certified <= %.4f)\n",
+		len(inputs), worst, bound)
+
+	stillEps := metrics.SupDistance(target.Eval, func(x []float64) float64 {
+		return neurofail.FaultedForward(net, plan, neurofail.Crash(), x)
+	}, inputs)
+	fmt.Printf("degraded controller vs reference: sup error %.4f <= ε %.4f: %v\n",
+		stillEps, eps, stillEps <= eps)
+
+	// Corollary 2 bonus: with that certificate, each consumer may proceed
+	// after N_l - f_l signals — slow neurons cannot stall the control
+	// loop either.
+	fmt.Printf("boosting: consumers may proceed after %v of %v signals (Corollary 2)\n",
+		core.RequiredSignals(shape, faults), shape.Widths)
+}

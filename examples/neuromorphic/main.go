@@ -1,0 +1,113 @@
+// Neuromorphic: the paper's Section I motivation is hardware where "the
+// unit of failure is one single neuron or synapse, and not a whole
+// machine" (IBM's TrueNorth-class chips). This example operates such a
+// chip in simulation: an inference stream runs while hardware neurons die
+// one by one. BEFORE the run, the operator forecasts — from the failure
+// schedule and the topology alone — the exact round at which the
+// accuracy certification will be lost, then watches the stream confirm
+// that every earlier round stays inside its per-round certificate.
+package main
+
+import (
+	"fmt"
+
+	neurofail "repro"
+	"repro/internal/dist"
+	"repro/internal/fault"
+)
+
+func main() {
+	// The deployed model: a 2-layer inference network, trained with the
+	// Fep penalty so its certificates are tight enough to matter (see
+	// examples/flightcontrol for the naive-vs-regularised comparison).
+	target := neurofail.XORLike()
+	net, _, epsPrime := neurofail.Fit(target, []int{12, 10}, neurofail.NewSigmoid(1),
+		neurofail.TrainConfig{
+			Epochs: 350, LR: 0.1, Momentum: 0.9, Seed: 13,
+			FepPenalty: 0.002, FepFaults: []int{2, 2}, FepC: 1,
+		})
+	shape := neurofail.ShapeOf(net)
+	fmt.Printf("deployed: widths %v, ε' = %.4f\n", shape.Widths, epsPrime)
+
+	// Hardware wear-out: one neuron dies every 2 rounds, alternating
+	// layers, worst (heaviest) neurons first — pessimistic but fair.
+	worst := neurofail.AdversarialPlan(net, []int{4, 4})
+	var schedule []dist.FailureEvent
+	for i, nf := range worst.Neurons {
+		schedule = append(schedule, dist.FailureEvent{Round: 2 * i, Neuron: nf})
+	}
+
+	const rounds = 16
+	// The accuracy contract: generous enough to ride out the first few
+	// deaths, tight enough that wear-out eventually voids it.
+	oneDeath := neurofail.CrashFep(shape, []int{1, 0})
+	eps := epsPrime + 3.5*oneDeath
+
+	// The operator's forecast needs no test runs at all: it reads the
+	// schedule and the topology (this is the paper's whole point).
+	forecast := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+	if forecast < 0 {
+		fmt.Printf("forecast: all %d rounds certified at ε = %.3f\n", rounds, eps)
+	} else {
+		fmt.Printf("forecast: certification lost at round %d (ε = %.3f)\n", forecast, eps)
+	}
+
+	// Run the stream and watch reality respect the per-round bounds.
+	r := neurofail.NewRand(21)
+	inputs := make([][]float64, rounds)
+	for i := range inputs {
+		inputs[i] = []float64{r.Float64(), r.Float64()}
+	}
+	results, err := dist.Stream(net, inputs, schedule, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nround  dead  error     certificate  certified?")
+	for _, res := range results {
+		mark := "yes"
+		if forecast >= 0 && res.Round >= forecast {
+			mark = "NO — forecast said stop here"
+		}
+		fmt.Printf("%5d  %4d  %8.5f  %11.5f  %s\n", res.Round, res.Faulty, res.Err, res.Certified, mark)
+		if res.Err > res.Certified {
+			panic("per-round certificate violated — impossible by Theorem 2")
+		}
+	}
+
+	// Epilogue: the paper's Section I remark — tolerated neurons "could
+	// have been eliminated from the design in the first place". Do it.
+	dead := map[int][]int{}
+	cutoff := len(schedule)
+	if forecast >= 0 {
+		cutoff = 0
+		for _, ev := range schedule {
+			if ev.Round < forecast {
+				cutoff++
+			}
+		}
+	}
+	for _, ev := range schedule[:cutoff] {
+		dead[ev.Neuron.Layer] = append(dead[ev.Neuron.Layer], ev.Neuron.Index)
+	}
+	pruned := mustPrune(net, dead)
+	x := inputs[0]
+	streamOut := fault.Forward(net, plannedCrash(schedule[:cutoff]), fault.Crash{}, x)
+	fmt.Printf("\npruned chip (%d neurons removed) computes %.6f; crashed chip computes %.6f — identical machines\n",
+		len(schedule[:cutoff]), pruned.Forward(x), streamOut)
+}
+
+func plannedCrash(evs []dist.FailureEvent) fault.Plan {
+	var p fault.Plan
+	for _, ev := range evs {
+		p.Neurons = append(p.Neurons, ev.Neuron)
+	}
+	return p
+}
+
+func mustPrune(net *neurofail.Network, dead map[int][]int) *neurofail.Network {
+	pruned, err := neurofail.RemoveNeurons(net, dead)
+	if err != nil {
+		panic(err)
+	}
+	return pruned
+}

@@ -1,0 +1,50 @@
+// Quantization: Application A of the paper (Section V-A). Reducing the
+// per-neuron numeric precision reduces memory (the Proteus trade-off the
+// paper explains theoretically); Theorem 5 certifies the accuracy cost
+// per bit width, so the deployment can pick the cheapest format that
+// still meets its ε.
+package main
+
+import (
+	"fmt"
+
+	neurofail "repro"
+	"repro/internal/metrics"
+	"repro/internal/quant"
+)
+
+func main() {
+	target := neurofail.XORLike()
+	net, mse, epsPrime := neurofail.Fit(target, []int{14, 10}, neurofail.NewSigmoid(1),
+		neurofail.TrainConfig{Epochs: 400, LR: 0.1, Momentum: 0.9, Seed: 3})
+	fmt.Printf("trained XOR network: MSE %.5f, ε' = %.4f\n", mse, epsPrime)
+	fmt.Printf("full precision: %d bits of weights\n\n", quant.FullPrecisionBits(net))
+
+	// The deployment budget: stay an ε-approximation after quantisation.
+	eps := epsPrime + 0.25
+	inputs := metrics.Grid(2, 33)
+
+	fmt.Println("bits  memory_x  certificate  measured  meets_eps")
+	best := 0
+	for bits := 16; bits >= 3; bits-- {
+		q, err := neurofail.Quantize(net, bits)
+		if err != nil {
+			panic(err)
+		}
+		certificate := q.Bound()
+		measured := q.MeasuredError(inputs)
+		meets := epsPrime+certificate <= eps
+		fmt.Printf("%4d  %7.1fx  %11.5f  %8.5f  %v\n",
+			bits, float64(quant.FullPrecisionBits(net))/float64(q.MemoryBits()),
+			certificate, measured, meets)
+		if meets {
+			best = bits
+		}
+	}
+	if best > 0 {
+		fmt.Printf("\ncheapest certified format: %d-bit weights (%.1fx memory reduction) still ε = %.3f accurate\n",
+			best, 64.0/float64(best), eps)
+	} else {
+		fmt.Println("\nno format certifiable at this ε — the measured column shows the real slack available")
+	}
+}

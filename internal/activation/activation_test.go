@@ -1,0 +1,243 @@
+package activation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+var allFuncs = []Func{
+	StandardSigmoid(),
+	NewSigmoid(1),
+	NewSigmoid(4),
+	NewTanh(1),
+	NewTanh(0.5),
+	NewHardSigmoid(1),
+	NewHardSigmoid(2.5),
+	ReLU{},
+	Identity{},
+}
+
+func TestRangeRespected(t *testing.T) {
+	r := rng.New(1)
+	for _, f := range allFuncs {
+		for i := 0; i < 2000; i++ {
+			x := r.Range(-50, 50)
+			y := f.Eval(x)
+			if y < f.Min()-1e-12 || y > f.Max()+1e-12 {
+				t.Fatalf("%s: ϕ(%v)=%v outside [%v,%v]", f.Name(), x, y, f.Min(), f.Max())
+			}
+		}
+	}
+}
+
+func TestEmpiricalLipschitzWithinK(t *testing.T) {
+	// |ϕ(x)-ϕ(y)| <= K|x-y| on random pairs — the property all bounds
+	// rest on.
+	r := rng.New(2)
+	for _, f := range allFuncs {
+		k := f.Lipschitz()
+		for i := 0; i < 5000; i++ {
+			x := r.Range(-10, 10)
+			y := r.Range(-10, 10)
+			lhs := math.Abs(f.Eval(x) - f.Eval(y))
+			rhs := k*math.Abs(x-y) + 1e-12
+			if lhs > rhs {
+				t.Fatalf("%s: |ϕ(%v)-ϕ(%v)|=%v > K|x-y|=%v", f.Name(), x, y, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLipschitzIsAttainedNearZero(t *testing.T) {
+	// The slope at 0 equals K for the sigmoid family — K is the
+	// *smallest* Lipschitz constant, so it should be nearly achieved.
+	for _, f := range []Func{NewSigmoid(0.25), NewSigmoid(1), NewSigmoid(3), NewTanh(2), NewHardSigmoid(1.5)} {
+		h := 1e-6
+		slope := (f.Eval(h) - f.Eval(-h)) / (2 * h)
+		if math.Abs(slope-f.Lipschitz()) > 1e-4*f.Lipschitz() {
+			t.Fatalf("%s: slope at 0 is %v, want K=%v", f.Name(), slope, f.Lipschitz())
+		}
+	}
+}
+
+func TestDerivMatchesFiniteDifference(t *testing.T) {
+	r := rng.New(3)
+	for _, f := range allFuncs {
+		for i := 0; i < 500; i++ {
+			x := r.Range(-4, 4)
+			// Skip kink points of piecewise functions.
+			if math.Abs(x) < 1e-3 {
+				continue
+			}
+			if h, ok := f.(HardSigmoid); ok {
+				// Skip near the ramp corners.
+				if math.Abs(h.K*x+0.5) < 1e-3 || math.Abs(h.K*x-0.5) < 1e-3 {
+					continue
+				}
+			}
+			const h = 1e-6
+			fd := (f.Eval(x+h) - f.Eval(x-h)) / (2 * h)
+			if math.Abs(fd-f.Deriv(x)) > 1e-4*(math.Abs(fd)+1) {
+				t.Fatalf("%s: Deriv(%v)=%v, finite diff %v", f.Name(), x, f.Deriv(x), fd)
+			}
+		}
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	s := NewSigmoid(2)
+	// Strictly increasing in the numerically unsaturated region, and
+	// never decreasing anywhere.
+	prev := math.Inf(-1)
+	for x := -2.0; x <= 2; x += 0.01 {
+		y := s.Eval(x)
+		if y <= prev {
+			t.Fatalf("sigmoid not strictly increasing at %v", x)
+		}
+		prev = y
+	}
+	prev = math.Inf(-1)
+	for x := -50.0; x <= 50; x += 0.25 {
+		y := s.Eval(x)
+		if y < prev {
+			t.Fatalf("sigmoid decreasing at %v", x)
+		}
+		prev = y
+	}
+}
+
+func TestSigmoidLimits(t *testing.T) {
+	s := NewSigmoid(1)
+	if s.Eval(-100) > 1e-10 || s.Eval(100) < 1-1e-10 {
+		t.Fatal("sigmoid limits wrong")
+	}
+	if math.Abs(s.Eval(0)-0.5) > 1e-15 {
+		t.Fatal("sigmoid(0) != 1/2")
+	}
+}
+
+func TestStandardSigmoidIsQuarterLipschitz(t *testing.T) {
+	s := StandardSigmoid()
+	if s.Lipschitz() != 0.25 {
+		t.Fatalf("standard sigmoid K = %v, want 1/4", s.Lipschitz())
+	}
+	// 1/(1+e^{-x}) at x=1: standard logistic.
+	want := 1 / (1 + math.Exp(-1))
+	if math.Abs(s.Eval(1)-want) > 1e-15 {
+		t.Fatalf("standard sigmoid(1) = %v, want %v", s.Eval(1), want)
+	}
+}
+
+func TestKTuningSharpensDiscrimination(t *testing.T) {
+	// Figure 2: larger K means a steeper profile.
+	x := 0.2
+	prev := 0.0
+	for _, k := range []float64{0.25, 0.5, 1, 2, 4} {
+		y := NewSigmoid(k).Eval(x)
+		if y <= prev {
+			t.Fatalf("sigmoid(K=%v)(%v)=%v not steeper than previous %v", k, x, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestRangeAbs(t *testing.T) {
+	if RangeAbs(NewSigmoid(1)) != 1 {
+		t.Fatal("sigmoid RangeAbs != 1")
+	}
+	if RangeAbs(NewTanh(1)) != 1 {
+		t.Fatal("tanh RangeAbs != 1")
+	}
+	if !math.IsInf(RangeAbs(ReLU{}), 1) {
+		t.Fatal("ReLU RangeAbs should be +Inf")
+	}
+}
+
+func TestEvalVector(t *testing.T) {
+	src := []float64{-1, 0, 1}
+	dst := make([]float64, 3)
+	Eval(NewHardSigmoid(1), dst, src)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-15 {
+			t.Fatalf("Eval = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestEvalAliasing(t *testing.T) {
+	x := []float64{-5, 5}
+	Eval(NewHardSigmoid(1), x, x)
+	if x[0] != 0 || x[1] != 1 {
+		t.Fatalf("in-place Eval = %v", x)
+	}
+}
+
+func TestFromNameRoundTrip(t *testing.T) {
+	for _, f := range allFuncs {
+		got, err := FromName(f.Name())
+		if err != nil {
+			t.Fatalf("FromName(%q): %v", f.Name(), err)
+		}
+		if got.Name() != f.Name() {
+			t.Fatalf("round trip %q -> %q", f.Name(), got.Name())
+		}
+		if got.Lipschitz() != f.Lipschitz() {
+			t.Fatalf("%q: K changed in round trip", f.Name())
+		}
+	}
+}
+
+func TestFromNameUnknown(t *testing.T) {
+	if _, err := FromName("swish"); err == nil {
+		t.Fatal("expected error for unknown activation")
+	}
+}
+
+func TestInvalidKPanics(t *testing.T) {
+	for _, mk := range []func(){
+		func() { NewSigmoid(0) },
+		func() { NewSigmoid(-1) },
+		func() { NewTanh(0) },
+		func() { NewHardSigmoid(-2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor accepted non-positive K")
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+func TestTanhOddSymmetryProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		th := NewTanh(1.7)
+		return math.Abs(th.Eval(x)+th.Eval(-x)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidComplementSymmetryProperty(t *testing.T) {
+	// ϕ(x) + ϕ(-x) = 1 for the logistic family.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := NewSigmoid(0.8)
+		return math.Abs(s.Eval(x)+s.Eval(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package approx supplies the approximation-theory side of the paper's
+// setup: a library of continuous target functions F in
+// A = C([0,1]^d, [0,1]) (Definition 1), empirical sup-norm distances for
+// measuring the ε' an over-provisioned network attains, and a probe for
+// the minimal width Nmin(ε) whose Θ(1/ε) behaviour (Barron) underlies the
+// over-provisioning discussion of Section II-C.
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// Target is a continuous function from [0,1]^d to [0,1].
+type Target interface {
+	Eval(x []float64) float64
+	Dim() int
+	Name() string
+}
+
+// funcTarget adapts a closure.
+type funcTarget struct {
+	f    func([]float64) float64
+	dim  int
+	name string
+}
+
+func (t funcTarget) Eval(x []float64) float64 { return t.f(x) }
+func (t funcTarget) Dim() int                 { return t.dim }
+func (t funcTarget) Name() string             { return t.name }
+
+// New wraps a closure as a Target.
+func New(name string, dim int, f func([]float64) float64) Target {
+	return funcTarget{f: f, dim: dim, name: name}
+}
+
+// clamp01 keeps numerical compositions inside the codomain.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Sine1D is (1 + sin(2π·cycles·x)) / 2 — the classic smooth benchmark.
+func Sine1D(cycles float64) Target {
+	return New(fmt.Sprintf("sine1d(cycles=%g)", cycles), 1, func(x []float64) float64 {
+		return (1 + math.Sin(2*math.Pi*cycles*x[0])) / 2
+	})
+}
+
+// Bump is a Gaussian bump centred at c with width sigma, in any dimension.
+func Bump(dim int, c, sigma float64) Target {
+	return New(fmt.Sprintf("bump%dd(c=%g,s=%g)", dim, c, sigma), dim, func(x []float64) float64 {
+		d2 := 0.0
+		for _, v := range x {
+			d2 += (v - c) * (v - c)
+		}
+		return math.Exp(-d2 / (2 * sigma * sigma))
+	})
+}
+
+// SmoothStep is the logistic step 1/(1+exp(-sharpness(x-1/2))) in 1-D: a
+// discrimination task whose difficulty grows with sharpness (the K
+// trade-off of Section V-C in target form).
+func SmoothStep(sharpness float64) Target {
+	return New(fmt.Sprintf("smoothstep(s=%g)", sharpness), 1, func(x []float64) float64 {
+		return 1 / (1 + math.Exp(-sharpness*(x[0]-0.5)))
+	})
+}
+
+// Ridge is (1 + sin(π Σ a_i x_i)) / 2, a ridge function — the functional
+// family for which Barron's Θ(1/ε) approximation rates are sharp.
+func Ridge(a []float64) Target {
+	coeffs := append([]float64(nil), a...)
+	return New(fmt.Sprintf("ridge(d=%d)", len(coeffs)), len(coeffs), func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			s += coeffs[i] * v
+		}
+		return (1 + math.Sin(math.Pi*s)) / 2
+	})
+}
+
+// XORLike is the smooth exclusive-or surface x(1-y) + y(1-x) on [0,1]^2 —
+// the function whose inapproximability by single perceptrons triggered
+// the first AI winter (Section I).
+func XORLike() Target {
+	return New("xorlike", 2, func(x []float64) float64 {
+		return x[0]*(1-x[1]) + x[1]*(1-x[0])
+	})
+}
+
+// Franke2D is the standard Franke surface rescaled into [0,1]: a mix of
+// four Gaussian modes used widely as a 2-D regression benchmark.
+func Franke2D() Target {
+	return New("franke2d", 2, func(p []float64) float64 {
+		x, y := p[0], p[1]
+		f := 0.75*math.Exp(-((9*x-2)*(9*x-2)+(9*y-2)*(9*y-2))/4) +
+			0.75*math.Exp(-((9*x+1)*(9*x+1))/49-((9*y+1)*(9*y+1))/10) +
+			0.5*math.Exp(-((9*x-7)*(9*x-7)+(9*y-3)*(9*y-3))/4) -
+			0.2*math.Exp(-((9*x-4)*(9*x-4)+(9*y-7)*(9*y-7)))
+		return clamp01(f)
+	})
+}
+
+// ControlSurface is a smooth 3-input flight-control-like response map
+// (angle of attack, airspeed, elevator command -> normalised actuator
+// output) used by the critical-application examples the paper motivates.
+func ControlSurface() Target {
+	return New("controlsurface", 3, func(p []float64) float64 {
+		aoa, speed, cmd := p[0], p[1], p[2]
+		raw := 0.4*math.Sin(math.Pi*aoa)*(0.5+0.5*speed) +
+			0.3*cmd*cmd +
+			0.3/(1+math.Exp(-6*(cmd-aoa)))
+		return clamp01(raw)
+	})
+}
+
+// Standard returns the named standard targets used across experiments.
+func Standard() []Target {
+	return []Target{
+		Sine1D(1),
+		Sine1D(2),
+		SmoothStep(8),
+		Bump(1, 0.5, 0.15),
+		XORLike(),
+		Franke2D(),
+		Ridge([]float64{0.7, 0.3}),
+		ControlSurface(),
+	}
+}
+
+// SupDistance measures the empirical sup-norm distance between a target
+// and a network over the given points: the ε' of Definition 1 (up to
+// sampling density).
+func SupDistance(target Target, net *nn.Network, points [][]float64) float64 {
+	return metrics.SupDistance(target.Eval, net.Forward, points)
+}
+
+// MSE returns the mean squared error of the network against the target
+// over the points.
+func MSE(target Target, net *nn.Network, points [][]float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range points {
+		d := target.Eval(x) - net.Forward(x)
+		s += d * d
+	}
+	return s / float64(len(points))
+}

@@ -1,0 +1,154 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func TestAllTargetsMapIntoUnitInterval(t *testing.T) {
+	r := rng.New(1)
+	for _, target := range Standard() {
+		for i := 0; i < 3000; i++ {
+			x := make([]float64, target.Dim())
+			r.Floats(x, 0, 1)
+			y := target.Eval(x)
+			if y < 0 || y > 1 || math.IsNaN(y) {
+				t.Fatalf("%s(%v) = %v outside [0,1]", target.Name(), x, y)
+			}
+		}
+	}
+}
+
+func TestTargetDimsAndNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, target := range Standard() {
+		if target.Dim() < 1 {
+			t.Fatalf("%s has dimension %d", target.Name(), target.Dim())
+		}
+		if target.Name() == "" {
+			t.Fatal("target with empty name")
+		}
+		if seen[target.Name()] {
+			t.Fatalf("duplicate target name %s", target.Name())
+		}
+		seen[target.Name()] = true
+	}
+}
+
+func TestSine1DValues(t *testing.T) {
+	s := Sine1D(1)
+	if math.Abs(s.Eval([]float64{0})-0.5) > 1e-12 {
+		t.Fatal("sine at 0 should be 1/2")
+	}
+	if math.Abs(s.Eval([]float64{0.25})-1) > 1e-12 {
+		t.Fatal("sine at quarter period should be 1")
+	}
+	if math.Abs(s.Eval([]float64{0.75})-0) > 1e-12 {
+		t.Fatal("sine at three-quarter period should be 0")
+	}
+}
+
+func TestXORLikeCorners(t *testing.T) {
+	x := XORLike()
+	cases := map[[2]float64]float64{
+		{0, 0}: 0,
+		{1, 1}: 0,
+		{0, 1}: 1,
+		{1, 0}: 1,
+	}
+	for in, want := range cases {
+		if got := x.Eval(in[:]); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("XOR(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestBumpPeaksAtCentre(t *testing.T) {
+	b := Bump(2, 0.5, 0.2)
+	centre := b.Eval([]float64{0.5, 0.5})
+	if math.Abs(centre-1) > 1e-12 {
+		t.Fatalf("bump centre = %v, want 1", centre)
+	}
+	off := b.Eval([]float64{0.9, 0.1})
+	if off >= centre {
+		t.Fatal("bump should decay away from centre")
+	}
+}
+
+func TestSmoothStepMonotone(t *testing.T) {
+	s := SmoothStep(10)
+	prev := -1.0
+	for x := 0.0; x <= 1; x += 0.01 {
+		y := s.Eval([]float64{x})
+		if y < prev {
+			t.Fatalf("smoothstep decreasing at %v", x)
+		}
+		prev = y
+	}
+	if s.Eval([]float64{0.5}) != 0.5 {
+		t.Fatal("smoothstep midpoint should be 1/2")
+	}
+}
+
+func TestRidgeDimension(t *testing.T) {
+	r := Ridge([]float64{0.2, 0.3, 0.5})
+	if r.Dim() != 3 {
+		t.Fatal("ridge dimension wrong")
+	}
+	if v := r.Eval([]float64{0, 0, 0}); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("ridge at origin = %v, want 0.5", v)
+	}
+}
+
+func TestControlSurfaceSmoothness(t *testing.T) {
+	// Finite-difference Lipschitz probe: the control surface must be
+	// modestly smooth (no jumps), as befits a physical response map.
+	cs := ControlSurface()
+	r := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		x := make([]float64, 3)
+		r.Floats(x, 0, 1)
+		y := append([]float64(nil), x...)
+		j := r.Intn(3)
+		const h = 1e-4
+		if y[j]+h > 1 {
+			continue
+		}
+		y[j] += h
+		slope := math.Abs(cs.Eval(y)-cs.Eval(x)) / h
+		if slope > 10 {
+			t.Fatalf("control surface slope %v too steep at %v", slope, x)
+		}
+	}
+}
+
+func TestNewWrapsClosure(t *testing.T) {
+	target := New("custom", 2, func(x []float64) float64 { return x[0] * x[1] })
+	if target.Name() != "custom" || target.Dim() != 2 {
+		t.Fatal("New metadata wrong")
+	}
+	if target.Eval([]float64{0.5, 0.5}) != 0.25 {
+		t.Fatal("New eval wrong")
+	}
+}
+
+func TestMSEAgainstKnownValue(t *testing.T) {
+	target := New("const0", 1, func([]float64) float64 { return 0 })
+	// Network approximated by another constant: reuse SupDistance/MSE
+	// machinery through a trivial wrapper target comparison: build the
+	// points and compute by hand.
+	pts := metrics.Grid(1, 11)
+	// MSE of f=0 against g=0.3 is 0.09.
+	g := New("const3", 1, func([]float64) float64 { return 0.3 })
+	s := 0.0
+	for _, x := range pts {
+		d := target.Eval(x) - g.Eval(x)
+		s += d * d
+	}
+	if math.Abs(s/float64(len(pts))-0.09) > 1e-12 {
+		t.Fatal("hand MSE wrong — test harness broken")
+	}
+}

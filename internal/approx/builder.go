@@ -1,0 +1,117 @@
+package approx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// BuildRobust is Corollary 1 as a constructor: given a 1-D target, a
+// required accuracy eps and a crash budget faults (number of crashed
+// neurons to mask), it searches for the narrowest staircase construction
+// whose measured ε' and output weights certify the budget via Theorem 1,
+// and returns the network with its certificate. The search doubles the
+// width until feasible (the corollary guarantees feasibility for any
+// eps' < eps), up to maxWidth.
+func BuildRobust(target Target, faults int, eps float64, maxWidth int) (*nn.Network, Certificate, error) {
+	if target.Dim() != 1 {
+		return nil, Certificate{}, fmt.Errorf("approx: BuildRobust needs a 1-D target")
+	}
+	if faults < 0 || eps <= 0 {
+		return nil, Certificate{}, fmt.Errorf("approx: BuildRobust needs faults >= 0 and eps > 0")
+	}
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+	pts := metrics.Grid(1, 401)
+	for n := 4; n <= maxWidth; n *= 2 {
+		net, err := Staircase(target, n, 12*float64(n))
+		if err != nil {
+			return nil, Certificate{}, err
+		}
+		cert := Certify(target, net, eps, pts)
+		if cert.MaxCrashes >= faults {
+			return net, cert, nil
+		}
+	}
+	return nil, Certificate{}, fmt.Errorf("approx: no construction up to width %d certifies %d crashes at eps=%v", maxWidth, faults, eps)
+}
+
+// Certificate records the robustness guarantee of a single-layer
+// approximation (Theorem 1).
+type Certificate struct {
+	// EpsPrime is the measured sup-norm accuracy of the clean network.
+	EpsPrime float64
+	// Eps is the accuracy the certificate preserves under crashes.
+	Eps float64
+	// WM is the maximal output weight w_m^{(2)}.
+	WM float64
+	// MaxCrashes is floor((Eps-EpsPrime)/WM), the certified tolerance.
+	MaxCrashes int
+	// Width is N, the number of hidden neurons.
+	Width int
+}
+
+// Certify measures a single-layer network against the target and wraps
+// Theorem 1 into a Certificate. Networks with more than one layer are
+// rejected (use core.CrashTolerates for the multilayer condition).
+func Certify(target Target, net *nn.Network, eps float64, pts [][]float64) Certificate {
+	if net.Layers() != 1 {
+		panic("approx: Certify expects a single hidden layer")
+	}
+	epsPrime := SupDistance(target, net, pts)
+	wm := net.MaxWeight(2)
+	return Certificate{
+		EpsPrime:   epsPrime,
+		Eps:        eps,
+		WM:         wm,
+		MaxCrashes: core.Theorem1MaxCrashes(eps, epsPrime, wm),
+		Width:      net.Width(1),
+	}
+}
+
+// NminProbe estimates Nmin(eps) — the smallest staircase width achieving
+// sup error <= eps on the target — by doubling then bisecting. It is the
+// empirical counterpart of the paper's Section II-C discussion: with
+// Barron's Θ(1/ε), the returned width grows linearly in 1/eps.
+func NminProbe(target Target, eps float64, maxWidth int) (int, error) {
+	if target.Dim() != 1 {
+		return 0, fmt.Errorf("approx: NminProbe needs a 1-D target")
+	}
+	if eps <= 0 {
+		return 0, fmt.Errorf("approx: NminProbe needs eps > 0")
+	}
+	pts := metrics.Grid(1, 401)
+	achieves := func(n int) bool {
+		net, err := Staircase(target, n, 12*float64(n))
+		if err != nil {
+			return false
+		}
+		return SupDistance(target, net, pts) <= eps
+	}
+	hi := 4
+	for !achieves(hi) {
+		hi *= 2
+		if hi > maxWidth {
+			return 0, fmt.Errorf("approx: eps=%v not reached within width %d", eps, maxWidth)
+		}
+	}
+	lo := hi / 2
+	if lo < 2 {
+		lo = 2
+	}
+	// Bisect for the frontier (achieves is monotone in n for the
+	// staircase family up to smoothing noise; bisection returns a valid,
+	// near-minimal width either way).
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if achieves(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,107 @@
+package approx
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+func TestBuildRobustDeliversCertifiedNetwork(t *testing.T) {
+	target := Sine1D(1)
+	net, cert, err := BuildRobust(target, 3, 0.3, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.MaxCrashes < 3 {
+		t.Fatalf("certificate %d below requested 3", cert.MaxCrashes)
+	}
+	// Validate the certificate empirically: kill cert.MaxCrashes heaviest
+	// neurons, sup error against the target must stay within eps.
+	pts := metrics.Grid(1, 401)
+	plan := fault.AdversarialNeuronPlan(net, []int{cert.MaxCrashes})
+	worst := metrics.SupDistance(target.Eval, func(x []float64) float64 {
+		return fault.Forward(net, plan, fault.Crash{}, x)
+	}, pts)
+	if worst > cert.Eps {
+		t.Fatalf("certified network broke eps: %v > %v", worst, cert.Eps)
+	}
+}
+
+func TestBuildRobustMoreFaultsNeedWiderNets(t *testing.T) {
+	target := Sine1D(1)
+	_, certSmall, err := BuildRobust(target, 1, 0.3, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, certBig, err := BuildRobust(target, 8, 0.3, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certBig.Width <= certSmall.Width {
+		t.Fatalf("8-fault construction (width %d) not wider than 1-fault (width %d)", certBig.Width, certSmall.Width)
+	}
+}
+
+func TestBuildRobustRejectsImpossible(t *testing.T) {
+	if _, _, err := BuildRobust(Sine1D(1), 1000, 0.05, 64); err == nil {
+		t.Fatal("expected failure for tiny width limit")
+	}
+	if _, _, err := BuildRobust(XORLike(), 1, 0.3, 64); err == nil {
+		t.Fatal("expected rejection of 2-D target")
+	}
+	if _, _, err := BuildRobust(Sine1D(1), -1, 0.3, 64); err == nil {
+		t.Fatal("expected rejection of negative faults")
+	}
+}
+
+func TestCertifyPanicsOnMultilayer(t *testing.T) {
+	target := Sine1D(1)
+	net, _ := Staircase(target, 8, 100)
+	// Fake a 2-layer network by stacking the same layer.
+	two := net.Clone()
+	two.Hidden = append(two.Hidden, two.Hidden[0].Clone())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Certify(target, two, 0.3, metrics.Grid(1, 11))
+}
+
+func TestNminProbeInverseEps(t *testing.T) {
+	target := Sine1D(1)
+	var prev int
+	var ns []float64
+	var invEps []float64
+	for _, eps := range []float64{0.2, 0.1, 0.05, 0.025} {
+		n, err := NminProbe(target, eps, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("Nmin(%v) = %d decreased below %d", eps, n, prev)
+		}
+		prev = n
+		ns = append(ns, float64(n))
+		invEps = append(invEps, 1/eps)
+	}
+	// Θ(1/ε): Nmin should grow roughly linearly in 1/ε — log-log slope
+	// near 1.
+	slope := metrics.LogLogSlope(invEps, ns)
+	if slope < 0.6 || slope > 1.5 {
+		t.Fatalf("Nmin(1/eps) log-log slope %v, want about 1", slope)
+	}
+}
+
+func TestNminProbeValidation(t *testing.T) {
+	if _, err := NminProbe(XORLike(), 0.1, 64); err == nil {
+		t.Fatal("2-D target accepted")
+	}
+	if _, err := NminProbe(Sine1D(1), 0, 64); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := NminProbe(Sine1D(8), 0.001, 8); err == nil {
+		t.Fatal("unreachable eps within width limit accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package approx
+
+import (
+	"fmt"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Staircase builds a single-layer neural approximation of a 1-D target
+// constructively, in the style of the universality theorem's proof: the
+// j-th hidden neuron is a steep sigmoid step centred at x_j = j/n, and
+// its output weight is the target increment F(x_j) - F(x_{j-1}). The
+// network computes a smooth staircase through n+1 samples of F.
+//
+// The construction is the concrete face of the over-provisioning
+// discussion (Section II-C) and of Corollary 1:
+//
+//   - accuracy: the sup error ε'(n) decays like Lip(F)/n plus the step
+//     smoothing, so more neurons mean a finer approximation (Barron's
+//     Θ(1/ε) in its simplest form);
+//   - robustness: every output weight is an increment of size about
+//     Lip(F)/n, so w_m shrinks as 1/n and Theorem 1's tolerated crash
+//     count (ε-ε')/w_m GROWS roughly linearly with n — over-provisioning
+//     converted into certified fault tolerance with no training at all.
+//
+// steep controls how hard each step saturates (larger = sharper staircase
+// but the activation's Lipschitz constant grows proportionally).
+func Staircase(target Target, n int, steep float64) (*nn.Network, error) {
+	if target.Dim() != 1 {
+		return nil, fmt.Errorf("approx: Staircase needs a 1-D target, got %dd", target.Dim())
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("approx: Staircase needs n >= 2 neurons, got %d", n)
+	}
+	if steep <= 0 {
+		return nil, fmt.Errorf("approx: Staircase needs steep > 0")
+	}
+	hidden := tensor.NewMatrix(n, 1)
+	bias := make([]float64, n)
+	out := make([]float64, n)
+	prev := target.Eval([]float64{0})
+	for j := 0; j < n; j++ {
+		// Neuron j: ϕ(steep·(x - x_j)) with ϕ the K-tuned sigmoid of
+		// unit K; the slope comes from the incoming weight, keeping the
+		// activation itself 1-Lipschitz.
+		xj := (float64(j) + 0.5) / float64(n)
+		hidden.Set(j, 0, steep)
+		bias[j] = -steep * xj
+		cur := target.Eval([]float64{float64(j+1) / float64(n)})
+		out[j] = cur - prev
+		prev = cur
+	}
+	net := &nn.Network{
+		InputDim:   1,
+		Act:        activation.NewSigmoid(1),
+		Hidden:     []*tensor.Matrix{hidden},
+		Biases:     [][]float64{bias},
+		Output:     out,
+		OutputBias: target.Eval([]float64{0}),
+	}
+	return net, net.Validate()
+}
+
+// StaircaseMaxIncrement returns the largest |F(x_j) - F(x_{j-1})| of the
+// construction — the w_m^{(2)} Theorem 1 sees — without building the
+// network.
+func StaircaseMaxIncrement(target Target, n int) float64 {
+	prev := target.Eval([]float64{0})
+	m := 0.0
+	for j := 1; j <= n; j++ {
+		cur := target.Eval([]float64{float64(j) / float64(n)})
+		d := cur - prev
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+		prev = cur
+	}
+	return m
+}

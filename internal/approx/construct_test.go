@@ -1,0 +1,102 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestStaircaseApproximates(t *testing.T) {
+	target := Sine1D(1)
+	pts := metrics.Grid(1, 401)
+	prev := math.Inf(1)
+	for _, n := range []int{8, 16, 32, 64} {
+		net, err := Staircase(target, n, 12*float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := SupDistance(target, net, pts)
+		if sup >= prev {
+			t.Fatalf("n=%d: ε' %v did not improve on %v", n, sup, prev)
+		}
+		prev = sup
+	}
+	if prev > 0.06 {
+		t.Fatalf("64-neuron staircase ε' = %v too coarse", prev)
+	}
+}
+
+func TestStaircaseEpsilonScalesInverseN(t *testing.T) {
+	target := Sine1D(1)
+	pts := metrics.Grid(1, 801)
+	var ns, sups []float64
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		net, err := Staircase(target, n, 12*float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, float64(n))
+		sups = append(sups, SupDistance(target, net, pts))
+	}
+	slope := metrics.LogLogSlope(ns, sups)
+	// Barron-style 1/n decay: slope close to -1.
+	if slope > -0.7 || slope < -1.3 {
+		t.Fatalf("ε'(n) log-log slope %v, want about -1", slope)
+	}
+}
+
+func TestStaircaseOutputWeightsShrink(t *testing.T) {
+	target := Sine1D(1)
+	for _, n := range []int{8, 32, 128} {
+		net, err := Staircase(target, n, 10*float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := net.MaxWeight(2)
+		// Increments of a Lipschitz target: at most Lip/n = π/n.
+		bound := math.Pi / float64(n)
+		if wm > bound*1.01 {
+			t.Fatalf("n=%d: w_m %v exceeds Lip/n %v", n, wm, bound)
+		}
+		if wm != StaircaseMaxIncrement(target, n) {
+			t.Fatalf("n=%d: MaxWeight(2) %v != StaircaseMaxIncrement %v", n, wm, StaircaseMaxIncrement(target, n))
+		}
+	}
+}
+
+func TestStaircaseToleranceGrowsWithWidth(t *testing.T) {
+	// The Corollary 1 payoff: at fixed ε, wider constructions tolerate
+	// more crashes because both ε' and w_m shrink.
+	target := Sine1D(1)
+	pts := metrics.Grid(1, 401)
+	eps := 0.3
+	prev := -1
+	for _, n := range []int{8, 16, 32, 64} {
+		net, err := Staircase(target, n, 12*float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		epsPrime := SupDistance(target, net, pts)
+		tol := int((eps - epsPrime) / net.MaxWeight(2))
+		if tol < prev {
+			t.Fatalf("n=%d: tolerance %d fell below %d", n, tol, prev)
+		}
+		prev = tol
+	}
+	if prev < 4 {
+		t.Fatalf("64-neuron staircase tolerates only %d crashes at ε=0.3", prev)
+	}
+}
+
+func TestStaircaseValidation(t *testing.T) {
+	if _, err := Staircase(XORLike(), 8, 50); err == nil {
+		t.Fatal("2-D target accepted")
+	}
+	if _, err := Staircase(Sine1D(1), 1, 50); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Staircase(Sine1D(1), 8, 0); err == nil {
+		t.Fatal("zero steepness accepted")
+	}
+}

@@ -1,0 +1,253 @@
+// Package conv implements the convolutional extension of Section VI: a
+// 1-D convolutional feed-forward network with limited receptive fields
+// R(l) and weight sharing. Each conv layer is lowered to the equivalent
+// dense layer (zeros outside the receptive field, tied values inside), so
+// the paper's theorems apply verbatim — and w_m^{(l)} runs over only the
+// R(l) distinct kernel values, which is the source of the "less
+// restrictive bounds" the paper points out.
+package conv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Layer is one 1-D convolutional layer: Filters kernels of length Field
+// slid with stride 1 over the input (valid padding). The layer maps an
+// input vector of width W to Filters·(W-Field+1) outputs, filter-major.
+type Layer struct {
+	// Kernels is Filters x Field: row f holds filter f's shared weights.
+	Kernels *tensor.Matrix
+	// Bias, when non-nil, holds one bias per filter (shared across
+	// positions, the usual convolutional convention).
+	Bias []float64
+}
+
+// Filters returns the number of kernels.
+func (l Layer) Filters() int { return l.Kernels.Rows }
+
+// Field returns R(l), the receptive field size.
+func (l Layer) Field() int { return l.Kernels.Cols }
+
+// OutWidth returns the layer's output width for the given input width.
+func (l Layer) OutWidth(inWidth int) int {
+	return l.Filters() * (inWidth - l.Field() + 1)
+}
+
+// MaxWeight returns the max |w| over the R(l) kernel values (and biases):
+// the receptive-field w_m^{(l)} of Section VI.
+func (l Layer) MaxWeight() float64 {
+	m := l.Kernels.MaxAbs()
+	if l.Bias != nil {
+		m = math.Max(m, tensor.MaxAbs(l.Bias))
+	}
+	return m
+}
+
+// Net is a 1-D convolutional network with a linear output node, mirroring
+// the paper's computation model with convolutional hidden layers.
+type Net struct {
+	// InputWidth is the input signal length.
+	InputWidth int
+	// Act is the shared squashing function.
+	Act activation.Func
+	// Layers holds the convolutional hidden layers.
+	Layers []Layer
+	// Output holds the output-node weights over the final feature map.
+	Output []float64
+}
+
+// Widths returns the per-layer output widths N_1..N_L.
+func (n *Net) Widths() []int {
+	w := make([]int, len(n.Layers))
+	width := n.InputWidth
+	for i, l := range n.Layers {
+		width = l.OutWidth(width)
+		w[i] = width
+	}
+	return w
+}
+
+// Validate checks that every layer fits its input and the output weights
+// match the final width.
+func (n *Net) Validate() error {
+	if n.InputWidth <= 0 {
+		return fmt.Errorf("conv: input width %d", n.InputWidth)
+	}
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("conv: no layers")
+	}
+	width := n.InputWidth
+	for i, l := range n.Layers {
+		if l.Field() > width {
+			return fmt.Errorf("conv: layer %d field %d exceeds input width %d", i+1, l.Field(), width)
+		}
+		if l.Filters() < 1 {
+			return fmt.Errorf("conv: layer %d has no filters", i+1)
+		}
+		if l.Bias != nil && len(l.Bias) != l.Filters() {
+			return fmt.Errorf("conv: layer %d bias per filter mismatch", i+1)
+		}
+		width = l.OutWidth(width)
+	}
+	if len(n.Output) != width {
+		return fmt.Errorf("conv: output weights %d for final width %d", len(n.Output), width)
+	}
+	return nil
+}
+
+// Forward evaluates the network directly (without lowering).
+func (n *Net) Forward(x []float64) float64 {
+	y := x
+	for _, l := range n.Layers {
+		positions := len(y) - l.Field() + 1
+		out := make([]float64, l.Filters()*positions)
+		for f := 0; f < l.Filters(); f++ {
+			kernel := l.Kernels.Row(f)
+			for p := 0; p < positions; p++ {
+				s := 0.0
+				for i, w := range kernel {
+					s += w * y[p+i]
+				}
+				if l.Bias != nil {
+					s += l.Bias[f]
+				}
+				out[f*positions+p] = n.Act.Eval(s)
+			}
+		}
+		y = out
+	}
+	s := 0.0
+	for i, w := range n.Output {
+		s += w * y[i]
+	}
+	return s
+}
+
+// Lower converts the convolutional network into the equivalent dense
+// nn.Network (zeros outside receptive fields, shared values inside), on
+// which the fault injectors and bound code operate directly.
+func Lower(n *Net) (*nn.Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	dense := &nn.Network{
+		InputDim: n.InputWidth,
+		Act:      n.Act,
+		Output:   tensor.Clone(n.Output),
+	}
+	width := n.InputWidth
+	for _, l := range n.Layers {
+		positions := width - l.Field() + 1
+		rows := l.Filters() * positions
+		m := tensor.NewMatrix(rows, width)
+		for f := 0; f < l.Filters(); f++ {
+			kernel := l.Kernels.Row(f)
+			for p := 0; p < positions; p++ {
+				row := m.Row(f*positions + p)
+				for i, w := range kernel {
+					row[p+i] = w
+				}
+			}
+		}
+		dense.Hidden = append(dense.Hidden, m)
+		width = rows
+	}
+	if hasBias(n) {
+		dense.Biases = make([][]float64, len(n.Layers))
+		width = n.InputWidth
+		for li, l := range n.Layers {
+			positions := width - l.Field() + 1
+			rows := l.Filters() * positions
+			b := make([]float64, rows)
+			if l.Bias != nil {
+				for f := 0; f < l.Filters(); f++ {
+					for p := 0; p < positions; p++ {
+						b[f*positions+p] = l.Bias[f]
+					}
+				}
+			}
+			dense.Biases[li] = b
+			width = rows
+		}
+	}
+	return dense, dense.Validate()
+}
+
+func hasBias(n *Net) bool {
+	for _, l := range n.Layers {
+		if l.Bias != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Shape returns the core.Shape of the conv net with w_m^{(l)} computed
+// over the receptive-field values only. It equals the lowered network's
+// shape (zeros never attain a max), which is Section VI's observation: the
+// constraint runs over R(l) values instead of N_l x N_{l-1}.
+func Shape(n *Net) core.Shape {
+	widths := n.Widths()
+	maxw := make([]float64, len(n.Layers)+1)
+	for i, l := range n.Layers {
+		maxw[i] = l.MaxWeight()
+	}
+	maxw[len(n.Layers)] = tensor.MaxAbs(n.Output)
+	return core.Shape{
+		Widths: widths,
+		MaxW:   maxw,
+		K:      n.Act.Lipschitz(),
+		ActCap: math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max())),
+	}
+}
+
+// NewRandom builds a random conv net: fields[i] and filters[i] configure
+// layer i; weights are uniform in [-scale, scale).
+func NewRandom(r *rng.Rand, inputWidth int, fields, filters []int, act activation.Func, scale float64, bias bool) (*Net, error) {
+	if len(fields) != len(filters) {
+		return nil, fmt.Errorf("conv: %d fields for %d filter counts", len(fields), len(filters))
+	}
+	n := &Net{InputWidth: inputWidth, Act: act}
+	width := inputWidth
+	for i := range fields {
+		l := Layer{Kernels: tensor.RandomMatrix(r, filters[i], fields[i], scale)}
+		if bias {
+			l.Bias = make([]float64, filters[i])
+			r.Floats(l.Bias, -scale, scale)
+		}
+		n.Layers = append(n.Layers, l)
+		if fields[i] > width {
+			return nil, fmt.Errorf("conv: layer %d field %d exceeds width %d", i+1, fields[i], width)
+		}
+		width = l.OutWidth(width)
+	}
+	n.Output = make([]float64, width)
+	r.Floats(n.Output, -scale, scale)
+	return n, n.Validate()
+}
+
+// FaultBudgetAdvantage quantifies Section VI's point on a concrete pair:
+// given a conv net and a dense net of identical widths and activation, it
+// returns the ratio denseFep/convFep for the same uniform one-fault-per-
+// layer distribution (>1 means the conv topology tolerates more).
+func FaultBudgetAdvantage(convNet *Net, dense *nn.Network, c float64) float64 {
+	cs := Shape(convNet)
+	ds := core.ShapeOf(dense)
+	faults := make([]int, len(cs.Widths))
+	for i := range faults {
+		faults[i] = 1
+	}
+	convFep := core.Fep(cs, faults, c)
+	denseFep := core.Fep(ds, faults, c)
+	if convFep == 0 {
+		return math.Inf(1)
+	}
+	return denseFep / convFep
+}

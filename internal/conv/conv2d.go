@@ -1,0 +1,261 @@
+package conv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Layer2D is one 2-D convolutional layer: Filters kernels, each spanning
+// InChannels x Field x Field weights, slid with stride 1 over the input
+// feature maps (valid padding). Its receptive field size in the paper's
+// sense is R(l) = InChannels·Field².
+type Layer2D struct {
+	// Kernels[f] is the f-th filter, an InChannels x (Field*Field)
+	// matrix: row c holds the window weights for input channel c in
+	// row-major order.
+	Kernels []*tensor.Matrix
+	// Field is the square window edge.
+	Field int
+	// Bias, when non-nil, holds one bias per filter.
+	Bias []float64
+}
+
+// Filters returns the number of output channels.
+func (l Layer2D) Filters() int { return len(l.Kernels) }
+
+// InChannels returns the expected number of input channels.
+func (l Layer2D) InChannels() int { return l.Kernels[0].Rows }
+
+// ReceptiveField returns R(l), the number of distinct weights per filter.
+func (l Layer2D) ReceptiveField() int { return l.InChannels() * l.Field * l.Field }
+
+// MaxWeight returns the max |w| over all kernel values and biases.
+func (l Layer2D) MaxWeight() float64 {
+	m := 0.0
+	for _, k := range l.Kernels {
+		if v := k.MaxAbs(); v > m {
+			m = v
+		}
+	}
+	if l.Bias != nil {
+		if v := tensor.MaxAbs(l.Bias); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Net2D is a 2-D convolutional network over a single-channel H x W input
+// with a linear output node over the flattened final feature maps.
+// Feature maps are laid out channel-major: index = c·(H·W) + r·W + col.
+type Net2D struct {
+	InputH, InputW int
+	Act            activation.Func
+	Layers         []Layer2D
+	Output         []float64
+}
+
+// dims returns the (channels, height, width) after each layer; dims[0] is
+// the input.
+func (n *Net2D) dims() [][3]int {
+	out := make([][3]int, len(n.Layers)+1)
+	out[0] = [3]int{1, n.InputH, n.InputW}
+	for i, l := range n.Layers {
+		prev := out[i]
+		out[i+1] = [3]int{l.Filters(), prev[1] - l.Field + 1, prev[2] - l.Field + 1}
+	}
+	return out
+}
+
+// Widths returns the flattened per-layer widths N_1..N_L.
+func (n *Net2D) Widths() []int {
+	d := n.dims()
+	w := make([]int, len(n.Layers))
+	for i := 1; i < len(d); i++ {
+		w[i-1] = d[i][0] * d[i][1] * d[i][2]
+	}
+	return w
+}
+
+// Validate checks geometry.
+func (n *Net2D) Validate() error {
+	if n.InputH < 1 || n.InputW < 1 {
+		return fmt.Errorf("conv: input %dx%d", n.InputH, n.InputW)
+	}
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("conv: no layers")
+	}
+	d := n.dims()
+	for i, l := range n.Layers {
+		if l.Filters() == 0 {
+			return fmt.Errorf("conv: layer %d has no filters", i+1)
+		}
+		if l.InChannels() != d[i][0] {
+			return fmt.Errorf("conv: layer %d expects %d channels, have %d", i+1, l.InChannels(), d[i][0])
+		}
+		for f, k := range l.Kernels {
+			if k.Rows != l.InChannels() || k.Cols != l.Field*l.Field {
+				return fmt.Errorf("conv: layer %d filter %d has shape %dx%d, want %dx%d",
+					i+1, f, k.Rows, k.Cols, l.InChannels(), l.Field*l.Field)
+			}
+		}
+		if l.Field > d[i][1] || l.Field > d[i][2] {
+			return fmt.Errorf("conv: layer %d field %d exceeds input %dx%d", i+1, l.Field, d[i][1], d[i][2])
+		}
+		if l.Bias != nil && len(l.Bias) != l.Filters() {
+			return fmt.Errorf("conv: layer %d bias length mismatch", i+1)
+		}
+	}
+	last := d[len(d)-1]
+	if len(n.Output) != last[0]*last[1]*last[2] {
+		return fmt.Errorf("conv: output weights %d for final volume %d", len(n.Output), last[0]*last[1]*last[2])
+	}
+	return nil
+}
+
+// Forward evaluates the network directly on a flattened H x W input.
+func (n *Net2D) Forward(x []float64) float64 {
+	d := n.dims()
+	y := x
+	for li, l := range n.Layers {
+		inC, inH, inW := d[li][0], d[li][1], d[li][2]
+		outH, outW := inH-l.Field+1, inW-l.Field+1
+		out := make([]float64, l.Filters()*outH*outW)
+		for f := 0; f < l.Filters(); f++ {
+			kern := l.Kernels[f]
+			for r := 0; r < outH; r++ {
+				for cidx := 0; cidx < outW; cidx++ {
+					s := 0.0
+					for c := 0; c < inC; c++ {
+						krow := kern.Row(c)
+						for kr := 0; kr < l.Field; kr++ {
+							for kc := 0; kc < l.Field; kc++ {
+								s += krow[kr*l.Field+kc] * y[c*inH*inW+(r+kr)*inW+(cidx+kc)]
+							}
+						}
+					}
+					if l.Bias != nil {
+						s += l.Bias[f]
+					}
+					out[f*outH*outW+r*outW+cidx] = n.Act.Eval(s)
+				}
+			}
+		}
+		y = out
+	}
+	s := 0.0
+	for i, w := range n.Output {
+		s += w * y[i]
+	}
+	return s
+}
+
+// Lower converts the 2-D conv net into the equivalent dense nn.Network.
+func Lower2D(n *Net2D) (*nn.Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	d := n.dims()
+	dense := &nn.Network{
+		InputDim: n.InputH * n.InputW,
+		Act:      n.Act,
+		Output:   tensor.Clone(n.Output),
+	}
+	anyBias := false
+	for _, l := range n.Layers {
+		if l.Bias != nil {
+			anyBias = true
+		}
+	}
+	if anyBias {
+		dense.Biases = make([][]float64, len(n.Layers))
+	}
+	for li, l := range n.Layers {
+		inC, inH, inW := d[li][0], d[li][1], d[li][2]
+		outH, outW := inH-l.Field+1, inW-l.Field+1
+		rows := l.Filters() * outH * outW
+		cols := inC * inH * inW
+		m := tensor.NewMatrix(rows, cols)
+		for f := 0; f < l.Filters(); f++ {
+			kern := l.Kernels[f]
+			for r := 0; r < outH; r++ {
+				for cidx := 0; cidx < outW; cidx++ {
+					row := m.Row(f*outH*outW + r*outW + cidx)
+					for c := 0; c < inC; c++ {
+						krow := kern.Row(c)
+						for kr := 0; kr < l.Field; kr++ {
+							for kc := 0; kc < l.Field; kc++ {
+								row[c*inH*inW+(r+kr)*inW+(cidx+kc)] = krow[kr*l.Field+kc]
+							}
+						}
+					}
+				}
+			}
+		}
+		dense.Hidden = append(dense.Hidden, m)
+		if anyBias {
+			b := make([]float64, rows)
+			if l.Bias != nil {
+				for f := 0; f < l.Filters(); f++ {
+					for p := 0; p < outH*outW; p++ {
+						b[f*outH*outW+p] = l.Bias[f]
+					}
+				}
+			}
+			dense.Biases[li] = b
+		}
+	}
+	return dense, dense.Validate()
+}
+
+// Shape2D returns the core.Shape with w_m over receptive-field values.
+func Shape2D(n *Net2D) core.Shape {
+	maxw := make([]float64, len(n.Layers)+1)
+	for i, l := range n.Layers {
+		maxw[i] = l.MaxWeight()
+	}
+	maxw[len(n.Layers)] = tensor.MaxAbs(n.Output)
+	return core.Shape{
+		Widths: n.Widths(),
+		MaxW:   maxw,
+		K:      n.Act.Lipschitz(),
+		ActCap: math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max())),
+	}
+}
+
+// NewRandom2D builds a random 2-D conv net: layer i has filters[i]
+// kernels with square field fields[i].
+func NewRandom2D(r *rng.Rand, h, w int, fields, filters []int, act activation.Func, scale float64, bias bool) (*Net2D, error) {
+	if len(fields) != len(filters) {
+		return nil, fmt.Errorf("conv: %d fields for %d filter counts", len(fields), len(filters))
+	}
+	n := &Net2D{InputH: h, InputW: w, Act: act}
+	inC := 1
+	curH, curW := h, w
+	for i := range fields {
+		l := Layer2D{Field: fields[i]}
+		for f := 0; f < filters[i]; f++ {
+			l.Kernels = append(l.Kernels, tensor.RandomMatrix(r, inC, fields[i]*fields[i], scale))
+		}
+		if bias {
+			l.Bias = make([]float64, filters[i])
+			r.Floats(l.Bias, -scale, scale)
+		}
+		n.Layers = append(n.Layers, l)
+		curH -= fields[i] - 1
+		curW -= fields[i] - 1
+		if curH < 1 || curW < 1 {
+			return nil, fmt.Errorf("conv: layer %d shrinks the map below 1x1", i+1)
+		}
+		inC = filters[i]
+	}
+	n.Output = make([]float64, inC*curH*curW)
+	r.Floats(n.Output, -scale, scale)
+	return n, n.Validate()
+}

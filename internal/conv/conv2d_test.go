@@ -1,0 +1,174 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// hand2D: 3x3 input, one 2x2 filter (identity activation), output sums
+// the 2x2 feature map.
+func hand2D() *Net2D {
+	kernel := tensor.FromRows([][]float64{{1, 0, 0, -1}}) // 1 channel, [1 0; 0 -1]
+	return &Net2D{
+		InputH: 3, InputW: 3,
+		Act: activation.Identity{},
+		Layers: []Layer2D{{
+			Kernels: []*tensor.Matrix{kernel},
+			Field:   2,
+		}},
+		Output: []float64{1, 1, 1, 1},
+	}
+}
+
+func TestForward2DHandComputed(t *testing.T) {
+	n := hand2D()
+	// Input:
+	//  1 2 3
+	//  4 5 6
+	//  7 8 9
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	// Feature map entries (x[r][c] - x[r+1][c+1]):
+	//  1-5=-4  2-6=-4
+	//  4-8=-4  5-9=-4     sum = -16
+	got := n.Forward(x)
+	if math.Abs(got+16) > 1e-12 {
+		t.Fatalf("Forward2D = %v, want -16", got)
+	}
+}
+
+func TestWidths2D(t *testing.T) {
+	r := rng.New(1)
+	n, err := NewRandom2D(r, 6, 6, []int{3, 2}, []int{2, 3}, activation.NewSigmoid(1), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1: 2 filters on 6x6 -> 2 maps of 4x4 = 32.
+	// Layer 2: 3 filters, field 2 on 4x4 -> 3 maps of 3x3 = 27.
+	w := n.Widths()
+	if w[0] != 32 || w[1] != 27 {
+		t.Fatalf("Widths2D = %v", w)
+	}
+}
+
+func TestLower2DMatchesDirect(t *testing.T) {
+	r := rng.New(2)
+	n, err := NewRandom2D(r, 5, 5, []int{2, 2}, []int{2, 2}, activation.NewSigmoid(1), 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower2D(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		x := make([]float64, 25)
+		r.Floats(x, 0, 1)
+		a := n.Forward(x)
+		b := dense.Forward(x)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("trial %d: direct %v != lowered %v", trial, a, b)
+		}
+	}
+}
+
+func TestShape2DReceptiveField(t *testing.T) {
+	n := hand2D()
+	s := Shape2D(n)
+	if s.MaxW[0] != 1 {
+		t.Fatalf("conv2d w_m = %v, want 1", s.MaxW[0])
+	}
+	if n.Layers[0].ReceptiveField() != 4 {
+		t.Fatalf("R(l) = %d, want 4", n.Layers[0].ReceptiveField())
+	}
+	// Lowered shape agrees.
+	dense, err := Lower2D(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := core.ShapeOf(dense)
+	for i := range s.MaxW {
+		if math.Abs(s.MaxW[i]-ds.MaxW[i]) > 1e-15 {
+			t.Fatalf("Shape2D MaxW[%d] %v != lowered %v", i, s.MaxW[i], ds.MaxW[i])
+		}
+	}
+	if s.Widths[0] != ds.Widths[0] {
+		t.Fatal("widths disagree with lowering")
+	}
+}
+
+func TestFaultBoundsApplyToLowered2D(t *testing.T) {
+	r := rng.New(3)
+	n, err := NewRandom2D(r, 5, 5, []int{3}, []int{2}, activation.NewSigmoid(1), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower2D(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Shape2D(n)
+	for trial := 0; trial < 20; trial++ {
+		perLayer := []int{r.Intn(s.Widths[0] + 1)}
+		p := fault.RandomNeuronPlan(r, dense, perLayer)
+		inputs := metrics.RandomPoints(r, 25, 10)
+		measured := fault.MaxError(dense, p, fault.Crash{}, inputs)
+		bound := core.CrashFep(s, perLayer)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: 2-D conv crash error %v exceeds bound %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestValidate2DCatchesBadNets(t *testing.T) {
+	good := hand2D()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := hand2D()
+	bad.Output = []float64{1}
+	if bad.Validate() == nil {
+		t.Fatal("short output accepted")
+	}
+	bad2 := hand2D()
+	bad2.Layers[0].Field = 5
+	if bad2.Validate() == nil {
+		t.Fatal("oversized field accepted")
+	}
+	bad3 := hand2D()
+	bad3.Layers[0].Bias = []float64{1, 2}
+	if bad3.Validate() == nil {
+		t.Fatal("bias arity accepted")
+	}
+}
+
+func TestNewRandom2DRejectsShrinkage(t *testing.T) {
+	r := rng.New(4)
+	if _, err := NewRandom2D(r, 3, 3, []int{3, 3}, []int{1, 1}, activation.NewSigmoid(1), 0.5, false); err == nil {
+		t.Fatal("map shrinking below 1x1 accepted")
+	}
+	if _, err := NewRandom2D(r, 3, 3, []int{2}, []int{1, 2}, activation.NewSigmoid(1), 0.5, false); err == nil {
+		t.Fatal("mismatched config accepted")
+	}
+}
+
+func TestMultiChannelKernelShapes(t *testing.T) {
+	r := rng.New(5)
+	n, err := NewRandom2D(r, 6, 6, []int{3, 2}, []int{4, 2}, activation.NewSigmoid(1), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 2 consumes 4 channels with 2x2 windows: R(l) = 16.
+	if n.Layers[1].ReceptiveField() != 16 {
+		t.Fatalf("layer 2 R(l) = %d, want 16", n.Layers[1].ReceptiveField())
+	}
+	if n.Layers[1].InChannels() != 4 {
+		t.Fatal("channel chaining broken")
+	}
+}

@@ -1,0 +1,213 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// handConv: input width 4, one layer, 2 filters of field 3, identity
+// activation: outputs are [k1·x[0:3], k1·x[1:4], k2·x[0:3], k2·x[1:4]].
+func handConv() *Net {
+	return &Net{
+		InputWidth: 4,
+		Act:        activation.Identity{},
+		Layers: []Layer{{
+			Kernels: tensor.FromRows([][]float64{{1, 0, -1}, {0.5, 0.5, 0.5}}),
+		}},
+		Output: []float64{1, 1, 1, 1},
+	}
+}
+
+func TestForwardHandComputed(t *testing.T) {
+	n := handConv()
+	x := []float64{1, 2, 3, 4}
+	// Filter 1: [1*1+0*2-1*3, 1*2+0*3-1*4] = [-2, -2]
+	// Filter 2: [0.5*(1+2+3), 0.5*(2+3+4)] = [3, 4.5]
+	// Output: -2 - 2 + 3 + 4.5 = 3.5
+	got := n.Forward(x)
+	if math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("Forward = %v, want 3.5", got)
+	}
+}
+
+func TestWidths(t *testing.T) {
+	n := handConv()
+	w := n.Widths()
+	if len(w) != 1 || w[0] != 4 {
+		t.Fatalf("Widths = %v, want [4]", w)
+	}
+}
+
+func TestLowerMatchesDirectForward(t *testing.T) {
+	r := rng.New(1)
+	n, err := NewRandom(r, 12, []int{3, 2}, []int{2, 3}, activation.NewSigmoid(1), 0.8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 12)
+		r.Floats(x, 0, 1)
+		a := n.Forward(x)
+		b := dense.Forward(x)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("direct %v != lowered %v", a, b)
+		}
+	}
+}
+
+func TestLowerStructure(t *testing.T) {
+	n := handConv()
+	dense, err := Lower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dense.Hidden[0]
+	if m.Rows != 4 || m.Cols != 4 {
+		t.Fatalf("lowered layer is %dx%d", m.Rows, m.Cols)
+	}
+	// Row 0 = filter 1 at position 0: [1, 0, -1, 0].
+	want := []float64{1, 0, -1, 0}
+	if !tensor.EqualApprox(m.Row(0), want, 0) {
+		t.Fatalf("row 0 = %v, want %v", m.Row(0), want)
+	}
+	// Row 1 = filter 1 at position 1: [0, 1, 0, -1].
+	want = []float64{0, 1, 0, -1}
+	if !tensor.EqualApprox(m.Row(1), want, 0) {
+		t.Fatalf("row 1 = %v, want %v", m.Row(1), want)
+	}
+}
+
+func TestShapeUsesReceptiveFieldMax(t *testing.T) {
+	n := handConv()
+	s := Shape(n)
+	if s.MaxW[0] != 1 {
+		t.Fatalf("conv w_m = %v, want 1 (max kernel value)", s.MaxW[0])
+	}
+	if s.MaxW[1] != 1 {
+		t.Fatalf("output w_m = %v", s.MaxW[1])
+	}
+	// The lowered dense network must agree: zeros never raise the max.
+	dense, _ := Lower(n)
+	ds := core.ShapeOf(dense)
+	for i := range s.MaxW {
+		if math.Abs(s.MaxW[i]-ds.MaxW[i]) > 1e-15 {
+			t.Fatalf("conv shape MaxW[%d]=%v != lowered %v", i, s.MaxW[i], ds.MaxW[i])
+		}
+	}
+}
+
+func TestShapeWithSharedBias(t *testing.T) {
+	n := handConv()
+	n.Layers[0].Bias = []float64{5, 0}
+	s := Shape(n)
+	if s.MaxW[0] != 5 {
+		t.Fatalf("bias should enter w_m: got %v", s.MaxW[0])
+	}
+}
+
+func TestValidateCatchesBadNets(t *testing.T) {
+	bad := []*Net{
+		{InputWidth: 0, Act: activation.Identity{}, Layers: []Layer{{Kernels: tensor.NewMatrix(1, 1)}}, Output: []float64{1}},
+		{InputWidth: 2, Act: activation.Identity{}, Output: []float64{1}},
+		{InputWidth: 2, Act: activation.Identity{}, Layers: []Layer{{Kernels: tensor.NewMatrix(1, 5)}}, Output: []float64{1}},
+		{InputWidth: 4, Act: activation.Identity{}, Layers: []Layer{{Kernels: tensor.NewMatrix(1, 3)}}, Output: []float64{1, 1, 1}},
+	}
+	for i, n := range bad {
+		if n.Validate() == nil {
+			t.Fatalf("bad net %d accepted", i)
+		}
+	}
+}
+
+func TestFaultBoundsApplyToLoweredConv(t *testing.T) {
+	// End-to-end Section VI check: crash faults injected into the lowered
+	// conv net stay within CrashFep computed from the receptive-field
+	// shape.
+	r := rng.New(2)
+	n, err := NewRandom(r, 10, []int{3}, []int{2}, activation.NewSigmoid(1), 0.6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Shape(n)
+	for trial := 0; trial < 30; trial++ {
+		perLayer := []int{r.Intn(s.Widths[0] + 1)}
+		p := fault.RandomNeuronPlan(r, dense, perLayer)
+		inputs := metrics.RandomPoints(r, 10, 20)
+		measured := fault.MaxError(dense, p, fault.Crash{}, inputs)
+		bound := core.CrashFep(s, perLayer)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: conv crash error %v exceeds receptive-field CrashFep %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestFaultBudgetAdvantage(t *testing.T) {
+	// Start from the lowered conv net and untie one DOWNSTREAM weight
+	// (weights into layer 2 or beyond are the ones that propagate
+	// layer-1 faults): the untied dense variant has a larger w_m there,
+	// so its Fep must exceed the conv net's.
+	r := rng.New(3)
+	convNet, err := NewRandom(r, 8, []int{3, 2}, []int{2, 2}, activation.NewSigmoid(1), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower(convNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense.Hidden[1].Set(0, 0, 3.0) // an untied outlier a free dense layer could learn
+	adv := FaultBudgetAdvantage(convNet, dense, 1)
+	if adv <= 1 {
+		t.Fatalf("expected conv advantage > 1, got %v", adv)
+	}
+	// Identical weights give ratio exactly 1.
+	same, _ := Lower(convNet)
+	if got := FaultBudgetAdvantage(convNet, same, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical nets should have advantage 1, got %v", got)
+	}
+}
+
+func TestNewRandomRejectsBadConfig(t *testing.T) {
+	r := rng.New(4)
+	if _, err := NewRandom(r, 4, []int{3, 3}, []int{2}, activation.NewSigmoid(1), 1, false); err == nil {
+		t.Fatal("mismatched fields/filters accepted")
+	}
+	if _, err := NewRandom(r, 2, []int{5}, []int{1}, activation.NewSigmoid(1), 1, false); err == nil {
+		t.Fatal("field larger than input accepted")
+	}
+}
+
+func TestBiasLoweringSharesValues(t *testing.T) {
+	r := rng.New(5)
+	n, err := NewRandom(r, 6, []int{3}, []int{2}, activation.NewSigmoid(1), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Lower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := 6 - 3 + 1
+	for f := 0; f < 2; f++ {
+		for p := 0; p < positions; p++ {
+			if dense.Biases[0][f*positions+p] != n.Layers[0].Bias[f] {
+				t.Fatal("bias not shared across positions in lowering")
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package conv
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Grads mirrors a conv net's parameters: per-layer kernel and bias
+// gradients plus the output weights'.
+type Grads struct {
+	Kernels []*tensor.Matrix
+	Bias    [][]float64
+	Output  []float64
+}
+
+// NewGrads allocates zeroed gradients shaped like n.
+func NewGrads(n *Net) *Grads {
+	g := &Grads{
+		Kernels: make([]*tensor.Matrix, len(n.Layers)),
+		Bias:    make([][]float64, len(n.Layers)),
+		Output:  make([]float64, len(n.Output)),
+	}
+	for i, l := range n.Layers {
+		g.Kernels[i] = tensor.NewMatrix(l.Filters(), l.Field())
+		if l.Bias != nil {
+			g.Bias[i] = make([]float64, l.Filters())
+		}
+	}
+	return g
+}
+
+// Zero clears the gradients in place.
+func (g *Grads) Zero() {
+	for _, k := range g.Kernels {
+		tensor.Fill(k.Data, 0)
+	}
+	for _, b := range g.Bias {
+		if b != nil {
+			tensor.Fill(b, 0)
+		}
+	}
+	tensor.Fill(g.Output, 0)
+}
+
+// Backprop accumulates the gradient of 0.5(out-y)^2 for one example into
+// g, with weight sharing handled natively: each kernel value receives the
+// summed gradient over every position it is tied to. Returns the squared
+// error.
+func Backprop(n *Net, x []float64, y float64, g *Grads) float64 {
+	L := len(n.Layers)
+	// Forward with caches.
+	sums := make([][]float64, L)
+	outs := make([][]float64, L)
+	widths := make([]int, L+1)
+	widths[0] = n.InputWidth
+	cur := x
+	for li, l := range n.Layers {
+		positions := len(cur) - l.Field() + 1
+		s := make([]float64, l.Filters()*positions)
+		for f := 0; f < l.Filters(); f++ {
+			kernel := l.Kernels.Row(f)
+			for p := 0; p < positions; p++ {
+				acc := 0.0
+				for i, w := range kernel {
+					acc += w * cur[p+i]
+				}
+				if l.Bias != nil {
+					acc += l.Bias[f]
+				}
+				s[f*positions+p] = acc
+			}
+		}
+		sums[li] = s
+		o := make([]float64, len(s))
+		for j := range s {
+			o[j] = n.Act.Eval(s[j])
+		}
+		outs[li] = o
+		widths[li+1] = len(o)
+		cur = o
+	}
+	out := 0.0
+	for i, w := range n.Output {
+		out += w * cur[i]
+	}
+	diff := out - y
+
+	// Output gradient and last-layer delta (w.r.t. sums).
+	tensor.Axpy(diff, cur, g.Output)
+	delta := make([]float64, len(cur))
+	for j := range delta {
+		delta[j] = diff * n.Output[j] * n.Act.Deriv(sums[L-1][j])
+	}
+
+	for li := L - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		prev := x
+		if li > 0 {
+			prev = outs[li-1]
+		}
+		positions := len(prev) - l.Field() + 1
+		// Tied kernel gradients: sum over positions.
+		for f := 0; f < l.Filters(); f++ {
+			kRow := g.Kernels[li].Row(f)
+			for p := 0; p < positions; p++ {
+				d := delta[f*positions+p]
+				if d == 0 {
+					continue
+				}
+				for i := range kRow {
+					kRow[i] += d * prev[p+i]
+				}
+				if g.Bias[li] != nil {
+					g.Bias[li][f] += d
+				}
+			}
+		}
+		if li == 0 {
+			break
+		}
+		// Delta for the previous layer's outputs, then through ϕ'.
+		prevDelta := make([]float64, len(prev))
+		for f := 0; f < l.Filters(); f++ {
+			kernel := l.Kernels.Row(f)
+			for p := 0; p < positions; p++ {
+				d := delta[f*positions+p]
+				if d == 0 {
+					continue
+				}
+				for i, w := range kernel {
+					prevDelta[p+i] += w * d
+				}
+			}
+		}
+		for j := range prevDelta {
+			prevDelta[j] *= n.Act.Deriv(sums[li-1][j])
+		}
+		delta = prevDelta
+	}
+	return diff * diff
+}
+
+// TrainConfig controls conv SGD.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+}
+
+// Train runs minibatch SGD on the conv net (mutated in place) against a
+// supervised sample and returns the final MSE. Weight sharing is
+// preserved exactly: kernels move by their tied gradients.
+func Train(n *Net, xs [][]float64, ys []float64, cfg TrainConfig) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("conv: bad dataset")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	r := rng.New(cfg.Seed + 0x51ed270b)
+	g := NewGrads(n)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			g.Zero()
+			for _, idx := range order[start:end] {
+				Backprop(n, xs[idx], ys[idx], g)
+			}
+			scale := cfg.LR / float64(end-start)
+			for li := range n.Layers {
+				tensor.Axpy(-scale, g.Kernels[li].Data, n.Layers[li].Kernels.Data)
+				if n.Layers[li].Bias != nil && g.Bias[li] != nil {
+					tensor.Axpy(-scale, g.Bias[li], n.Layers[li].Bias)
+				}
+			}
+			tensor.Axpy(-scale, g.Output, n.Output)
+		}
+	}
+	mse := 0.0
+	for i, x := range xs {
+		d := n.Forward(x) - ys[i]
+		mse += d * d
+	}
+	return mse / float64(len(xs))
+}

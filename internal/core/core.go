@@ -1,0 +1,421 @@
+// Package core implements the paper's primary contribution: the Forward
+// Error Propagation quantity Fep (Theorem 2) and the fault-tolerance
+// bounds built on it — Theorem 1 (single-layer crashes), Theorem 3
+// (multilayer Byzantine neurons), Theorem 4 (Byzantine synapses, via
+// Lemma 2), Theorem 5 (per-neuron implementation error, e.g. reduced
+// precision), Lemma 1 (unbounded transmission), and Corollaries 1-2
+// (reduced over-provisioning and the boosting signal counts).
+//
+// All bounds are pure functions of a Shape: the per-layer widths N_l, the
+// per-layer maximal absolute weights w_m^{(l)}, and the Lipschitz constant
+// K of the activation. Computing a bound costs O(L) — the point the paper
+// makes against experimentally assessing robustness over the combinatorial
+// explosion of failure configurations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Shape captures the topology parameters every bound depends on.
+type Shape struct {
+	// Widths holds N_1..N_L, the neurons per hidden layer.
+	Widths []int
+	// MaxW holds w_m^{(1)}..w_m^{(L+1)}: MaxW[l-1] is the maximum
+	// absolute weight of the synapses into layer l; the last entry is
+	// the output synapses.
+	MaxW []float64
+	// K is the Lipschitz constant of the activation function.
+	K float64
+	// ActCap is sup|ϕ|, the largest value a correct neuron can emit
+	// (1 for sigmoid and tanh). It replaces the capacity C in the crash
+	// case of Theorem 3.
+	ActCap float64
+}
+
+// ShapeOf extracts the Shape of a network.
+func ShapeOf(n *nn.Network) Shape {
+	actCap := math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max()))
+	return Shape{
+		Widths: n.Widths(),
+		MaxW:   n.MaxWeights(),
+		K:      n.Act.Lipschitz(),
+		ActCap: actCap,
+	}
+}
+
+// Layers returns L.
+func (s Shape) Layers() int { return len(s.Widths) }
+
+// Validate reports structural problems with the shape.
+func (s Shape) Validate() error {
+	if len(s.Widths) == 0 {
+		return fmt.Errorf("core: shape has no layers")
+	}
+	if len(s.MaxW) != len(s.Widths)+1 {
+		return fmt.Errorf("core: shape has %d weight maxima for %d layers (want L+1)", len(s.MaxW), len(s.Widths))
+	}
+	for l, w := range s.Widths {
+		if w <= 0 {
+			return fmt.Errorf("core: layer %d has width %d", l+1, w)
+		}
+	}
+	for l, w := range s.MaxW {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("core: w_m^{(%d)} = %v", l+1, w)
+		}
+	}
+	if s.K <= 0 || math.IsNaN(s.K) {
+		return fmt.Errorf("core: Lipschitz constant %v", s.K)
+	}
+	return nil
+}
+
+// checkFaults validates a per-layer fault distribution against the shape.
+func (s Shape) checkFaults(faults []int) {
+	if len(faults) != s.Layers() {
+		panic(fmt.Sprintf("core: fault distribution has %d entries for %d layers", len(faults), s.Layers()))
+	}
+	for l, f := range faults {
+		if f < 0 || f > s.Widths[l] {
+			panic(fmt.Sprintf("core: f_%d = %d outside [0, N_%d=%d]", l+1, f, l+1, s.Widths[l]))
+		}
+	}
+}
+
+// suffixProducts returns suffix[l] = Π_{l'=l+1..L+1} (N_{l'} - f_{l'}) ·
+// w_m^{(l')} for l = 0..L+1, with the paper's convention N_{L+1} = 1,
+// f_{L+1} = 0 (the output node). suffix[L+1] = 1; suffix[L] = w_m^{(L+1)}.
+// Indexing: suffix[l] is the propagation factor applied to an error
+// leaving layer l.
+func (s Shape) suffixProducts(faults []int) []float64 {
+	L := s.Layers()
+	suffix := make([]float64, L+2)
+	suffix[L+1] = 1
+	// Output node: (N_{L+1} - f_{L+1}) w_m^{(L+1)} = w_m^{(L+1)}.
+	suffix[L] = s.MaxW[L]
+	for l := L - 1; l >= 0; l-- {
+		factor := float64(s.Widths[l]-faults[l]) * s.MaxW[l]
+		suffix[l] = factor * suffix[l+1]
+	}
+	return suffix
+}
+
+// FepGeneral is Theorem 2 generalised to per-layer error magnitudes: if
+// f_l neurons of layer l each broadcast y + λ with |λ| <= mags[l-1], then
+// the output deviates by at most
+//
+//	Σ_{l=1..L} f_l · mags_l · K^{L-l} · Π_{l'=l+1..L+1} (N_{l'}-f_{l'}) w_m^{(l')}.
+//
+// The paper's Fep is the special case mags_l = C for all l.
+func FepGeneral(s Shape, faults []int, mags []float64) float64 {
+	s.checkFaults(faults)
+	if len(mags) != s.Layers() {
+		panic("core: FepGeneral magnitude vector length mismatch")
+	}
+	L := s.Layers()
+	suffix := s.suffixProducts(faults)
+	total := 0.0
+	for l := 1; l <= L; l++ {
+		if faults[l-1] == 0 || mags[l-1] == 0 {
+			continue
+		}
+		term := float64(faults[l-1]) * mags[l-1] * math.Pow(s.K, float64(L-l)) * suffix[l]
+		total += term
+	}
+	return total
+}
+
+// Fep computes the Forward Error Propagation of Theorem 2 for Byzantine
+// neurons whose output deviation is bounded by c per neuron:
+//
+//	Fep = c Σ_{l=1..L} f_l K^{L-l} Π_{l'=l+1..L+1} (N_{l'}-f_{l'}) w_m^{(l')}.
+func Fep(s Shape, faults []int, c float64) float64 {
+	if c < 0 {
+		panic("core: negative capacity")
+	}
+	mags := make([]float64, s.Layers())
+	for i := range mags {
+		mags[i] = c
+	}
+	return FepGeneral(s, faults, mags)
+}
+
+// CrashFep is the crash case of Theorem 3: the deviation of a crashed
+// neuron is bounded by the maximum of the activation function, so C is
+// replaced by ActCap (Section IV-B).
+func CrashFep(s Shape, faults []int) float64 {
+	return Fep(s, faults, s.ActCap)
+}
+
+// CapSemantics selects how the synaptic capacity bounds a Byzantine value.
+type CapSemantics int
+
+const (
+	// DeviationCap bounds |transmitted - nominal| <= C. This is what the
+	// algebra of Theorem 2 controls, and what the measured-vs-bound
+	// invariant tests use.
+	DeviationCap CapSemantics = iota
+	// TransmissionCap bounds |transmitted| <= C verbatim from
+	// Assumption 1. Since nominal outputs satisfy |y| <= ActCap, the
+	// worst-case deviation is C + ActCap.
+	TransmissionCap
+)
+
+// EffectiveDeviation converts a capacity under the given semantics into
+// the per-neuron deviation bound fed into Fep.
+func EffectiveDeviation(c float64, sem CapSemantics, actCap float64) float64 {
+	if sem == TransmissionCap {
+		return c + actCap
+	}
+	return c
+}
+
+// Theorem1MaxCrashes returns the largest Nfail with Nfail <= (ε-ε')/wm,
+// the single-layer crash tolerance of Theorem 1. wm is the maximal output
+// weight. It returns 0 when eps < epsPrime or wm = 0 cannot be divided
+// (wm = 0 means every weight is zero: then infinitely many crashes are
+// tolerated and the function returns the layer-size-free math.MaxInt).
+func Theorem1MaxCrashes(eps, epsPrime, wm float64) int {
+	if eps < epsPrime {
+		return 0
+	}
+	if wm == 0 {
+		return math.MaxInt
+	}
+	n := math.Floor((eps - epsPrime) / wm)
+	if n < 0 {
+		return 0
+	}
+	if n > float64(math.MaxInt32) {
+		return math.MaxInt32
+	}
+	return int(n)
+}
+
+// Theorem1ErrorBound returns the guaranteed output accuracy after nFail
+// single-layer crashes: ε' + nFail·wm (the quantity compared against ε in
+// the proof of Theorem 1).
+func Theorem1ErrorBound(epsPrime, wm float64, nFail int) float64 {
+	return epsPrime + float64(nFail)*wm
+}
+
+// Tolerates is Theorem 3: the Byzantine distribution faults (per-neuron
+// deviation <= c) is tolerated by an ε'-approximation that must remain an
+// ε-approximation iff Fep <= ε - ε'.
+func Tolerates(s Shape, faults []int, c, eps, epsPrime float64) bool {
+	if eps < epsPrime {
+		return false
+	}
+	return Fep(s, faults, c) <= eps-epsPrime
+}
+
+// CrashTolerates is the crash case of Theorem 3.
+func CrashTolerates(s Shape, faults []int, eps, epsPrime float64) bool {
+	return Tolerates(s, faults, s.ActCap, eps, epsPrime)
+}
+
+// SynapseFep bounds the output deviation caused by Byzantine synapses via
+// the Lemma 2 reduction: an error bounded by c at a synapse into hidden
+// layer l becomes, after the K-Lipschitz squashing, an error of at most
+// K·c at the receiving neuron's output, and an error at a synapse into
+// the output node adds at most c directly. Unlike neuron failures, the
+// receiving neurons remain CORRECT — they still propagate upstream errors
+// — so the propagation products run over the full layer widths:
+//
+//	SynapseFep = c [ Σ_{l=1..L} f_l K^{L+1-l} Π_{l'=l+1..L+1} N_{l'} w_m^{(l')} + f_{L+1} ].
+//
+// faults[l-1] counts failing synapses into layer l for l = 1..L+1 (the
+// last entry is the output synapses). Several faults may hit the same
+// receiving neuron; errors add inside its sum before the single
+// K-Lipschitz squashing, so the bound is linear in f_l either way.
+func SynapseFep(s Shape, faults []int, c float64) float64 {
+	L := s.Layers()
+	if len(faults) != L+1 {
+		panic(fmt.Sprintf("core: synapse distribution has %d entries, want L+1 = %d", len(faults), L+1))
+	}
+	if c < 0 {
+		panic("core: negative capacity")
+	}
+	for _, f := range faults {
+		if f < 0 {
+			panic("core: negative synapse fault count")
+		}
+	}
+	// Full-width suffix products: suffix[l] = Π_{l'=l..L+1} N_{l'} w_m^{(l')}
+	// with N_{L+1} = 1.
+	suffix := make([]float64, L+3)
+	suffix[L+2] = 1
+	suffix[L+1] = s.MaxW[L]
+	for l := L; l >= 1; l-- {
+		suffix[l] = float64(s.Widths[l-1]) * s.MaxW[l-1] * suffix[l+1]
+	}
+	total := 0.0
+	for l := 1; l <= L; l++ {
+		if faults[l-1] == 0 {
+			continue
+		}
+		total += float64(faults[l-1]) * math.Pow(s.K, float64(L+1-l)) * suffix[l+1]
+	}
+	total += float64(faults[L])
+	return c * total
+}
+
+// SynapseFepPaper is the verbatim Theorem 4 expression,
+//
+//	C Σ_{l=1..L+1} f_l K^{L+1-l} w_m^{(l)} Π_{l'=l+1..L+1} (N_{l'}-f_{l'}) w_m^{(l')},
+//
+// which carries an extra w_m^{(l)} factor relative to the Lemma 2
+// reduction (the paper's L+1-network construction places the faulty
+// synapse before the weight multiplication). It is provided to reproduce
+// the paper's numbers; SynapseFep is the sound bound under the deviation
+// semantics used by the fault injector. The Π factor uses the convention
+// that f_{l'} counts faults at layer l' as in Theorem 3; entries beyond
+// the layer width are clamped so the product never goes negative.
+func SynapseFepPaper(s Shape, faults []int, c float64) float64 {
+	L := s.Layers()
+	if len(faults) != L+1 {
+		panic(fmt.Sprintf("core: synapse distribution has %d entries, want L+1 = %d", len(faults), L+1))
+	}
+	// Effective per-layer (N - f) factors, clamped at zero.
+	nf := make([]float64, L+2) // index by layer 1..L+1
+	for l := 1; l <= L; l++ {
+		v := float64(s.Widths[l-1] - faults[l-1])
+		if v < 0 {
+			v = 0
+		}
+		nf[l] = v
+	}
+	nf[L+1] = math.Max(0, float64(1-faults[L]))
+	// Suffix products Π_{l'=l..L+1} nf[l'] w_m^{(l')}.
+	suffix := make([]float64, L+3)
+	suffix[L+2] = 1
+	for l := L + 1; l >= 1; l-- {
+		suffix[l] = nf[l] * s.MaxW[l-1] * suffix[l+1]
+	}
+	total := 0.0
+	for l := 1; l <= L+1; l++ {
+		if faults[l-1] == 0 {
+			continue
+		}
+		term := float64(faults[l-1]) * math.Pow(s.K, float64(L+1-l)) * s.MaxW[l-1] * suffix[l+1]
+		total += term
+	}
+	return c * total
+}
+
+// SynapseTolerates is Theorem 4's tolerance condition under the Lemma 2
+// reduction.
+func SynapseTolerates(s Shape, faults []int, c, eps, epsPrime float64) bool {
+	if eps < epsPrime {
+		return false
+	}
+	return SynapseFep(s, faults, c) <= eps-epsPrime
+}
+
+// PrecisionBound is Theorem 5: if the implementation induces an error of
+// at most lambda[l-1] at every neuron of layer l, the output deviates by
+// at most
+//
+//	Σ_{l=1..L} K^{L-l} λ_l Π_{l'=l..L} N_{l'} w_m^{(l'+1)}.
+func PrecisionBound(s Shape, lambda []float64) float64 {
+	L := s.Layers()
+	if len(lambda) != L {
+		panic(fmt.Sprintf("core: lambda has %d entries for %d layers", len(lambda), L))
+	}
+	// Suffix products Π_{l'=l..L} N_{l'} w_m^{(l'+1)} indexed by l.
+	suffix := make([]float64, L+2)
+	suffix[L+1] = 1
+	for l := L; l >= 1; l-- {
+		suffix[l] = float64(s.Widths[l-1]) * s.MaxW[l] * suffix[l+1]
+	}
+	total := 0.0
+	for l := 1; l <= L; l++ {
+		if lambda[l-1] < 0 {
+			panic("core: negative lambda")
+		}
+		total += math.Pow(s.K, float64(L-l)) * lambda[l-1] * suffix[l]
+	}
+	return total
+}
+
+// LayerTerm returns layer l's contribution to Fep (1-indexed): the
+// marginal forward error propagated from that layer's faults. Useful to
+// see the K^{L-l} depth dependency in isolation.
+func LayerTerm(s Shape, faults []int, c float64, l int) float64 {
+	s.checkFaults(faults)
+	if l < 1 || l > s.Layers() {
+		panic("core: LayerTerm layer out of range")
+	}
+	suffix := s.suffixProducts(faults)
+	return c * float64(faults[l-1]) * math.Pow(s.K, float64(s.Layers()-l)) * suffix[l]
+}
+
+// RequiredSignals is Corollary 2: given a tolerated crash distribution
+// faults, consumers of layer l's outputs (layer l+1, or the output node
+// for l = L) need to wait for only N_l - f_l signals before proceeding,
+// treating the stragglers as crashed. The returned slice is indexed like
+// faults (entry l-1 is for layer l).
+func RequiredSignals(s Shape, faults []int) []int {
+	s.checkFaults(faults)
+	out := make([]int, s.Layers())
+	for l, f := range faults {
+		out[l] = s.Widths[l] - f
+	}
+	return out
+}
+
+// UniformWeightFor is the constructive side of Corollary 1: the largest
+// uniform per-layer weight bound w such that a network with the given
+// widths and all |weights| <= w tolerates the fault distribution with
+// per-neuron deviation c and accuracy slack budget = ε - ε'. Found by
+// bisection (Fep is monotone increasing in uniform w). Returns 0 if even
+// w -> 0 fails (only possible for budget < 0).
+func UniformWeightFor(widths []int, faults []int, k, c, budget float64) float64 {
+	if budget < 0 {
+		return 0
+	}
+	if budget == 0 {
+		return 0
+	}
+	shapeFor := func(w float64) Shape {
+		mw := make([]float64, len(widths)+1)
+		for i := range mw {
+			mw[i] = w
+		}
+		return Shape{Widths: widths, MaxW: mw, K: k, ActCap: 1}
+	}
+	feasible := func(w float64) bool {
+		return Fep(shapeFor(w), faults, c) <= budget
+	}
+	// Exponential search for an infeasible upper bracket.
+	lo, hi := 0.0, 1.0
+	for feasible(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1e12 {
+			return hi // any realistic weight is tolerated
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TotalFaults sums a distribution.
+func TotalFaults(faults []int) int {
+	t := 0
+	for _, f := range faults {
+		t += f
+	}
+	return t
+}

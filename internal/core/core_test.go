@@ -1,0 +1,458 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// handShape is the worked example used throughout:
+// L = 2, N = (2, 3), w_m = (0.5, 1.5, 2.0), K = 2, ActCap = 1.
+func handShape() Shape {
+	return Shape{
+		Widths: []int{2, 3},
+		MaxW:   []float64{0.5, 1.5, 2.0},
+		K:      2,
+		ActCap: 1,
+	}
+}
+
+func TestFepHandExpanded(t *testing.T) {
+	s := handShape()
+	// faults = (1, 2), C = 1.5.
+	// suffix after output: w_m^{(3)} = 2.0
+	// term l=2: f2 * K^0 * 2.0 = 2 * 2.0 = 4.0
+	// term l=1: f1 * K^1 * (N2-f2) w_m^{(2)} * 2.0 = 1*2*(1*1.5)*2.0 = 6.0
+	// Fep = 1.5 * 10.0 = 15.0
+	got := Fep(s, []int{1, 2}, 1.5)
+	if math.Abs(got-15.0) > 1e-12 {
+		t.Fatalf("Fep = %v, want 15.0", got)
+	}
+}
+
+func TestFepSingleLayerReducesToTheorem1Form(t *testing.T) {
+	// For L = 1 and crash case (c = ActCap = 1), Fep = f * w_m^{(2)},
+	// exactly the error term of Theorem 1's proof (Inequality 7).
+	s := Shape{Widths: []int{10}, MaxW: []float64{3, 0.7}, K: 5, ActCap: 1}
+	for f := 0; f <= 10; f++ {
+		got := CrashFep(s, []int{f})
+		want := float64(f) * 0.7
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("f=%d: CrashFep=%v want %v", f, got, want)
+		}
+	}
+}
+
+func TestFepZeroFaults(t *testing.T) {
+	if Fep(handShape(), []int{0, 0}, 10) != 0 {
+		t.Fatal("Fep with no faults must be 0")
+	}
+}
+
+func TestFepDepthDependencyExponentialInK(t *testing.T) {
+	// A single fault at layer l of an L-layer uniform shape contributes
+	// proportionally to K^{L-l}: deeper (earlier) faults hurt more for
+	// K > 1 (Theorem 2's "effect increases exponentially with depth").
+	L := 5
+	widths := make([]int, L)
+	maxw := make([]float64, L+1)
+	for i := range widths {
+		widths[i] = 4
+	}
+	for i := range maxw {
+		maxw[i] = 1
+	}
+	s := Shape{Widths: widths, MaxW: maxw, K: 2, ActCap: 1}
+	var terms []float64
+	for l := 1; l <= L; l++ {
+		faults := make([]int, L)
+		faults[l-1] = 1
+		terms = append(terms, Fep(s, faults, 1))
+	}
+	for i := 0; i+1 < len(terms); i++ {
+		// Moving the fault one layer earlier multiplies the bound by
+		// K * (N_{l+1} - 0) * w = 2 * 4 = 8.
+		ratio := terms[i] / terms[i+1]
+		if math.Abs(ratio-8) > 1e-9 {
+			t.Fatalf("depth ratio at layer %d = %v, want 8", i+1, ratio)
+		}
+	}
+}
+
+func TestFepMonotoneInCapacityKWeights(t *testing.T) {
+	s := handShape()
+	faults := []int{1, 1}
+	base := Fep(s, faults, 1)
+	if Fep(s, faults, 2) <= base {
+		t.Fatal("Fep not monotone in C")
+	}
+	s2 := handShape()
+	s2.K = 3
+	if Fep(s2, faults, 1) <= base {
+		t.Fatal("Fep not monotone in K")
+	}
+	s3 := handShape()
+	s3.MaxW[1] = 2.5
+	if Fep(s3, faults, 1) <= base {
+		t.Fatal("Fep not monotone in w_m")
+	}
+}
+
+func TestFepMonotoneInSingleLayerFaults(t *testing.T) {
+	s := handShape()
+	prev := -1.0
+	for f := 0; f <= 3; f++ {
+		v := Fep(s, []int{0, f}, 1)
+		if v <= prev {
+			t.Fatalf("Fep not strictly increasing in f at layer 2: f=%d", f)
+		}
+		prev = v
+	}
+}
+
+func TestFepNonMonotoneAcrossLayers(t *testing.T) {
+	// Documented subtlety: failing a neuron in a later layer removes it
+	// from the propagation factor (N-f) of earlier faults, so Fep can
+	// DECREASE when a fault is added. Construct such a case:
+	// big earlier fault, small later weights.
+	s := Shape{Widths: []int{10, 10}, MaxW: []float64{1, 1, 0.001}, K: 1, ActCap: 1}
+	withoutLater := Fep(s, []int{10, 0}, 1)
+	withLater := Fep(s, []int{10, 1}, 1)
+	if withLater >= withoutLater {
+		t.Fatalf("expected non-monotonicity: %v >= %v", withLater, withoutLater)
+	}
+}
+
+func TestFepPanicsOnBadInput(t *testing.T) {
+	s := handShape()
+	for _, fn := range []func(){
+		func() { Fep(s, []int{1}, 1) },                      // wrong length
+		func() { Fep(s, []int{-1, 0}, 1) },                  // negative
+		func() { Fep(s, []int{0, 4}, 1) },                   // exceeds width
+		func() { Fep(s, []int{0, 0}, -1) },                  // negative capacity
+		func() { FepGeneral(s, []int{0, 0}, []float64{1}) }, // mags length
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShapeOf(t *testing.T) {
+	r := rng.New(1)
+	net := nn.NewRandom(r, nn.Config{InputDim: 3, Widths: []int{4, 2}, Act: activation.NewSigmoid(1.5)}, 1)
+	s := ShapeOf(net)
+	if s.K != 1.5 || s.ActCap != 1 {
+		t.Fatalf("ShapeOf K=%v ActCap=%v", s.K, s.ActCap)
+	}
+	if len(s.Widths) != 2 || s.Widths[0] != 4 || s.Widths[1] != 2 {
+		t.Fatalf("ShapeOf widths %v", s.Widths)
+	}
+	if len(s.MaxW) != 3 {
+		t.Fatalf("ShapeOf MaxW %v", s.MaxW)
+	}
+	for l := 1; l <= 3; l++ {
+		if s.MaxW[l-1] != net.MaxWeight(l) {
+			t.Fatalf("MaxW[%d] mismatch", l-1)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	bad := []Shape{
+		{},
+		{Widths: []int{2}, MaxW: []float64{1}, K: 1},
+		{Widths: []int{0}, MaxW: []float64{1, 1}, K: 1},
+		{Widths: []int{2}, MaxW: []float64{1, -1}, K: 1},
+		{Widths: []int{2}, MaxW: []float64{1, 1}, K: 0},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("bad shape %d accepted", i)
+		}
+	}
+}
+
+func TestTheorem1MaxCrashes(t *testing.T) {
+	if got := Theorem1MaxCrashes(0.5, 0.1, 0.1); got != 4 {
+		t.Fatalf("Theorem1MaxCrashes = %d, want 4", got)
+	}
+	if got := Theorem1MaxCrashes(0.1, 0.5, 0.1); got != 0 {
+		t.Fatal("eps < eps' should tolerate 0")
+	}
+	if got := Theorem1MaxCrashes(0.5, 0.1, 0); got != math.MaxInt {
+		t.Fatal("zero weights should tolerate everything")
+	}
+	// Exactly at the boundary: (0.4 - 0.2) / 0.2 = 1 (within float fuzz).
+	got := Theorem1MaxCrashes(0.4, 0.2, 0.2)
+	if got != 1 && got != 0 {
+		t.Fatalf("boundary case = %d", got)
+	}
+}
+
+func TestTheorem1ErrorBound(t *testing.T) {
+	if Theorem1ErrorBound(0.1, 0.05, 3) != 0.25 {
+		t.Fatal("Theorem1ErrorBound wrong")
+	}
+}
+
+func TestToleratesConsistentWithFep(t *testing.T) {
+	s := handShape()
+	faults := []int{1, 1}
+	f := Fep(s, faults, 1)
+	if !Tolerates(s, faults, 1, f+0.01, 0.0) {
+		t.Fatal("should tolerate with slack above Fep")
+	}
+	if Tolerates(s, faults, 1, f-0.01, 0.0) {
+		t.Fatal("should not tolerate with slack below Fep")
+	}
+	if Tolerates(s, faults, 1, 0.1, 0.2) {
+		t.Fatal("eps < eps' must never be tolerated")
+	}
+}
+
+func TestEffectiveDeviation(t *testing.T) {
+	if EffectiveDeviation(2, DeviationCap, 1) != 2 {
+		t.Fatal("DeviationCap should pass through")
+	}
+	if EffectiveDeviation(2, TransmissionCap, 1) != 3 {
+		t.Fatal("TransmissionCap should add ActCap")
+	}
+}
+
+func TestSynapseFepHandExpanded(t *testing.T) {
+	s := handShape() // K=2
+	// Synapse faults: 1 into layer 1, 0 into layer 2, 2 output synapses.
+	// Hidden part: neuron-equivalent error K*C = 2*1 = 2 at 1 neuron of
+	// layer 1: term = 1 * 2 * K^{2-1} * (N2-0) w2 * w3 = 2*2*4.5*... wait:
+	// FepGeneral: f1=1, mag=2, K^{L-1}=2, suffix(2) = (3-0)*1.5*2.0 = 9.
+	// term = 1*2*2*9 = 36. Output synapses: 2 * C = 2.
+	got := SynapseFep(s, []int{1, 0, 2}, 1)
+	want := 36.0 + 2.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SynapseFep = %v, want %v", got, want)
+	}
+}
+
+func TestSynapseFepMoreSynapsesThanNeurons(t *testing.T) {
+	// 5 faulty synapses into a 2-neuron layer must not be cheaper than 2.
+	s := Shape{Widths: []int{2}, MaxW: []float64{1, 1}, K: 1, ActCap: 1}
+	few := SynapseFep(s, []int{2, 0}, 1)
+	many := SynapseFep(s, []int{5, 0}, 1)
+	if many < few {
+		t.Fatalf("piling synapse faults reduced the bound: %v < %v", many, few)
+	}
+}
+
+func TestSynapseFepPaperFormula(t *testing.T) {
+	// Verbatim Theorem 4 on the hand shape, faults (1, 0, 0), C = 1:
+	// l=1 term: f1 K^{L+1-1} w_m^{(1)} Π_{l'=2..3}(N-f)w
+	//         = 1 * 2^2 * 0.5 * (3*1.5)*(1*2.0) = 4*0.5*9 = 18.
+	got := SynapseFepPaper(handShape(), []int{1, 0, 0}, 1)
+	if math.Abs(got-18) > 1e-12 {
+		t.Fatalf("SynapseFepPaper = %v, want 18", got)
+	}
+}
+
+func TestSynapseToleratesBoundary(t *testing.T) {
+	s := handShape()
+	faults := []int{1, 0, 0}
+	f := SynapseFep(s, faults, 1)
+	if !SynapseTolerates(s, faults, 1, f+0.01, 0) {
+		t.Fatal("should tolerate")
+	}
+	if SynapseTolerates(s, faults, 1, f-0.01, 0) {
+		t.Fatal("should not tolerate")
+	}
+}
+
+func TestPrecisionBoundHandExpanded(t *testing.T) {
+	s := handShape()
+	// lambda = (0.1, 0.2):
+	// l=1: K^{1} * 0.1 * (N1 w2)(N2 w3) = 2*0.1*(2*1.5)*(3*2.0) = 3.6
+	// l=2: K^{0} * 0.2 * (N2 w3) = 0.2*6 = 1.2
+	got := PrecisionBound(s, []float64{0.1, 0.2})
+	if math.Abs(got-4.8) > 1e-12 {
+		t.Fatalf("PrecisionBound = %v, want 4.8", got)
+	}
+}
+
+func TestPrecisionBoundMatchesFullLayerFep(t *testing.T) {
+	// Fep with every neuron of a single layer failing equals
+	// PrecisionBound with lambda concentrated at that layer — the two
+	// theorems share their propagation skeleton.
+	r := rng.New(5)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) + 99)
+		L := rr.Intn(3) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		for i := range widths {
+			widths[i] = rr.Intn(5) + 1
+		}
+		for i := range maxw {
+			maxw[i] = rr.Range(0.1, 2)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: rr.Range(0.2, 3), ActCap: 1}
+		layer := rr.Intn(L)
+		c := rr.Range(0.1, 2)
+
+		faults := make([]int, L)
+		faults[layer] = widths[layer]
+		fep := Fep(s, faults, c)
+
+		lambda := make([]float64, L)
+		lambda[layer] = c
+		pb := PrecisionBound(s, lambda)
+		return math.Abs(fep-pb) <= 1e-9*(fep+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestPrecisionBoundZero(t *testing.T) {
+	if PrecisionBound(handShape(), []float64{0, 0}) != 0 {
+		t.Fatal("zero lambdas must give zero bound")
+	}
+}
+
+func TestLayerTermsSumToFep(t *testing.T) {
+	s := handShape()
+	faults := []int{2, 1}
+	c := 1.3
+	sum := 0.0
+	for l := 1; l <= s.Layers(); l++ {
+		sum += LayerTerm(s, faults, c, l)
+	}
+	if math.Abs(sum-Fep(s, faults, c)) > 1e-12 {
+		t.Fatalf("layer terms sum %v != Fep %v", sum, Fep(s, faults, c))
+	}
+}
+
+func TestRequiredSignals(t *testing.T) {
+	s := handShape()
+	got := RequiredSignals(s, []int{1, 2})
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("RequiredSignals = %v", got)
+	}
+}
+
+func TestUniformWeightFor(t *testing.T) {
+	widths := []int{5, 5}
+	faults := []int{1, 1}
+	k, c, budget := 1.0, 1.0, 0.5
+	w := UniformWeightFor(widths, faults, k, c, budget)
+	if w <= 0 {
+		t.Fatal("expected positive feasible weight")
+	}
+	// At the returned weight the distribution must be tolerated...
+	mw := []float64{w, w, w}
+	s := Shape{Widths: widths, MaxW: mw, K: k, ActCap: 1}
+	if Fep(s, faults, c) > budget*(1+1e-9) {
+		t.Fatalf("returned weight infeasible: Fep=%v", Fep(s, faults, c))
+	}
+	// ...and 1% more must not be.
+	for i := range mw {
+		mw[i] = w * 1.01
+	}
+	s2 := Shape{Widths: widths, MaxW: mw, K: k, ActCap: 1}
+	if Fep(s2, faults, c) <= budget {
+		t.Fatal("bisection did not find the frontier")
+	}
+}
+
+func TestUniformWeightForDegenerate(t *testing.T) {
+	if UniformWeightFor([]int{3}, []int{1}, 1, 1, -1) != 0 {
+		t.Fatal("negative budget should give 0")
+	}
+	if UniformWeightFor([]int{3}, []int{0}, 1, 1, 0.5) < 1e11 {
+		t.Fatal("no faults should allow any weight")
+	}
+}
+
+func TestFepScalesLinearlyInCProperty(t *testing.T) {
+	f := func(seed uint16, scaleRaw uint8) bool {
+		rr := rng.New(uint64(seed))
+		L := rr.Intn(3) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		faults := make([]int, L)
+		for i := range widths {
+			widths[i] = rr.Intn(6) + 1
+			faults[i] = rr.Intn(widths[i] + 1)
+		}
+		for i := range maxw {
+			maxw[i] = rr.Range(0, 2)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: rr.Range(0.1, 4), ActCap: 1}
+		alpha := float64(scaleRaw%9) + 1
+		a := Fep(s, faults, 1)
+		b := Fep(s, faults, alpha)
+		return math.Abs(b-alpha*a) <= 1e-9*(b+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalFaults(t *testing.T) {
+	if TotalFaults([]int{1, 2, 3}) != 6 {
+		t.Fatal("TotalFaults wrong")
+	}
+}
+
+func TestFepAgainstBruteForceRecursion(t *testing.T) {
+	// Independent implementation of Theorem 2 by direct recursion over
+	// the induction in the paper's proof: E_{L+1} = f_{L+1} w C +
+	// (N_{L+1} - f_{L+1}) K E_L. Here expressed top-down per layer.
+	bruteFep := func(s Shape, faults []int, c float64) float64 {
+		L := s.Layers()
+		e := 0.0 // error entering the current layer's sums
+		for l := 1; l <= L; l++ {
+			// Errors at the outputs of layer l: faulty neurons emit
+			// deviation c; correct neurons squash the incoming error.
+			incoming := e // error in each neuron's received sum
+			correct := float64(s.Widths[l-1]-faults[l-1]) * s.K * incoming
+			faulty := float64(faults[l-1]) * c
+			// Each unit of output error is multiplied by at most the
+			// next weight bound when summed into the next layer.
+			e = (correct + faulty) * s.MaxW[l]
+		}
+		return e
+	}
+	r := rng.New(77)
+	for trial := 0; trial < 500; trial++ {
+		L := r.Intn(4) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		faults := make([]int, L)
+		for i := range widths {
+			widths[i] = r.Intn(5) + 1
+			faults[i] = r.Intn(widths[i] + 1)
+		}
+		for i := range maxw {
+			maxw[i] = r.Range(0, 2)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: r.Range(0.1, 3), ActCap: 1}
+		c := r.Range(0, 2)
+		a := Fep(s, faults, c)
+		b := bruteFep(s, faults, c)
+		if math.Abs(a-b) > 1e-9*(math.Abs(a)+1) {
+			t.Fatalf("trial %d: Fep=%v recursion=%v (shape %+v faults %v c %v)", trial, a, b, s, faults, c)
+		}
+	}
+}

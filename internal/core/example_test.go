@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The worked example of DESIGN.md: a 2-layer shape with one Byzantine
+// neuron in layer 1 and two in layer 2.
+func ExampleFep() {
+	shape := core.Shape{
+		Widths: []int{2, 3},              // N_1, N_2
+		MaxW:   []float64{0.5, 1.5, 2.0}, // w_m^{(1..3)}, last = output synapses
+		K:      2,                        // Lipschitz constant of ϕ
+		ActCap: 1,                        // sup |ϕ|
+	}
+	fep := core.Fep(shape, []int{1, 2}, 1.5)
+	fmt.Printf("Fep = %.1f\n", fep)
+	// Output: Fep = 15.0
+}
+
+func ExampleTheorem1MaxCrashes() {
+	// A single-layer network that ε'-approximates its target at 0.1 and
+	// must stay 0.5-accurate; its largest output weight is 0.1.
+	n := core.Theorem1MaxCrashes(0.5, 0.1, 0.1)
+	fmt.Printf("tolerated crashes: %d\n", n)
+	// Output: tolerated crashes: 4
+}
+
+func ExampleCrashTolerates() {
+	shape := core.Shape{
+		Widths: []int{8},
+		MaxW:   []float64{1.0, 0.05},
+		K:      1,
+		ActCap: 1,
+	}
+	// Two crashed neurons cost at most 2 x 0.05; with slack 0.15 the
+	// distribution is tolerated.
+	fmt.Println(core.CrashTolerates(shape, []int{2}, 0.25, 0.10))
+	fmt.Println(core.CrashTolerates(shape, []int{4}, 0.25, 0.10))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleRequiredSignals() {
+	shape := core.Shape{
+		Widths: []int{10, 8},
+		MaxW:   []float64{1, 0.1, 0.1},
+		K:      1,
+		ActCap: 1,
+	}
+	// With two tolerated faults per layer, consumers need only
+	// N_l - f_l signals before proceeding (Corollary 2).
+	fmt.Println(core.RequiredSignals(shape, []int{2, 2}))
+	// Output: [8 6]
+}
+
+func ExampleMixedFep() {
+	shape := core.Shape{
+		Widths: []int{2, 3},
+		MaxW:   []float64{0.5, 1.5, 2.0},
+		K:      2,
+		ActCap: 1,
+	}
+	d := core.MixedDistribution{
+		Crash:     []int{1, 0},
+		Byzantine: []int{0, 1},
+		Synapses:  []int{0, 1, 1},
+	}
+	fmt.Printf("MixedFep = %.0f\n", core.MixedFep(shape, d, 1))
+	// Output: MixedFep = 19
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MixedDistribution describes simultaneous failures of different kinds:
+// per layer l, Crash[l-1] crashed neurons, Byzantine[l-1] Byzantine
+// neurons (deviation <= C), and Synapses[l-1] Byzantine synapses into
+// layer l (Synapses has length L+1; the last entry addresses the output
+// synapses). Any slice may be nil, meaning zero everywhere.
+type MixedDistribution struct {
+	Crash     []int
+	Byzantine []int
+	Synapses  []int
+}
+
+// normalise returns defensive full-length copies.
+func (d MixedDistribution) normalise(L int) (crash, byz, syn []int, err error) {
+	fill := func(src []int, want int, name string) ([]int, error) {
+		if src == nil {
+			return make([]int, want), nil
+		}
+		if len(src) != want {
+			return nil, fmt.Errorf("core: %s distribution has %d entries, want %d", name, len(src), want)
+		}
+		out := make([]int, want)
+		copy(out, src)
+		return out, nil
+	}
+	if crash, err = fill(d.Crash, L, "crash"); err != nil {
+		return
+	}
+	if byz, err = fill(d.Byzantine, L, "byzantine"); err != nil {
+		return
+	}
+	syn, err = fill(d.Synapses, L+1, "synapse")
+	return
+}
+
+// MixedFep bounds the output deviation under a mixed distribution, by the
+// same induction as Theorem 2 with three error sources per layer:
+//
+//	outErr_l <= (N_l - fc_l - fb_l)·K·w_m^{(l)}·outErr_{l-1}
+//	          + fc_l·ActCap + fb_l·C + fs_l·K·C
+//
+// Crashed and Byzantine neurons stop propagating upstream error (their
+// deviation is capped regardless of inputs); neurons receiving faulty
+// synapses remain correct propagators and contribute the Lemma 2 term.
+// Output synapse faults add fs_{L+1}·C after the final weighting. The
+// result coincides with Fep/CrashFep/SynapseFep when only one source is
+// non-zero.
+func MixedFep(s Shape, d MixedDistribution, c float64) float64 {
+	L := s.Layers()
+	crash, byz, syn, err := d.normalise(L)
+	if err != nil {
+		panic(err.Error())
+	}
+	if c < 0 {
+		panic("core: negative capacity")
+	}
+	outErr := 0.0
+	for l := 1; l <= L; l++ {
+		fc, fb, fs := crash[l-1], byz[l-1], syn[l-1]
+		if fc < 0 || fb < 0 || fs < 0 {
+			panic("core: negative fault count")
+		}
+		if fc+fb > s.Widths[l-1] {
+			panic(fmt.Sprintf("core: %d faulty neurons exceed layer %d width %d", fc+fb, l, s.Widths[l-1]))
+		}
+		correct := float64(s.Widths[l-1]-fc-fb) * s.K * s.MaxW[l-1] * outErr
+		outErr = correct +
+			float64(fc)*s.ActCap +
+			float64(fb)*c +
+			float64(fs)*s.K*c
+	}
+	return outErr*s.MaxW[L] + float64(syn[L])*c
+}
+
+// MixedTolerates is Theorem 3 extended to mixed distributions.
+func MixedTolerates(s Shape, d MixedDistribution, c, eps, epsPrime float64) bool {
+	if eps < epsPrime {
+		return false
+	}
+	return MixedFep(s, d, c) <= eps-epsPrime
+}
+
+// mixedFepReference recomputes MixedFep as the sum of the three pure
+// bounds with shared exclusion factors; kept for documentation — the
+// direct recursion above is authoritative.
+func mixedFepReference(s Shape, d MixedDistribution, c float64) float64 {
+	L := s.Layers()
+	crash, byz, syn, err := d.normalise(L)
+	if err != nil {
+		panic(err.Error())
+	}
+	// Suffix products with BOTH neuron fault kinds excluded.
+	total := make([]int, L)
+	for l := 0; l < L; l++ {
+		total[l] = crash[l] + byz[l]
+	}
+	suffix := s.suffixProducts(total)
+	out := 0.0
+	for l := 1; l <= L; l++ {
+		kPow := math.Pow(s.K, float64(L-l))
+		out += float64(crash[l-1]) * s.ActCap * kPow * suffix[l]
+		out += float64(byz[l-1]) * c * kPow * suffix[l]
+	}
+	// Synapse terms propagate through correct neurons; correctness here
+	// means "not crash/byz faulty": use the same exclusion.
+	for l := 1; l <= L; l++ {
+		out += float64(syn[l-1]) * s.K * c * math.Pow(s.K, float64(L-l)) * suffix[l]
+	}
+	return out + float64(syn[L])*c
+}

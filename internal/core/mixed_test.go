@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMixedFepReducesToPureBounds(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 200; trial++ {
+		L := r.Intn(3) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		for i := range widths {
+			widths[i] = r.Intn(5) + 1
+		}
+		for i := range maxw {
+			maxw[i] = r.Range(0.1, 2)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: r.Range(0.3, 2.5), ActCap: 1}
+		c := r.Range(0.1, 2)
+
+		byz := make([]int, L)
+		crash := make([]int, L)
+		syn := make([]int, L+1)
+		for l := 0; l < L; l++ {
+			byz[l] = r.Intn(widths[l] + 1)
+			crash[l] = r.Intn(widths[l] + 1 - byz[l])
+			syn[l] = r.Intn(3)
+		}
+		syn[L] = r.Intn(2)
+
+		// Pure Byzantine.
+		a := MixedFep(s, MixedDistribution{Byzantine: byz}, c)
+		b := Fep(s, byz, c)
+		if math.Abs(a-b) > 1e-9*(b+1) {
+			t.Fatalf("trial %d: mixed-byz %v != Fep %v", trial, a, b)
+		}
+		// Pure crash.
+		a = MixedFep(s, MixedDistribution{Crash: crash}, c)
+		b = CrashFep(s, crash)
+		if math.Abs(a-b) > 1e-9*(b+1) {
+			t.Fatalf("trial %d: mixed-crash %v != CrashFep %v", trial, a, b)
+		}
+		// Pure synapse.
+		a = MixedFep(s, MixedDistribution{Synapses: syn}, c)
+		b = SynapseFep(s, syn, c)
+		if math.Abs(a-b) > 1e-9*(b+1) {
+			t.Fatalf("trial %d: mixed-syn %v != SynapseFep %v", trial, a, b)
+		}
+		// Full mix agrees with the suffix-product reference.
+		d := MixedDistribution{Crash: crash, Byzantine: byz, Synapses: syn}
+		a = MixedFep(s, d, c)
+		b = mixedFepReference(s, d, c)
+		if math.Abs(a-b) > 1e-9*(b+1) {
+			t.Fatalf("trial %d: recursion %v != reference %v", trial, a, b)
+		}
+	}
+}
+
+func TestMixedFepHandExpanded(t *testing.T) {
+	// handShape: L=2, N=(2,3), w=(0.5,1.5,2.0), K=2, ActCap=1.
+	s := handShape()
+	d := MixedDistribution{
+		Crash:     []int{1, 0},
+		Byzantine: []int{0, 1},
+		Synapses:  []int{0, 1, 1},
+	}
+	c := 1.0
+	// Layer 1: outErr = 1*1 (crash) = 1.
+	// Layer 2: correct = (3-1)*K*w2*1 = 2*2*1.5 = 6; byz adds 1*c = 1;
+	//          synapse adds 1*K*c = 2. outErr = 9.
+	// Output: 9*w3 + 1*c = 18 + 1 = 19.
+	got := MixedFep(s, d, c)
+	if math.Abs(got-19) > 1e-12 {
+		t.Fatalf("MixedFep = %v, want 19", got)
+	}
+}
+
+func TestMixedFepPanics(t *testing.T) {
+	s := handShape()
+	for _, fn := range []func(){
+		func() { MixedFep(s, MixedDistribution{Crash: []int{1}}, 1) },
+		func() { MixedFep(s, MixedDistribution{Crash: []int{2, 0}, Byzantine: []int{1, 0}}, 1) },
+		func() { MixedFep(s, MixedDistribution{Byzantine: []int{-1, 0}}, 1) },
+		func() { MixedFep(s, MixedDistribution{}, -1) },
+		func() { MixedFep(s, MixedDistribution{Synapses: []int{0, 0}}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMixedToleratesBoundary(t *testing.T) {
+	s := handShape()
+	d := MixedDistribution{Crash: []int{1, 0}, Byzantine: []int{0, 1}}
+	f := MixedFep(s, d, 1)
+	if !MixedTolerates(s, d, 1, f+0.01, 0) {
+		t.Fatal("should tolerate above MixedFep")
+	}
+	if MixedTolerates(s, d, 1, f-0.01, 0) {
+		t.Fatal("should not tolerate below MixedFep")
+	}
+	if MixedTolerates(s, d, 1, 0.1, 0.2) {
+		t.Fatal("eps < eps' must never be tolerated")
+	}
+}
+
+func TestMixedFepSuperadditivityOfSources(t *testing.T) {
+	// The mixed bound never exceeds the sum of the pure bounds computed
+	// in isolation (excluding more neurons from propagation can only
+	// help), and is at least the largest single-source bound when that
+	// source alone is present... superadditivity does not hold in
+	// general, but the mixed bound must dominate each pure bound with
+	// the OTHER sources removed.
+	r := rng.New(23)
+	for trial := 0; trial < 100; trial++ {
+		L := r.Intn(2) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		for i := range widths {
+			widths[i] = r.Intn(4) + 2
+		}
+		for i := range maxw {
+			maxw[i] = r.Range(0.1, 1.5)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: r.Range(0.3, 2), ActCap: 1}
+		c := r.Range(0.1, 1.5)
+		byz := make([]int, L)
+		crash := make([]int, L)
+		for l := 0; l < L; l++ {
+			byz[l] = r.Intn(widths[l])
+			crash[l] = r.Intn(widths[l] - byz[l])
+		}
+		d := MixedDistribution{Crash: crash, Byzantine: byz}
+		mixed := MixedFep(s, d, c)
+		pureSum := Fep(s, byz, c) + CrashFep(s, crash)
+		if mixed > pureSum*(1+1e-9) {
+			t.Fatalf("trial %d: mixed %v exceeds sum of pure bounds %v", trial, mixed, pureSum)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// MaxSingleLayerFaults returns the largest f such that faults concentrated
+// entirely at the given layer (1-indexed) are tolerated: Fep <= budget.
+// Fep is monotone increasing in f when only one layer fails, so binary
+// search applies.
+func MaxSingleLayerFaults(s Shape, c, budget float64, layer int) int {
+	if layer < 1 || layer > s.Layers() {
+		panic("core: MaxSingleLayerFaults layer out of range")
+	}
+	lo, hi := 0, s.Widths[layer-1]
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		faults := make([]int, s.Layers())
+		faults[layer-1] = mid
+		if Fep(s, faults, c) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// MaxUniformFaults returns the largest f such that the uniform
+// distribution (f, f, ..., f) — clamped to each layer's width — satisfies
+// Fep <= budget.
+func MaxUniformFaults(s Shape, c, budget float64) int {
+	maxW := 0
+	for _, w := range s.Widths {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	uniform := func(f int) []int {
+		faults := make([]int, s.Layers())
+		for l, w := range s.Widths {
+			faults[l] = f
+			if f > w {
+				faults[l] = w
+			}
+		}
+		return faults
+	}
+	// Fep is NOT monotone in joint fault additions (failing neurons stop
+	// propagating earlier errors), so scan rather than bisect.
+	best := 0
+	for f := 0; f <= maxW; f++ {
+		if Fep(s, uniform(f), c) <= budget {
+			best = f
+		}
+	}
+	return best
+}
+
+// GreedyMaxFaults grows a fault distribution one neuron at a time, always
+// choosing the layer whose extra fault keeps Fep smallest, until no
+// single addition stays within budget. It returns the distribution and
+// its Fep. Greedy is not guaranteed optimal (Fep is non-monotone across
+// layers); use ExactMaxFaults for ground truth on small shapes.
+func GreedyMaxFaults(s Shape, c, budget float64) ([]int, float64) {
+	L := s.Layers()
+	faults := make([]int, L)
+	current := 0.0
+	for {
+		bestLayer := -1
+		bestFep := math.Inf(1)
+		for l := 0; l < L; l++ {
+			if faults[l] >= s.Widths[l] {
+				continue
+			}
+			faults[l]++
+			f := Fep(s, faults, c)
+			faults[l]--
+			if f <= budget && f < bestFep {
+				bestFep = f
+				bestLayer = l
+			}
+		}
+		if bestLayer < 0 {
+			return faults, current
+		}
+		faults[bestLayer]++
+		current = bestFep
+	}
+}
+
+// ExactMaxFaults enumerates every per-layer fault distribution (there are
+// Π(N_l+1) of them) in parallel and returns one maximising the total
+// number of faulty neurons subject to Fep <= budget, together with that
+// total. Intended for small shapes; the configuration count is returned
+// so callers can report the combinatorial cost the paper highlights.
+func ExactMaxFaults(s Shape, c, budget float64) (best []int, total int, configs int64) {
+	L := s.Layers()
+	configs = 1
+	for _, w := range s.Widths {
+		configs *= int64(w + 1)
+	}
+	// Decode a configuration index into a fault vector using mixed radix.
+	decode := func(idx int64, out []int) {
+		for l := 0; l < L; l++ {
+			radix := int64(s.Widths[l] + 1)
+			out[l] = int(idx % radix)
+			idx /= radix
+		}
+	}
+	type result struct {
+		faults []int
+		total  int
+	}
+	workers := parallel.Workers()
+	partial := make([]result, workers)
+	chunk := (configs + int64(workers) - 1) / int64(workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			lo := int64(slot) * chunk
+			hi := lo + chunk
+			if hi > configs {
+				hi = configs
+			}
+			buf := make([]int, L)
+			localBest := result{total: -1}
+			for idx := lo; idx < hi; idx++ {
+				decode(idx, buf)
+				t := TotalFaults(buf)
+				if t <= localBest.total {
+					continue
+				}
+				if Fep(s, buf, c) <= budget {
+					localBest.total = t
+					localBest.faults = append([]int(nil), buf...)
+				}
+			}
+			partial[slot] = localBest
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	bestRes := result{total: -1}
+	for _, r := range partial {
+		if r.total > bestRes.total {
+			bestRes = r
+		}
+	}
+	if bestRes.total < 0 {
+		return make([]int, L), 0, configs
+	}
+	return bestRes.faults, bestRes.total, configs
+}

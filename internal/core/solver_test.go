@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func solverShape() Shape {
+	return Shape{
+		Widths: []int{4, 3, 5},
+		MaxW:   []float64{0.6, 0.4, 0.3, 0.5},
+		K:      1.2,
+		ActCap: 1,
+	}
+}
+
+func TestMaxSingleLayerFaultsFrontier(t *testing.T) {
+	s := solverShape()
+	c, budget := 1.0, 2.0
+	for layer := 1; layer <= s.Layers(); layer++ {
+		f := MaxSingleLayerFaults(s, c, budget, layer)
+		faults := make([]int, s.Layers())
+		faults[layer-1] = f
+		if Fep(s, faults, c) > budget {
+			t.Fatalf("layer %d: returned f=%d violates budget", layer, f)
+		}
+		if f < s.Widths[layer-1] {
+			faults[layer-1] = f + 1
+			if Fep(s, faults, c) <= budget {
+				t.Fatalf("layer %d: f=%d not maximal", layer, f)
+			}
+		}
+	}
+}
+
+func TestMaxSingleLayerFaultsZeroBudget(t *testing.T) {
+	s := solverShape()
+	if f := MaxSingleLayerFaults(s, 1, 0, 1); f != 0 {
+		t.Fatalf("zero budget tolerates %d faults", f)
+	}
+}
+
+func TestMaxSingleLayerDeeperLayersTolerateMore(t *testing.T) {
+	// With K > 1 and uniform widths/weights, later layers (closer to
+	// the output, smaller K exponent... careful: propagation also
+	// multiplies by (N w) per layer). Use weights small enough that the
+	// per-layer factor K*N*w > 1, making early-layer faults costlier.
+	s := Shape{Widths: []int{6, 6, 6}, MaxW: []float64{0.5, 0.5, 0.5, 0.5}, K: 2, ActCap: 1}
+	budget := 2.0
+	f1 := MaxSingleLayerFaults(s, 1, budget, 1)
+	f3 := MaxSingleLayerFaults(s, 1, budget, 3)
+	if f3 < f1 {
+		t.Fatalf("layer 3 tolerates %d < layer 1 %d despite cheaper propagation", f3, f1)
+	}
+}
+
+func TestMaxUniformFaultsRespectsBudget(t *testing.T) {
+	s := solverShape()
+	c, budget := 1.0, 3.0
+	f := MaxUniformFaults(s, c, budget)
+	faults := make([]int, s.Layers())
+	for l, w := range s.Widths {
+		faults[l] = f
+		if f > w {
+			faults[l] = w
+		}
+	}
+	if Fep(s, faults, c) > budget {
+		t.Fatalf("uniform f=%d violates budget", f)
+	}
+}
+
+func TestGreedyMaxFaultsFeasible(t *testing.T) {
+	s := solverShape()
+	c, budget := 1.0, 2.5
+	faults, fep := GreedyMaxFaults(s, c, budget)
+	if fep > budget {
+		t.Fatalf("greedy returned infeasible distribution: Fep=%v", fep)
+	}
+	if got := Fep(s, faults, c); got != fep {
+		t.Fatalf("reported Fep %v != recomputed %v", fep, got)
+	}
+	// Greedy must be saturated: no single extra fault fits.
+	for l := 0; l < s.Layers(); l++ {
+		if faults[l] >= s.Widths[l] {
+			continue
+		}
+		faults[l]++
+		if Fep(s, faults, c) <= budget {
+			t.Fatalf("greedy not saturated at layer %d", l+1)
+		}
+		faults[l]--
+	}
+}
+
+func TestGreedyZeroBudget(t *testing.T) {
+	s := solverShape()
+	faults, fep := GreedyMaxFaults(s, 1, 0)
+	if TotalFaults(faults) != 0 || fep != 0 {
+		t.Fatalf("zero budget produced faults %v", faults)
+	}
+}
+
+func TestExactMaxFaultsSmall(t *testing.T) {
+	s := Shape{Widths: []int{2, 2}, MaxW: []float64{0.5, 0.5, 0.5}, K: 1, ActCap: 1}
+	best, total, configs := ExactMaxFaults(s, 1, 1.0)
+	if configs != 9 {
+		t.Fatalf("configs = %d, want (2+1)*(2+1) = 9", configs)
+	}
+	if Fep(s, best, 1) > 1.0 {
+		t.Fatal("exact solution infeasible")
+	}
+	if TotalFaults(best) != total {
+		t.Fatal("total mismatch")
+	}
+	// Verify optimality by direct enumeration.
+	bestTotal := -1
+	for f1 := 0; f1 <= 2; f1++ {
+		for f2 := 0; f2 <= 2; f2++ {
+			if Fep(s, []int{f1, f2}, 1) <= 1.0 && f1+f2 > bestTotal {
+				bestTotal = f1 + f2
+			}
+		}
+	}
+	if total != bestTotal {
+		t.Fatalf("exact total %d != brute force %d", total, bestTotal)
+	}
+}
+
+func TestExactAtLeastGreedy(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		L := r.Intn(3) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		for i := range widths {
+			widths[i] = r.Intn(4) + 1
+		}
+		for i := range maxw {
+			maxw[i] = r.Range(0.1, 1)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: r.Range(0.5, 2), ActCap: 1}
+		budget := r.Range(0, 3)
+		gFaults, _ := GreedyMaxFaults(s, 1, budget)
+		_, eTotal, _ := ExactMaxFaults(s, 1, budget)
+		if TotalFaults(gFaults) > eTotal {
+			t.Fatalf("greedy %v beat exact %d — exact is broken", gFaults, eTotal)
+		}
+	}
+}
+
+func TestExactInfeasibleBudget(t *testing.T) {
+	s := solverShape()
+	best, total, _ := ExactMaxFaults(s, 1, -1)
+	if total != 0 || TotalFaults(best) != 0 {
+		t.Fatal("negative budget must yield the empty distribution")
+	}
+}

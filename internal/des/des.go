@@ -1,0 +1,109 @@
+// Package des is a minimal deterministic discrete-event simulator: a
+// virtual clock and a time-ordered event queue with FIFO tie-breaking.
+// The distributed neural runtime uses it to model per-neuron computation
+// latencies for the boosting scheme of Corollary 2 without real sleeps,
+// so experiments measuring "waiting time" run in microseconds and are
+// exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled action.
+type event struct {
+	time   float64
+	seq    int64 // insertion order breaks time ties deterministically
+	action func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulation. The zero value is
+// ready to use.
+type Sim struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+}
+
+// New returns an empty simulation at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Schedule queues action to run delay units after the current time.
+// Negative delays panic: the simulator never travels backwards.
+func (s *Sim) Schedule(delay float64, action func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	s.At(s.now+delay, action)
+}
+
+// At queues action at the absolute virtual time t >= Now().
+func (s *Sim) At(t float64, action func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, action: action})
+}
+
+// Step executes the earliest event. It returns false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.time
+	e.action()
+	return true
+}
+
+// Run executes events until the queue drains and returns how many ran.
+func (s *Sim) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with time <= t and returns how many ran. The
+// clock is advanced to t even if fewer events existed.
+func (s *Sim) RunUntil(t float64) int {
+	n := 0
+	for len(s.queue) > 0 && s.queue[0].time <= t {
+		s.Step()
+		n++
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestTiesBreakFIFO(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(1, func() { order = append(order, "a") })
+	s.Schedule(1, func() { order = append(order, "b") })
+	s.Schedule(1, func() { order = append(order, "c") })
+	s.Run()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestZeroDelaySelfLoopTerminatesViaRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Schedule(0.5, tick)
+	}
+	s.Schedule(0, tick)
+	s.RunUntil(10)
+	// Events at t = 0, 0.5, ..., 10: 21 executions.
+	if count != 21 {
+		t.Fatalf("count = %d, want 21", count)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the one event beyond the horizon", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New()
+	s.RunUntil(5)
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestManyEventsStaySorted(t *testing.T) {
+	s := New()
+	// Schedule in a scrambled deterministic order.
+	prev := -1.0
+	n := 0
+	for i := 0; i < 1000; i++ {
+		tm := float64((i*7919)%1000) / 10
+		s.At(tm, func() {
+			if s.Now() < prev {
+				t.Errorf("time went backwards: %v after %v", s.Now(), prev)
+			}
+			prev = s.Now()
+			n++
+		})
+	}
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("ran %d events", n)
+	}
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// and one harness per theorem/application, as indexed in DESIGN.md. Each
+// experiment is a deterministic function returning tables (the rows/series
+// the paper plots) plus notes recording the shape checks — who wins, what
+// grows polynomially vs exponentially, where bounds sit relative to
+// measurements. cmd/paperrepro renders them all; bench_test.go wraps each
+// in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/activation"
+	"repro/internal/approx"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	// ID matches the DESIGN.md experiment index (F2, F3, T1, ...).
+	ID string
+	// Title describes the paper artefact being reproduced.
+	Title string
+	// Tables holds the regenerated rows/series.
+	Tables []*metrics.Table
+	// Notes records the shape checks and summary statistics.
+	Notes []string
+}
+
+// note appends a formatted note.
+func (r *Result) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the result as text.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n###### [%s] %s ######\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is a named generator.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() *Result
+}
+
+// All lists every experiment in DESIGN.md index order.
+func All() []Experiment {
+	return []Experiment{
+		{"F2", "Figure 2: sigmoid profiles vs K", Fig2SigmoidProfiles},
+		{"F3", "Figure 3: output error vs Lipschitz constant (Nets 1-8)", Fig3ErrorVsLipschitz},
+		{"T1", "Theorem 1: single-layer crash bound and tightness", Thm1CrashBound},
+		{"T2", "Theorem 2/3: depth propagation of faults", Thm2DepthPropagation},
+		{"T4", "Theorem 4: Byzantine synapse bound", Thm4SynapseBound},
+		{"T5", "Theorem 5 / App. A: precision reduction (Proteus)", Thm5Quantisation},
+		{"B1", "Corollary 2 / App. B: boosting computations", Boosting},
+		{"L1", "Lemma 1: unbounded transmission", Lemma1UnboundedByzantine},
+		{"TR", "App. C: robustness vs ease of learning", TradeoffRobustnessLearning},
+		{"CV", "Section VI: convolutional receptive fields", ConvReceptiveField},
+		{"CX", "Section I: combinatorial explosion vs Fep", CombinatorialVsFep},
+		{"OP", "Section II-C / Cor. 1: over-provisioning", OverProvisioning},
+		{"FR", "Section VI future work: Fep-regularised learning", FepRegularisedTraining},
+		{"MX", "Extension: mixed fault distributions and run-time degradation", MixedFaults},
+	}
+}
+
+// RunAll executes every experiment and renders it to w.
+func RunAll(w io.Writer) ([]*Result, error) {
+	var out []*Result
+	for _, e := range All() {
+		res := e.Run()
+		out = append(out, res)
+		if err := res.Render(w); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// fitted trains a sigmoid network on a target and reports the achieved
+// sup-norm ε'. Shared by several experiments; all sizes kept modest so
+// the full suite runs in tens of seconds.
+func fitted(seed uint64, target approx.Target, widths []int, k float64, epochs int) (*nn.Network, float64) {
+	net, _, sup := train.Fit(target, widths, activation.NewSigmoid(k), train.Config{
+		Epochs:   epochs,
+		LR:       0.1,
+		Momentum: 0.9,
+		Seed:     seed,
+	})
+	return net, sup
+}
+
+// evalInputs returns the standard evaluation sample for a d-dimensional
+// input space: a grid for d <= 2, random points beyond.
+func evalInputs(d int) [][]float64 {
+	switch d {
+	case 1:
+		return metrics.Grid(1, 201)
+	case 2:
+		return metrics.Grid(2, 25)
+	default:
+		return metrics.RandomPoints(rng.New(0xe7a1), d, 600)
+	}
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// cell reads a numeric cell back out of a rendered table.
+func cell(t *testing.T, tb *metrics.Table, row, col int) float64 {
+	t.Helper()
+	s := tb.Rows[row][col]
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d = %q not numeric: %v", row, col, s, err)
+	}
+	return v
+}
+
+func noViolations(t *testing.T, res *Result) {
+	t.Helper()
+	for _, n := range res.Notes {
+		if strings.Contains(n, "VIOLATION") {
+			t.Fatalf("[%s] %s", res.ID, n)
+		}
+	}
+}
+
+func TestFig2Profiles(t *testing.T) {
+	res := Fig2SigmoidProfiles()
+	if len(res.Tables) != 1 {
+		t.Fatal("expected one table")
+	}
+	tb := res.Tables[0]
+	if len(tb.Columns) != 6 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	// All values in (0,1); larger K steeper at x > 0: compare the K=4
+	// column against K=0.25 at the last positive x.
+	last := len(tb.Rows) - 1
+	low := cell(t, tb, last, 1)
+	high := cell(t, tb, last, 5)
+	if high <= low {
+		t.Fatalf("K=4 profile (%v) not steeper than K=0.25 (%v) at x=6", high, low)
+	}
+	noViolations(t, res)
+}
+
+func TestThm1CrashBoundShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := Thm1CrashBound()
+	noViolations(t, res)
+	sweep := res.Tables[0]
+	// measured_err <= total bound column ... measured column 1, f*wm col 2.
+	for i := range sweep.Rows {
+		if cell(t, sweep, i, 1) > cell(t, sweep, i, 2)*(1+1e-9)+1e-12 {
+			t.Fatalf("row %d: measured above f*wm", i)
+		}
+	}
+	// Tightness table: ratios ~ 1 for f >= 1.
+	tight := res.Tables[1]
+	for i := 1; i < len(tight.Rows); i++ {
+		ratio := cell(t, tight, i, 3)
+		if ratio < 0.999 || ratio > 1.001 {
+			t.Fatalf("tightness ratio %v at row %d", ratio, i)
+		}
+	}
+}
+
+func TestThm2DepthShape(t *testing.T) {
+	res := Thm2DepthPropagation()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	// Bound decreases towards the output (col 2), measured <= bound.
+	for i := range tb.Rows {
+		if cell(t, tb, i, 1) > cell(t, tb, i, 2)*(1+1e-9) {
+			t.Fatalf("row %d: measured above bound", i)
+		}
+		if i > 0 && cell(t, tb, i, 2) >= cell(t, tb, i-1, 2) {
+			t.Fatalf("bound not decreasing with depth at row %d", i)
+		}
+	}
+}
+
+func TestThm4SynapseShape(t *testing.T) {
+	res := Thm4SynapseBound()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	for i := range tb.Rows {
+		if cell(t, tb, i, 1) > cell(t, tb, i, 2)*(1+1e-9) {
+			t.Fatalf("row %d: measured above Lemma 2 bound", i)
+		}
+	}
+}
+
+func TestThm5QuantShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := Thm5Quantisation()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	for i := range tb.Rows {
+		if cell(t, tb, i, 1) > cell(t, tb, i, 2)*(1+1e-9) {
+			t.Fatalf("row %d: measured above Theorem 5 bound", i)
+		}
+		if i > 0 && cell(t, tb, i, 2) >= cell(t, tb, i-1, 2) {
+			t.Fatalf("bound not shrinking with bits at row %d", i)
+		}
+	}
+}
+
+func TestBoostingShape(t *testing.T) {
+	res := Boosting()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	// Speedup column (4) should be >= 1 for f >= 1 and grow overall.
+	first := cell(t, tb, 1, 4)
+	last := cell(t, tb, len(tb.Rows)-1, 4)
+	if first < 1-1e-9 {
+		t.Fatalf("boosting slowdown at f=1: %v", first)
+	}
+	if last < first {
+		t.Fatalf("speedup not growing with f: %v -> %v", first, last)
+	}
+}
+
+func TestLemma1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := Lemma1UnboundedByzantine()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	// Byzantine error grows with C; crash error constant.
+	n := len(tb.Rows)
+	if cell(t, tb, n-1, 1) <= cell(t, tb, 0, 1) {
+		t.Fatal("byzantine error did not grow with capacity")
+	}
+	if cell(t, tb, n-1, 2) != cell(t, tb, 0, 2) {
+		t.Fatal("crash error should be capacity-independent")
+	}
+}
+
+func TestTradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := TradeoffRobustnessLearning()
+	noViolations(t, res)
+	kt := res.Tables[0]
+	last := len(kt.Rows) - 1
+	// Robustness side: the smallest K tolerates strictly more faults
+	// than the largest, and the per-fault Fep grows monotonically in K.
+	if cell(t, kt, 0, 3) <= cell(t, kt, last, 3) {
+		t.Fatal("small K should tolerate strictly more faults than large K under the weight budget")
+	}
+	for i := 1; i < len(kt.Rows); i++ {
+		if cell(t, kt, i, 4) <= cell(t, kt, i-1, 4) {
+			t.Fatalf("Fep per fault not increasing in K at row %d", i)
+		}
+	}
+	// Ease side: the smallest K needs more epochs than K = 1 (row 2).
+	if cell(t, kt, 0, 1) <= cell(t, kt, 2, 1) {
+		t.Fatal("small K should learn the sharp step more slowly")
+	}
+	wt := res.Tables[1]
+	// Stronger decay shrinks w_m (col 2) and buys faults (col 3).
+	if cell(t, wt, len(wt.Rows)-1, 2) >= cell(t, wt, 0, 2) {
+		t.Fatal("weight decay did not shrink w_m")
+	}
+	if cell(t, wt, len(wt.Rows)-1, 3) <= cell(t, wt, 0, 3) {
+		t.Fatal("weight decay did not buy fault budget")
+	}
+}
+
+func TestConvShape(t *testing.T) {
+	res := ConvReceptiveField()
+	noViolations(t, res)
+	// Structural claim (first table): dense/conv Fep ratio > 1.
+	ft := res.Tables[0]
+	for i := range ft.Rows {
+		if cell(t, ft, i, 3) <= 1 {
+			t.Fatalf("dense/conv Fep ratio %v not > 1 at row %d", cell(t, ft, i, 3), i)
+		}
+	}
+	// The trained caveat must be reported.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "CAVEAT") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trained-weights caveat note missing")
+	}
+}
+
+func TestCombinatorialShape(t *testing.T) {
+	res := CombinatorialVsFep()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	if len(tb.Rows) < 3 {
+		t.Fatalf("too few widths succeeded: %d", len(tb.Rows))
+	}
+	// Configurations explode; Fep time stays within the same order.
+	if cell(t, tb, len(tb.Rows)-1, 1) <= cell(t, tb, 0, 1) {
+		t.Fatal("configuration count did not grow")
+	}
+	for i := range tb.Rows {
+		if cell(t, tb, i, 4) > cell(t, tb, i, 5)*(1+1e-9) {
+			t.Fatalf("exhaustive worst above Fep at row %d", i)
+		}
+	}
+}
+
+func TestOverProvisioningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := OverProvisioning()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	// ε' at the largest width should be well below the smallest width's.
+	first := cell(t, tb, 0, 1)
+	last := cell(t, tb, len(tb.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("ε' did not improve with width: %v -> %v", first, last)
+	}
+	// Guaranteed crashes never exceed measured ones, never decrease with
+	// width, and actually grow across the sweep.
+	for i := range tb.Rows {
+		if cell(t, tb, i, 3) > cell(t, tb, i, 4) {
+			t.Fatalf("row %d: guaranteed crashes exceed measured", i)
+		}
+		if i > 0 && cell(t, tb, i, 3) < cell(t, tb, i-1, 3) {
+			t.Fatalf("row %d: certified crashes decreased with width", i)
+		}
+	}
+	if cell(t, tb, len(tb.Rows)-1, 3) < 5 {
+		t.Fatal("widest construction should certify several crashes")
+	}
+	// Splitting table: certified crashes never decrease in k and the
+	// largest split certifies at least one crash on the previously
+	// uncertifiable trained net.
+	st := res.Tables[2]
+	for i := 1; i < len(st.Rows); i++ {
+		if cell(t, st, i, 3) < cell(t, st, i-1, 3) {
+			t.Fatalf("splitting reduced the certificate at row %d", i)
+		}
+	}
+	if cell(t, st, len(st.Rows)-1, 3) < 1 {
+		t.Fatal("largest split should certify at least one crash")
+	}
+}
+
+func TestFepRegularisedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := FepRegularisedTraining()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	// Achieved Fep (col 2) at the strongest penalty is below the
+	// unpenalised one.
+	if cell(t, tb, len(tb.Rows)-1, 2) >= cell(t, tb, 0, 2) {
+		t.Fatal("penalty did not reduce achieved Fep")
+	}
+}
+
+func TestMixedFaultsShape(t *testing.T) {
+	res := MixedFaults()
+	noViolations(t, res)
+	mixTable := res.Tables[0]
+	for i := range mixTable.Rows {
+		if cell(t, mixTable, i, 3) > cell(t, mixTable, i, 4)*(1+1e-9) {
+			t.Fatalf("row %d: measured above MixedFep", i)
+		}
+	}
+	st := res.Tables[1]
+	for i := range st.Rows {
+		if cell(t, st, i, 2) > cell(t, st, i, 3)*(1+1e-9) {
+			t.Fatalf("stream round %d: error above certificate", i)
+		}
+	}
+}
+
+func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(seen))
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	var sb strings.Builder
+	results, err := RunAll(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("ran %d of %d experiments", len(results), len(All()))
+	}
+	out := sb.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "["+e.ID+"]") {
+			t.Fatalf("output missing experiment %s", e.ID)
+		}
+	}
+	for _, r := range results {
+		noViolations(t, r)
+	}
+}

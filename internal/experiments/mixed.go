@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/rng"
+)
+
+// MixedFaults exercises the joint certificate beyond the paper's
+// one-kind-at-a-time theorems: simultaneous crashed neurons, Byzantine
+// neurons and Byzantine synapses, bounded by the shared recursion of
+// core.MixedFep, plus the run-time degradation forecast on a failure
+// stream.
+func MixedFaults() *Result {
+	res := &Result{ID: "MX", Title: "Mixed fault distributions and run-time degradation (extension)"}
+	r := rng.New(404)
+	net := nn.NewRandom(r, nn.Config{
+		InputDim: 2,
+		Widths:   []int{8, 6},
+		Act:      activation.NewSigmoid(1),
+	}, 0.5)
+	shape := core.ShapeOf(net)
+	inputs := evalInputs(2)
+	c := 0.8
+
+	t := metrics.NewTable("simultaneous crash + Byzantine + synapse failures (C=0.8)",
+		"crash/layer", "byz/layer", "syn/layer", "measured_worst", "mixed_fep")
+	for _, mix := range [][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 0}, {1, 1, 1}, {2, 1, 2}} {
+		crash := []int{mix[0], mix[0]}
+		byz := []int{mix[1], mix[1]}
+		syn := []int{mix[2], mix[2], 0}
+		total := []int{mix[0] + mix[1], mix[0] + mix[1]}
+		plan := fault.RandomNeuronPlan(r, net, total)
+		sp := fault.RandomSynapsePlan(r, net, syn)
+		plan.Synapses = sp.Synapses
+
+		inj := fault.Mixed{
+			CrashSet: map[fault.NeuronFault]bool{},
+			Byz:      fault.Byzantine{C: c, Sem: core.DeviationCap, Sign: map[fault.NeuronFault]float64{}},
+		}
+		seen := []int{0, 0}
+		for i, f := range plan.Neurons {
+			if seen[f.Layer-1] < crash[f.Layer-1] {
+				inj.CrashSet[f] = true
+			} else if i%2 == 0 {
+				inj.Byz.Sign[f] = -1
+			}
+			seen[f.Layer-1]++
+		}
+		measured := fault.MaxError(net, plan, inj, inputs)
+		bound := core.MixedFep(shape, core.MixedDistribution{Crash: crash, Byzantine: byz, Synapses: syn}, c)
+		t.AddNumericRow(float64(mix[0]), float64(mix[1]), float64(mix[2]), measured, bound)
+		if measured > bound*(1+1e-9) {
+			res.note("VIOLATION: mixed %v measured %v above bound %v", mix, measured, bound)
+		}
+	}
+	res.Tables = append(res.Tables, t)
+	res.note("one recursion covers all three sources at once; each pure column reduces to the corresponding theorem")
+
+	// Run-time degradation: neurons die on a schedule; the forecast from
+	// the topology names the round where certification is lost.
+	worst := fault.AdversarialNeuronPlan(net, []int{3, 3})
+	var schedule []dist.FailureEvent
+	for i, nf := range worst.Neurons {
+		schedule = append(schedule, dist.FailureEvent{Round: 2 * i, Neuron: nf})
+	}
+	const rounds = 12
+	epsPrime := 0.05
+	eps := epsPrime + 2.5*core.CrashFep(shape, []int{1, 0})
+	forecast := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+
+	xs := metrics.RandomPoints(r, 2, rounds)
+	stream, err := dist.Stream(net, xs, schedule, 1)
+	if err != nil {
+		res.note("stream failed: %v", err)
+		return res
+	}
+	st := metrics.NewTable("failure stream: per-round certificates",
+		"round", "faulty", "measured_err", "certificate")
+	for _, sres := range stream {
+		st.AddNumericRow(float64(sres.Round), float64(sres.Faulty), sres.Err, sres.Certified)
+		if sres.Err > sres.Certified*(1+1e-9) {
+			res.note("VIOLATION: round %d error %v above certificate %v", sres.Round, sres.Err, sres.Certified)
+		}
+	}
+	res.Tables = append(res.Tables, st)
+	res.note("degradation forecast (topology only): certification lost at round %d of %d", forecast, rounds)
+	return res
+}
+
+// thm5PerLayerRow extends T5 with the Proteus per-layer allocation: the
+// best allocation found on a small grid at the memory of the uniform
+// format. Shared by Thm5Quantisation.
+func thm5PerLayerRow(net *nn.Network, uniformBits int) (alloc []int, bound, memory float64) {
+	uniform, err := quant.Quantize(net, quant.Options{WeightBits: uniformBits})
+	if err != nil {
+		return nil, 0, 0
+	}
+	bestBound := uniform.Bound()
+	L := net.Layers()
+	var best []int
+	var try func(prefix []int)
+	try = func(prefix []int) {
+		if len(prefix) == L+1 {
+			q, err := quant.Quantize(net, quant.Options{PerLayerBits: append([]int(nil), prefix...)})
+			if err != nil {
+				return
+			}
+			if q.MemoryBits() <= uniform.MemoryBits() && q.Bound() < bestBound {
+				bestBound = q.Bound()
+				best = append([]int(nil), prefix...)
+			}
+			return
+		}
+		for b := uniformBits - 4; b <= uniformBits+4; b++ {
+			if b < 2 || b > 52 {
+				continue
+			}
+			try(append(prefix, b))
+		}
+	}
+	try(nil)
+	if best == nil {
+		return nil, uniform.Bound(), float64(uniform.MemoryBits())
+	}
+	q, _ := quant.Quantize(net, quant.Options{PerLayerBits: best})
+	return best, bestBound, float64(q.MemoryBits())
+}

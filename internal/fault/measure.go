@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// MaxError returns the largest |Fneu(x) - Ffail(x)| over the given inputs,
+// evaluated in parallel. The injector must be safe for concurrent use
+// (Crash and Byzantine are; RandomByzantine is not — use MaxErrorSeq).
+func MaxError(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
+		return ErrorOn(n, p, inj, inputs[i])
+	})
+}
+
+// MaxErrorSeq is the sequential variant for stateful injectors.
+func MaxErrorSeq(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+	worst := 0.0
+	for _, x := range inputs {
+		if e := ErrorOn(n, p, inj, x); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// WorstSignError searches all 2^k sign assignments of the plan's Byzantine
+// deviations (k = #neuron faults + #synapse faults) and returns the
+// largest error over the inputs. It refuses plans with more than
+// maxSignBits faults to avoid accidental exponential blow-ups; use
+// MaxError with heuristic signs beyond that.
+func WorstSignError(n *nn.Network, p Plan, base Byzantine, inputs [][]float64) float64 {
+	const maxSignBits = 16
+	k := len(p.Neurons) + len(p.Synapses)
+	if k > maxSignBits {
+		panic(fmt.Sprintf("fault: WorstSignError with %d faults (max %d)", k, maxSignBits))
+	}
+	patterns := 1 << k
+	return parallel.MaxFloat64(patterns, func(bits int) float64 {
+		inj := Byzantine{
+			C:       base.C,
+			Sem:     base.Sem,
+			Sign:    make(map[NeuronFault]float64, len(p.Neurons)),
+			SynSign: make(map[SynapseFault]float64, len(p.Synapses)),
+		}
+		for i, f := range p.Neurons {
+			if bits&(1<<i) != 0 {
+				inj.Sign[f] = -1
+			} else {
+				inj.Sign[f] = 1
+			}
+		}
+		for i, f := range p.Synapses {
+			if bits&(1<<(len(p.Neurons)+i)) != 0 {
+				inj.SynSign[f] = -1
+			} else {
+				inj.SynSign[f] = 1
+			}
+		}
+		worst := 0.0
+		for _, x := range inputs {
+			if e := ErrorOn(n, p, inj, x); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	})
+}
+
+// Combinations invokes fn with every k-subset of [0, n), reusing a single
+// buffer; fn must not retain it. It is the building block of the
+// exhaustive configuration search.
+func Combinations(n, k int, fn func(idx []int)) {
+	if k < 0 || k > n {
+		panic("fault: Combinations k out of range")
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k == 0 {
+		fn(idx)
+		return
+	}
+	for {
+		fn(idx)
+		// Advance to the next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CountConfigurations returns Π_l C(N_l, f_l), the number of distinct
+// failure configurations for the given distribution — the combinatorial
+// explosion the paper's Fep avoids. Returns MaxInt64 on overflow.
+func CountConfigurations(widths, perLayer []int) int64 {
+	if len(widths) != len(perLayer) {
+		panic("fault: distribution length mismatch")
+	}
+	total := int64(1)
+	for l, n := range widths {
+		c := binomial(n, perLayer[l])
+		if c < 0 || total > math.MaxInt64/max64(c, 1) {
+			return math.MaxInt64
+		}
+		total *= c
+	}
+	return total
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := int64(1)
+	for i := 1; i <= k; i++ {
+		if res > math.MaxInt64/int64(n-k+i) {
+			return -1
+		}
+		res = res * int64(n-k+i) / int64(i)
+	}
+	return res
+}
+
+// ExhaustiveResult reports an exhaustive worst-case search.
+type ExhaustiveResult struct {
+	// WorstError is the maximal |Fneu - Ffail| over all configurations
+	// and inputs.
+	WorstError float64
+	// WorstPlan attains it.
+	WorstPlan Plan
+	// Configurations is the number of failure configurations examined.
+	Configurations int64
+}
+
+// ExhaustiveWorstCrash enumerates every choice of perLayer[l] crashed
+// neurons per layer l (all Π C(N_l, f_l) configurations), evaluates each
+// on all inputs, and returns the worst case. Configurations are
+// distributed over a worker pool. It refuses searches above maxConfigs to
+// keep runtimes sane — that refusal is the paper's point.
+func ExhaustiveWorstCrash(n *nn.Network, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
+	L := n.Layers()
+	if len(perLayer) != L {
+		panic("fault: perLayer length must equal layer count")
+	}
+	total := CountConfigurations(n.Widths(), perLayer)
+	if total > maxConfigs {
+		return ExhaustiveResult{}, fmt.Errorf("fault: %d configurations exceed limit %d", total, maxConfigs)
+	}
+
+	// Materialise per-layer combination lists, then walk their cross
+	// product by flat index so the work parallelises trivially.
+	perLayerCombos := make([][][]int, L)
+	for l := 0; l < L; l++ {
+		var combos [][]int
+		Combinations(n.Width(l+1), perLayer[l], func(idx []int) {
+			combos = append(combos, append([]int(nil), idx...))
+		})
+		perLayerCombos[l] = combos
+	}
+
+	buildPlan := func(flat int64) Plan {
+		var p Plan
+		for l := 0; l < L; l++ {
+			count := int64(len(perLayerCombos[l]))
+			choice := perLayerCombos[l][flat%count]
+			flat /= count
+			for _, idx := range choice {
+				p.Neurons = append(p.Neurons, NeuronFault{Layer: l + 1, Index: idx})
+			}
+		}
+		return p
+	}
+
+	type worst struct {
+		err  float64
+		plan Plan
+	}
+	workers := parallel.Workers()
+	partial := make([]worst, workers)
+	chunk := (total + int64(workers) - 1) / int64(workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			lo := int64(slot) * chunk
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			local := worst{}
+			for flat := lo; flat < hi; flat++ {
+				p := buildPlan(flat)
+				for _, x := range inputs {
+					if e := ErrorOn(n, p, Crash{}, x); e > local.err {
+						local = worst{err: e, plan: p}
+					}
+				}
+			}
+			partial[slot] = local
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	res := ExhaustiveResult{Configurations: total}
+	for _, p := range partial {
+		if p.err >= res.WorstError {
+			res.WorstError = p.err
+			res.WorstPlan = p.plan
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// RandomNeuronPlan fails perLayer[l-1] uniformly chosen neurons in each
+// layer l.
+func RandomNeuronPlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
+	if len(perLayer) != n.Layers() {
+		panic("fault: perLayer length must equal the number of layers")
+	}
+	var p Plan
+	for l := 1; l <= n.Layers(); l++ {
+		k := perLayer[l-1]
+		for _, idx := range r.Sample(n.Width(l), k) {
+			p.Neurons = append(p.Neurons, NeuronFault{Layer: l, Index: idx})
+		}
+	}
+	return p
+}
+
+// outgoingWeight scores neuron idx of layer l by the largest absolute
+// weight it feeds forward through — the paper's adversary targets the
+// neurons "with highest weights".
+func outgoingWeight(n *nn.Network, l, idx int) float64 {
+	if l == n.Layers() {
+		return math.Abs(n.Output[idx])
+	}
+	next := n.Hidden[l] // weights into layer l+1
+	best := 0.0
+	for j := 0; j < next.Rows; j++ {
+		if w := math.Abs(next.At(j, idx)); w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// AdversarialNeuronPlan fails, in each layer, the neurons with the
+// largest outgoing weights — the worst-case choice used in the tightness
+// arguments of Theorems 1 and 2.
+func AdversarialNeuronPlan(n *nn.Network, perLayer []int) Plan {
+	if len(perLayer) != n.Layers() {
+		panic("fault: perLayer length must equal the number of layers")
+	}
+	var p Plan
+	for l := 1; l <= n.Layers(); l++ {
+		k := perLayer[l-1]
+		if k == 0 {
+			continue
+		}
+		width := n.Width(l)
+		if k > width {
+			panic("fault: more faults than neurons in layer")
+		}
+		idx := make([]int, width)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return outgoingWeight(n, l, idx[a]) > outgoingWeight(n, l, idx[b])
+		})
+		for _, i := range idx[:k] {
+			p.Neurons = append(p.Neurons, NeuronFault{Layer: l, Index: i})
+		}
+	}
+	return p
+}
+
+// RandomSynapsePlan fails perLayer[l-1] uniformly chosen distinct
+// synapses into each layer l (perLayer has length L+1; the last entry
+// addresses the output synapses).
+func RandomSynapsePlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
+	L := n.Layers()
+	if len(perLayer) != L+1 {
+		panic("fault: synapse perLayer length must be L+1")
+	}
+	var p Plan
+	for l := 1; l <= L+1; l++ {
+		rows := n.Width(l)
+		cols := n.Width(l - 1)
+		k := perLayer[l-1]
+		if k > rows*cols {
+			panic("fault: more synapse faults than synapses in layer")
+		}
+		for _, flat := range r.Sample(rows*cols, k) {
+			p.Synapses = append(p.Synapses, SynapseFault{
+				Layer: l,
+				To:    flat / cols,
+				From:  flat % cols,
+			})
+		}
+	}
+	return p
+}
+
+// AdversarialSynapsePlan fails the largest-magnitude synapses into each
+// layer.
+func AdversarialSynapsePlan(n *nn.Network, perLayer []int) Plan {
+	L := n.Layers()
+	if len(perLayer) != L+1 {
+		panic("fault: synapse perLayer length must be L+1")
+	}
+	var p Plan
+	for l := 1; l <= L+1; l++ {
+		k := perLayer[l-1]
+		if k == 0 {
+			continue
+		}
+		rows := n.Width(l)
+		cols := n.Width(l - 1)
+		weightAt := func(to, from int) float64 {
+			if l == L+1 {
+				return math.Abs(n.Output[from])
+			}
+			return math.Abs(n.Hidden[l-1].At(to, from))
+		}
+		type scored struct {
+			to, from int
+			w        float64
+		}
+		all := make([]scored, 0, rows*cols)
+		for to := 0; to < rows; to++ {
+			for from := 0; from < cols; from++ {
+				all = append(all, scored{to, from, weightAt(to, from)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].w > all[b].w })
+		if k > len(all) {
+			panic("fault: more synapse faults than synapses in layer")
+		}
+		for _, s := range all[:k] {
+			p.Synapses = append(p.Synapses, SynapseFault{Layer: l, To: s.to, From: s.from})
+		}
+	}
+	return p
+}

@@ -1,0 +1,298 @@
+package fault
+
+// Soundness tests: the paper's central inequalities, checked empirically.
+// For ANY network, ANY fault plan and ANY admissible fault values, the
+// measured output deviation must stay below the closed-form bounds of
+// Theorems 2, 3 and 4. These are the load-bearing properties of the whole
+// reproduction: if any randomised case ever violated them, either the
+// bound code or the injection code would be wrong.
+
+import (
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// randomNet draws a random architecture, activation and weight scale.
+func randomNet(r *rng.Rand) *nn.Network {
+	L := r.Intn(3) + 1
+	widths := make([]int, L)
+	for i := range widths {
+		widths[i] = r.Intn(6) + 1
+	}
+	var act activation.Func
+	switch r.Intn(3) {
+	case 0:
+		act = activation.NewSigmoid(r.Range(0.25, 3))
+	case 1:
+		act = activation.NewTanh(r.Range(0.25, 2))
+	default:
+		act = activation.NewHardSigmoid(r.Range(0.5, 2))
+	}
+	return nn.NewRandom(r, nn.Config{
+		InputDim: r.Intn(3) + 1,
+		Widths:   widths,
+		Act:      act,
+		Bias:     r.Bool(0.5),
+	}, r.Range(0.2, 2))
+}
+
+func randomPlanFor(r *rng.Rand, n *nn.Network) Plan {
+	perLayer := make([]int, n.Layers())
+	for l := range perLayer {
+		perLayer[l] = r.Intn(n.Width(l+1) + 1)
+	}
+	return RandomNeuronPlan(r, n, perLayer)
+}
+
+func TestCrashErrorNeverExceedsCrashFep(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 300; trial++ {
+		n := randomNet(r)
+		p := randomPlanFor(r, n)
+		shape := core.ShapeOf(n)
+		bound := core.CrashFep(shape, p.PerLayerNeurons(n.Layers()))
+		inputs := randomInputs(r, n.InputDim, 25)
+		measured := MaxError(n, p, Crash{}, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: crash error %v exceeds CrashFep %v (faults %v)",
+				trial, measured, bound, p.PerLayerNeurons(n.Layers()))
+		}
+	}
+}
+
+func TestByzantineErrorNeverExceedsFep(t *testing.T) {
+	r := rng.New(103)
+	for trial := 0; trial < 300; trial++ {
+		n := randomNet(r)
+		p := randomPlanFor(r, n)
+		c := r.Range(0.1, 3)
+		shape := core.ShapeOf(n)
+		bound := core.Fep(shape, p.PerLayerNeurons(n.Layers()), c)
+		inputs := randomInputs(r, n.InputDim, 20)
+
+		// Extreme deviations with random fixed signs.
+		inj := Byzantine{C: c, Sem: core.DeviationCap, Sign: map[NeuronFault]float64{}}
+		for _, f := range p.Neurons {
+			if r.Bool(0.5) {
+				inj.Sign[f] = -1
+			}
+		}
+		measured := MaxError(n, p, inj, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: byzantine error %v exceeds Fep %v", trial, measured, bound)
+		}
+
+		// Random deviations within the cap.
+		randInj := RandomByzantine{C: c, Sem: core.DeviationCap, R: r.Split()}
+		measured = MaxErrorSeq(n, p, randInj, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: random byzantine error %v exceeds Fep %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestByzantineWorstSignStillWithinFep(t *testing.T) {
+	r := rng.New(107)
+	for trial := 0; trial < 60; trial++ {
+		n := randomNet(r)
+		// Keep sign-search small: at most 8 faults.
+		perLayer := make([]int, n.Layers())
+		budget := 8
+		for l := range perLayer {
+			f := r.Intn(min(n.Width(l+1), budget) + 1)
+			perLayer[l] = f
+			budget -= f
+			if budget <= 0 {
+				break
+			}
+		}
+		p := RandomNeuronPlan(r, n, perLayer)
+		c := r.Range(0.1, 2)
+		bound := core.Fep(core.ShapeOf(n), p.PerLayerNeurons(n.Layers()), c)
+		inputs := randomInputs(r, n.InputDim, 10)
+		measured := WorstSignError(n, p, Byzantine{C: c, Sem: core.DeviationCap}, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: worst-sign error %v exceeds Fep %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestTransmissionCapWithinEffectiveDeviationFep(t *testing.T) {
+	// Under TransmissionCap semantics the deviation can reach C + sup|ϕ|;
+	// EffectiveDeviation feeds that into Fep.
+	r := rng.New(109)
+	for trial := 0; trial < 150; trial++ {
+		n := randomNet(r)
+		p := randomPlanFor(r, n)
+		c := r.Range(0.1, 3)
+		shape := core.ShapeOf(n)
+		eff := core.EffectiveDeviation(c, core.TransmissionCap, shape.ActCap)
+		bound := core.Fep(shape, p.PerLayerNeurons(n.Layers()), eff)
+		inputs := randomInputs(r, n.InputDim, 15)
+		inj := Byzantine{C: c, Sem: core.TransmissionCap, Sign: map[NeuronFault]float64{}}
+		for _, f := range p.Neurons {
+			if r.Bool(0.5) {
+				inj.Sign[f] = -1
+			}
+		}
+		measured := MaxError(n, p, inj, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: transmission-cap error %v exceeds Fep %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestSynapseErrorNeverExceedsSynapseFep(t *testing.T) {
+	r := rng.New(113)
+	for trial := 0; trial < 200; trial++ {
+		n := randomNet(r)
+		L := n.Layers()
+		perLayer := make([]int, L+1)
+		for l := 1; l <= L+1; l++ {
+			// Any placement is admitted, including several faults into
+			// the same receiving neuron.
+			perLayer[l-1] = r.Intn(min(n.Width(l)*n.Width(l-1), 6) + 1)
+		}
+		p := RandomSynapsePlan(r, n, perLayer)
+		c := r.Range(0.1, 2)
+		bound := core.SynapseFep(core.ShapeOf(n), p.PerLayerSynapses(L), c)
+		inputs := randomInputs(r, n.InputDim, 15)
+		inj := Byzantine{C: c, Sem: core.DeviationCap, SynSign: map[SynapseFault]float64{}}
+		for _, f := range p.Synapses {
+			if r.Bool(0.5) {
+				inj.SynSign[f] = -1
+			}
+		}
+		measured := MaxError(n, p, inj, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: synapse error %v exceeds SynapseFep %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestCrashSynapseWithinSynapseFep(t *testing.T) {
+	// A crashed synapse's deviation is |w·y| <= w_m · sup|ϕ|; check the
+	// Lemma 2 bound with c = w_m^{max} · ActCap covers it.
+	r := rng.New(117)
+	for trial := 0; trial < 150; trial++ {
+		n := randomNet(r)
+		L := n.Layers()
+		shape := core.ShapeOf(n)
+		wmax := 0.0
+		for _, w := range shape.MaxW {
+			if w > wmax {
+				wmax = w
+			}
+		}
+		c := wmax * shape.ActCap
+		var p Plan
+		perLayer := make([]int, L+1)
+		for l := 1; l <= L+1; l++ {
+			if r.Bool(0.6) && n.Width(l) > 0 {
+				to := r.Intn(n.Width(l))
+				from := r.Intn(n.Width(l - 1))
+				p.Synapses = append(p.Synapses, SynapseFault{Layer: l, To: to, From: from})
+				perLayer[l-1]++
+			}
+		}
+		bound := core.SynapseFep(shape, perLayer, c)
+		inputs := randomInputs(r, n.InputDim, 15)
+		measured := MaxError(n, p, Crash{}, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: crashed synapse error %v exceeds bound %v", trial, measured, bound)
+		}
+	}
+}
+
+func TestMixedErrorNeverExceedsMixedFep(t *testing.T) {
+	// Simultaneous crash + Byzantine neurons + Byzantine synapses,
+	// bounded by the joint recursion of core.MixedFep.
+	r := rng.New(127)
+	for trial := 0; trial < 200; trial++ {
+		n := randomNet(r)
+		L := n.Layers()
+		crash := make([]int, L)
+		byz := make([]int, L)
+		for l := 0; l < L; l++ {
+			w := n.Width(l + 1)
+			byz[l] = r.Intn(w + 1)
+			crash[l] = r.Intn(w + 1 - byz[l])
+		}
+		syn := make([]int, L+1)
+		for l := 1; l <= L+1; l++ {
+			syn[l-1] = r.Intn(min(n.Width(l)*n.Width(l-1), 4) + 1)
+		}
+		// Build one plan: crash+byz neurons (distinct), plus synapses.
+		total := make([]int, L)
+		for l := range total {
+			total[l] = crash[l] + byz[l]
+		}
+		p := RandomNeuronPlan(r, n, total)
+		sp := RandomSynapsePlan(r, n, syn)
+		p.Synapses = sp.Synapses
+
+		c := r.Range(0.1, 2)
+		inj := Mixed{
+			CrashSet: map[NeuronFault]bool{},
+			Byz:      Byzantine{C: c, Sem: core.DeviationCap, Sign: map[NeuronFault]float64{}, SynSign: map[SynapseFault]float64{}},
+		}
+		// First crash[l] planned faults of each layer crash; rest lie.
+		seen := make([]int, L)
+		for _, f := range p.Neurons {
+			if seen[f.Layer-1] < crash[f.Layer-1] {
+				inj.CrashSet[f] = true
+			} else if r.Bool(0.5) {
+				inj.Byz.Sign[f] = -1
+			}
+			seen[f.Layer-1]++
+		}
+		for _, f := range p.Synapses {
+			if r.Bool(0.5) {
+				inj.Byz.SynSign[f] = -1
+			}
+		}
+
+		d := core.MixedDistribution{Crash: crash, Byzantine: byz, Synapses: syn}
+		bound := core.MixedFep(core.ShapeOf(n), d, c)
+		inputs := randomInputs(r, n.InputDim, 15)
+		measured := MaxError(n, p, inj, inputs)
+		if measured > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: mixed error %v exceeds MixedFep %v (crash %v byz %v syn %v)",
+				trial, measured, bound, crash, byz, syn)
+		}
+	}
+}
+
+func TestExhaustiveWorstNeverExceedsCrashFep(t *testing.T) {
+	// Even the true worst configuration over ALL choices stays within the
+	// topology-only bound — the inequality the paper sells.
+	r := rng.New(119)
+	for trial := 0; trial < 20; trial++ {
+		n := nn.NewRandom(r, nn.Config{
+			InputDim: 2,
+			Widths:   []int{r.Intn(4) + 2, r.Intn(3) + 2},
+			Act:      activation.NewSigmoid(r.Range(0.5, 2)),
+		}, r.Range(0.3, 1.5))
+		perLayer := []int{r.Intn(2) + 1, 1}
+		inputs := randomInputs(r, 2, 10)
+		res, err := ExhaustiveWorstCrash(n, perLayer, inputs, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := core.CrashFep(core.ShapeOf(n), perLayer)
+		if res.WorstError > bound*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: exhaustive worst %v exceeds CrashFep %v", trial, res.WorstError, bound)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

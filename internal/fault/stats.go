@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Profile is the empirical error distribution of a failure process —
+// the probabilistic complement to the worst-case Fep bound: Fep certifies
+// the tail's endpoint, the profile shows where the mass actually sits.
+type Profile struct {
+	// Stats summarises the per-trial max errors.
+	Stats metrics.Stats
+	// Q90, Q99 are upper quantiles of the per-trial max error.
+	Q90, Q99 float64
+	// Trials is the number of random failure configurations evaluated.
+	Trials int
+}
+
+// MonteCarlo samples random failure configurations of the given per-layer
+// distribution, each with random bounded Byzantine values (or crashes
+// when c == 0), measures the max error over the inputs for each, and
+// returns the empirical profile.
+func MonteCarlo(n *nn.Network, perLayer []int, c float64, sem core.CapSemantics, inputs [][]float64, trials int, r *rng.Rand) Profile {
+	errs := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		plan := RandomNeuronPlan(r, n, perLayer)
+		var inj Injector
+		if c == 0 {
+			inj = Crash{}
+		} else {
+			inj = RandomByzantine{C: c, Sem: sem, R: r.Split()}
+		}
+		errs[t] = MaxErrorSeq(n, plan, inj, inputs)
+	}
+	sorted := append([]float64(nil), errs...)
+	insertionSort(sorted)
+	return Profile{
+		Stats:  metrics.Summarize(errs),
+		Q90:    quantile(sorted, 0.90),
+		Q99:    quantile(sorted, 0.99),
+		Trials: trials,
+	}
+}
+
+// inputCand pairs a candidate worst input with its error.
+type inputCand struct {
+	x []float64
+	e float64
+}
+
+// insertionSortCands orders candidates by error, descending.
+func insertionSortCands(xs []inputCand) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].e > xs[j-1].e; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// WorstInput searches for an input maximising the damaged-vs-nominal
+// error: a random sampling phase (16 candidates per restart) seeds
+// coordinate-wise hill climbing on [0,1]^d from the best points found.
+// It complements grid sampling: the tightness demonstrations need inputs
+// near the equality cases of the proofs, which climbing localises far
+// more cheaply than a dense grid.
+func WorstInput(n *nn.Network, p Plan, inj Injector, r *rng.Rand, restarts, steps int) ([]float64, float64) {
+	d := n.InputDim
+	// Sampling phase: collect starting points, keep the `restarts` best.
+	pool := make([]inputCand, 0, 16*restarts)
+	for i := 0; i < 16*restarts; i++ {
+		x := make([]float64, d)
+		r.Floats(x, 0, 1)
+		pool = append(pool, inputCand{x, ErrorOn(n, p, inj, x)})
+	}
+	insertionSortCands(pool)
+	if restarts > len(pool) {
+		restarts = len(pool)
+	}
+
+	bestX := make([]float64, d)
+	bestErr := -1.0
+	for restart := 0; restart < restarts; restart++ {
+		x := append([]float64(nil), pool[restart].x...)
+		cur := pool[restart].e
+		step := 0.25
+		for s := 0; s < steps; s++ {
+			improved := false
+			for i := 0; i < d; i++ {
+				for _, dir := range []float64{+1, -1} {
+					cand := x[i] + dir*step
+					if cand < 0 || cand > 1 {
+						continue
+					}
+					old := x[i]
+					x[i] = cand
+					if e := ErrorOn(n, p, inj, x); e > cur {
+						cur = e
+						improved = true
+					} else {
+						x[i] = old
+					}
+				}
+			}
+			if !improved {
+				step /= 2
+				if step < 1e-4 {
+					break
+				}
+			}
+		}
+		if cur > bestErr {
+			bestErr = cur
+			copy(bestX, x)
+		}
+	}
+	return bestX, bestErr
+}

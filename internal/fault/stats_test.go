@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestMonteCarloWithinFep(t *testing.T) {
+	r := rng.New(31)
+	n := randomSigmoidNet(r, []int{8, 6}, 1)
+	perLayer := []int{2, 1}
+	inputs := randomInputs(r, 2, 10)
+	c := 0.8
+	prof := MonteCarlo(n, perLayer, c, core.DeviationCap, inputs, 200, r)
+	bound := core.Fep(core.ShapeOf(n), perLayer, c)
+	if prof.Stats.Max > bound*(1+1e-9) {
+		t.Fatalf("Monte Carlo max %v exceeds Fep %v", prof.Stats.Max, bound)
+	}
+	if prof.Stats.Mean <= 0 {
+		t.Fatal("mean error should be positive with faults present")
+	}
+	if prof.Q90 > prof.Q99+1e-12 || prof.Q99 > prof.Stats.Max+1e-12 {
+		t.Fatalf("quantiles out of order: q90=%v q99=%v max=%v", prof.Q90, prof.Q99, prof.Stats.Max)
+	}
+	if prof.Trials != 200 {
+		t.Fatal("trial count wrong")
+	}
+}
+
+func TestMonteCarloCrashMode(t *testing.T) {
+	r := rng.New(33)
+	n := randomSigmoidNet(r, []int{6}, 1)
+	inputs := randomInputs(r, 2, 10)
+	prof := MonteCarlo(n, []int{2}, 0, core.DeviationCap, inputs, 100, r)
+	bound := core.CrashFep(core.ShapeOf(n), []int{2})
+	if prof.Stats.Max > bound*(1+1e-9) {
+		t.Fatalf("crash Monte Carlo max %v exceeds CrashFep %v", prof.Stats.Max, bound)
+	}
+}
+
+func TestMonteCarloTypicalWellBelowWorstCase(t *testing.T) {
+	// The point of the profile: random failures hurt far less than the
+	// adversarial worst case the bound must cover.
+	r := rng.New(35)
+	n := randomSigmoidNet(r, []int{10}, 1)
+	inputs := randomInputs(r, 2, 20)
+	prof := MonteCarlo(n, []int{2}, 0, core.DeviationCap, inputs, 300, r)
+	bound := core.CrashFep(core.ShapeOf(n), []int{2})
+	if prof.Stats.Mean >= bound/2 {
+		t.Fatalf("mean %v suspiciously close to worst-case bound %v", prof.Stats.Mean, bound)
+	}
+}
+
+func TestQuantileHelper(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestInsertionSort(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	insertionSort(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}
+
+func TestWorstInputBeatsRandomSampling(t *testing.T) {
+	r := rng.New(37)
+	for trial := 0; trial < 10; trial++ {
+		n := randomSigmoidNet(r, []int{6, 4}, 1.5)
+		plan := AdversarialNeuronPlan(n, []int{2, 1})
+		_, found := WorstInput(n, plan, Crash{}, r.Split(), 6, 30)
+		randomMax := MaxError(n, plan, Crash{}, randomInputs(r, 2, 50))
+		if found < randomMax*0.98 {
+			t.Fatalf("trial %d: hill climbing found %v, random sampling %v", trial, found, randomMax)
+		}
+		// And it never exceeds the bound.
+		bound := core.CrashFep(core.ShapeOf(n), []int{2, 1})
+		if found > bound*(1+1e-9) {
+			t.Fatalf("trial %d: worst input error %v exceeds bound %v", trial, found, bound)
+		}
+	}
+}
+
+func TestWorstInputStaysInDomain(t *testing.T) {
+	r := rng.New(39)
+	n := randomSigmoidNet(r, []int{5}, 1)
+	plan := AdversarialNeuronPlan(n, []int{1})
+	x, _ := WorstInput(n, plan, Crash{}, r, 3, 20)
+	for _, v := range x {
+		if v < 0 || v > 1 {
+			t.Fatalf("worst input %v escaped [0,1]", x)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSupDistance(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] }
+	g := func(x []float64) float64 { return x[0] * x[0] }
+	pts := Grid(1, 101)
+	// sup |x - x^2| on [0,1] = 1/4 at x = 1/2.
+	got := SupDistance(f, g, pts)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("SupDistance = %v, want 0.25", got)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	pts := Grid(2, 3)
+	if len(pts) != 9 {
+		t.Fatalf("Grid(2,3) has %d points", len(pts))
+	}
+	seen := map[[2]float64]bool{}
+	for _, p := range pts {
+		if len(p) != 2 {
+			t.Fatal("wrong dimension")
+		}
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("grid point %v outside [0,1]", v)
+			}
+		}
+		seen[[2]float64{p[0], p[1]}] = true
+	}
+	if len(seen) != 9 {
+		t.Fatal("grid points not distinct")
+	}
+	if !seen[[2]float64{0, 0}] || !seen[[2]float64{1, 1}] {
+		t.Fatal("grid must include corners")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Grid(0, 3) },
+		func() { Grid(1, 1) },
+		func() { Grid(30, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandomPoints(t *testing.T) {
+	r := rng.New(1)
+	pts := RandomPoints(r, 3, 100)
+	if len(pts) != 100 {
+		t.Fatal("wrong count")
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatal("wrong dim")
+		}
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("point %v outside [0,1)", v)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	// y = 3 x^2.5 exactly.
+	var x, y []float64
+	for _, v := range []float64{0.1, 0.5, 1, 2, 7, 20} {
+		x = append(x, v)
+		y = append(y, 3*math.Pow(v, 2.5))
+	}
+	got := LogLogSlope(x, y)
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("LogLogSlope = %v, want 2.5", got)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	got := LogLogSlope([]float64{0, 1, 2}, []float64{5, 1, 2})
+	if math.IsNaN(got) {
+		t.Fatal("should fit on the two positive pairs")
+	}
+	if math.IsNaN(LogLogSlope([]float64{0}, []float64{1})) == false {
+		t.Fatal("single usable pair should give NaN")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LeastSquares(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("LeastSquares = %v, %v", slope, intercept)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if p := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", p)
+	}
+	if p := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", p)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("err", 4)
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("Series = %+v", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "k", "err")
+	tb.AddNumericRow(1, 0.5)
+	tb.AddRow("2", "big")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "k", "err", "0.5", "big"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableArityPanic(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) || !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", out)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := NewSeries("a", 2)
+	b := NewSeries("b", 2)
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 30)
+	b.Add(2, 40)
+	tb := SeriesTable("joint", "x", a, b)
+	if len(tb.Rows) != 2 || len(tb.Columns) != 3 {
+		t.Fatalf("SeriesTable shape wrong: %+v", tb)
+	}
+}
+
+func TestSeriesTableMisaligned(t *testing.T) {
+	a := NewSeries("a", 1)
+	b := NewSeries("b", 1)
+	a.Add(1, 10)
+	b.Add(2, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on misaligned X")
+		}
+	}()
+	SeriesTable("bad", "x", a, b)
+}
+
+func TestFmtNum(t *testing.T) {
+	cases := map[float64]string{
+		0:          "0",
+		math.NaN(): "NaN",
+	}
+	for v, want := range cases {
+		if got := fmtNum(v); got != want {
+			t.Fatalf("fmtNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := fmtNum(123456789); !strings.Contains(got, "e") {
+		t.Fatalf("large numbers should use scientific notation: %q", got)
+	}
+	if got := fmtNum(0.0000123); !strings.Contains(got, "e") {
+		t.Fatalf("tiny numbers should use scientific notation: %q", got)
+	}
+}

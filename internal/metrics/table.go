@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered as aligned text or CSV — the
+// form in which the experiment harness reports the rows the paper's
+// figures plot.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of raw cells; it panics on arity mismatch.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row has %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNumericRow formats float64 cells and appends them.
+func (t *Table) AddNumericRow(cells ...float64) {
+	row := make([]string, len(cells))
+	for i, v := range cells {
+		row[i] = fmtNum(v)
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (RFC-4180 quoting for cells that need
+// it).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SeriesTable lays several series with a shared X column out as one table
+// (series are sampled at identical X values; it panics otherwise).
+func SeriesTable(title, xLabel string, series ...*Series) *Table {
+	if len(series) == 0 {
+		panic("metrics: SeriesTable with no series")
+	}
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Label)
+		if s.Len() != series[0].Len() {
+			panic("metrics: SeriesTable with unequal series lengths")
+		}
+	}
+	t := NewTable(title, cols...)
+	for i := 0; i < series[0].Len(); i++ {
+		row := []float64{series[0].X[i]}
+		for _, s := range series {
+			if s.X[i] != series[0].X[i] {
+				panic("metrics: SeriesTable with misaligned X values")
+			}
+			row = append(row, s.Y[i])
+		}
+		t.AddNumericRow(row...)
+	}
+	return t
+}

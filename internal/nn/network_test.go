@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/activation"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// handNet builds the 2-input, one-hidden-layer network used by the
+// hand-computed forward tests:
+//
+//	W^{(1)} = [[1, -1], [0.5, 0.5]],  w^{(2)} = [2, -3], identity ϕ.
+func handNet(act activation.Func) *Network {
+	return &Network{
+		InputDim: 2,
+		Act:      act,
+		Hidden:   []*tensor.Matrix{tensor.FromRows([][]float64{{1, -1}, {0.5, 0.5}})},
+		Output:   []float64{2, -3},
+	}
+}
+
+func TestForwardHandComputedIdentity(t *testing.T) {
+	n := handNet(activation.Identity{})
+	// x = (1, 0): s = (1, 0.5); out = 2*1 - 3*0.5 = 0.5.
+	got := n.Forward([]float64{1, 0})
+	if math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("Forward = %v, want 0.5", got)
+	}
+}
+
+func TestForwardHandComputedSigmoid(t *testing.T) {
+	s := activation.NewSigmoid(0.25) // standard logistic
+	n := handNet(s)
+	x := []float64{0.3, 0.7}
+	s1 := s.Eval(0.3 - 0.7)
+	s2 := s.Eval(0.5*0.3 + 0.5*0.7)
+	want := 2*s1 - 3*s2
+	got := n.Forward(x)
+	if math.Abs(got-want) > 1e-14 {
+		t.Fatalf("Forward = %v, want %v", got, want)
+	}
+}
+
+func TestForwardWithBias(t *testing.T) {
+	n := handNet(activation.Identity{})
+	n.Biases = [][]float64{{10, 20}}
+	n.OutputBias = 1
+	// s = (1+10, 0.5+20) = (11, 20.5); out = 2*11 - 3*20.5 + 1 = -38.5.
+	got := n.Forward([]float64{1, 0})
+	if math.Abs(got+38.5) > 1e-12 {
+		t.Fatalf("Forward = %v, want -38.5", got)
+	}
+}
+
+func TestForwardTraceConsistent(t *testing.T) {
+	r := rng.New(1)
+	n := NewRandom(r, Config{InputDim: 3, Widths: []int{5, 4, 2}, Act: activation.NewSigmoid(1), Bias: true}, 0.8)
+	x := []float64{0.1, 0.5, 0.9}
+	tr := n.ForwardTrace(x)
+	if math.Abs(tr.Output-n.Forward(x)) > 1e-14 {
+		t.Fatal("trace output differs from Forward")
+	}
+	if len(tr.Sums) != 3 || len(tr.Outputs) != 3 {
+		t.Fatal("trace layer count wrong")
+	}
+	for l := range tr.Sums {
+		if len(tr.Sums[l]) != n.Width(l+1) || len(tr.Outputs[l]) != n.Width(l+1) {
+			t.Fatalf("trace layer %d width wrong", l+1)
+		}
+		for j := range tr.Sums[l] {
+			if math.Abs(n.Act.Eval(tr.Sums[l][j])-tr.Outputs[l][j]) > 1e-15 {
+				t.Fatalf("outputs[%d][%d] != ϕ(sums)", l, j)
+			}
+		}
+	}
+	// Manually recompute the final output from the trace.
+	want := tensor.Dot(n.Output, tr.Outputs[2]) + n.OutputBias
+	if math.Abs(want-tr.Output) > 1e-14 {
+		t.Fatal("trace output inconsistent with last layer outputs")
+	}
+}
+
+func TestForwardBatchMatchesForward(t *testing.T) {
+	r := rng.New(2)
+	n := NewRandom(r, Config{InputDim: 4, Widths: []int{6, 3}, Act: activation.NewTanh(1)}, 1)
+	xs := make([][]float64, 50)
+	for i := range xs {
+		xs[i] = make([]float64, 4)
+		r.Floats(xs[i], 0, 1)
+	}
+	batch := n.ForwardBatch(xs)
+	for i, x := range xs {
+		if math.Abs(batch[i]-n.Forward(x)) > 1e-15 {
+			t.Fatalf("batch[%d] differs", i)
+		}
+	}
+}
+
+func TestWidths(t *testing.T) {
+	r := rng.New(3)
+	n := NewRandom(r, Config{InputDim: 7, Widths: []int{5, 3, 8}, Act: activation.NewSigmoid(1)}, 1)
+	if n.Layers() != 3 {
+		t.Fatal("Layers wrong")
+	}
+	if n.Width(0) != 7 || n.Width(1) != 5 || n.Width(2) != 3 || n.Width(3) != 8 || n.Width(4) != 1 {
+		t.Fatal("Width wrong")
+	}
+	ws := n.Widths()
+	if len(ws) != 3 || ws[0] != 5 || ws[1] != 3 || ws[2] != 8 {
+		t.Fatalf("Widths = %v", ws)
+	}
+	if n.Neurons() != 16 {
+		t.Fatalf("Neurons = %d", n.Neurons())
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	n := handNet(activation.Identity{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Width(5) should panic")
+		}
+	}()
+	n.Width(5)
+}
+
+func TestMaxWeight(t *testing.T) {
+	n := handNet(activation.Identity{})
+	if n.MaxWeight(1) != 1 {
+		t.Fatalf("w_m^{(1)} = %v, want 1", n.MaxWeight(1))
+	}
+	if n.MaxWeight(2) != 3 {
+		t.Fatalf("w_m^{(2)} = %v, want 3", n.MaxWeight(2))
+	}
+	// Biases are weights to constant neurons, which never fail and hence
+	// carry no deviation: they stay out of w_m.
+	n.Biases = [][]float64{{-7, 0}}
+	n.OutputBias = -9
+	if n.MaxWeight(1) != 1 || n.MaxWeight(2) != 3 {
+		t.Fatalf("bias leaked into w_m: %v, %v", n.MaxWeight(1), n.MaxWeight(2))
+	}
+	ws := n.MaxWeights()
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 3 {
+		t.Fatalf("MaxWeights = %v", ws)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	r := rng.New(4)
+	n := NewRandom(r, Config{InputDim: 2, Widths: []int{3, 4}, Act: activation.NewSigmoid(1), Bias: true}, 1)
+	// W1: 3*2=6 + b1: 3; W2: 4*3=12 + b2: 4; out: 4 + 1 bias = 30.
+	if n.Parameters() != 30 {
+		t.Fatalf("Parameters = %d, want 30", n.Parameters())
+	}
+}
+
+func TestValidateCatchesMismatch(t *testing.T) {
+	n := handNet(activation.Identity{})
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid net rejected: %v", err)
+	}
+	bad := n.Clone()
+	bad.Output = []float64{1}
+	if bad.Validate() == nil {
+		t.Fatal("short output weights accepted")
+	}
+	bad2 := n.Clone()
+	bad2.Hidden[0] = tensor.NewMatrix(2, 3)
+	if bad2.Validate() == nil {
+		t.Fatal("input mismatch accepted")
+	}
+	bad3 := n.Clone()
+	bad3.Act = nil
+	if bad3.Validate() == nil {
+		t.Fatal("nil activation accepted")
+	}
+	bad4 := n.Clone()
+	bad4.Biases = [][]float64{{1, 2, 3}}
+	if bad4.Validate() == nil {
+		t.Fatal("wrong bias length accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := rng.New(5)
+	n := NewRandom(r, Config{InputDim: 2, Widths: []int{3}, Act: activation.NewSigmoid(1), Bias: true}, 1)
+	c := n.Clone()
+	c.Hidden[0].Set(0, 0, 99)
+	c.Output[0] = 99
+	c.Biases[0][0] = 99
+	if n.Hidden[0].At(0, 0) == 99 || n.Output[0] == 99 || n.Biases[0][0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	n := NewRandom(r, Config{InputDim: 3, Widths: []int{4, 2}, Act: activation.NewSigmoid(2), Bias: true}, 1)
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Network
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.4, 0.6}
+	if math.Abs(n.Forward(x)-restored.Forward(x)) > 1e-15 {
+		t.Fatal("restored network computes differently")
+	}
+	if restored.Act.Lipschitz() != 2 {
+		t.Fatal("activation K lost in round trip")
+	}
+}
+
+func TestJSONRejectsUnknownActivation(t *testing.T) {
+	var n Network
+	err := json.Unmarshal([]byte(`{"input_dim":1,"activation":"mystery","hidden":[[[1]]],"output":[1]}`), &n)
+	if err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+}
+
+func TestGlorotProducesValidNetwork(t *testing.T) {
+	r := rng.New(7)
+	n := NewGlorot(r, Config{InputDim: 5, Widths: []int{10, 10}, Act: activation.NewSigmoid(1), Bias: true})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range n.Biases {
+		for _, v := range b {
+			if v != 0 {
+				t.Fatal("Glorot biases should start at zero")
+			}
+		}
+	}
+}
+
+func TestOutputBoundedByWeightsProperty(t *testing.T) {
+	// |Fneu(X)| <= N_L * w_m^{(L+1)} * sup|ϕ| + |bias| for sigmoid nets:
+	// the coarse bound behind Lemma 1's discussion.
+	r := rng.New(8)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) + 1000)
+		widths := []int{rr.Intn(6) + 1, rr.Intn(6) + 1}
+		n := NewRandom(rr, Config{InputDim: 2, Widths: widths, Act: activation.NewSigmoid(1)}, 2)
+		x := []float64{rr.Float64(), rr.Float64()}
+		out := n.Forward(x)
+		bound := float64(widths[1])*n.MaxWeight(3) + 1e-12
+		return math.Abs(out) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestNewShellPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{InputDim: 0, Widths: []int{1}},
+		{InputDim: 1, Widths: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			NewRandom(rng.New(1), cfg, 1)
+		}()
+	}
+}

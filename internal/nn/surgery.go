@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// RemoveNeurons returns a new network with the given hidden neurons
+// physically removed: their rows disappear from their layer's weight
+// matrix and the corresponding columns disappear from the next layer's
+// (or from the output weights). The result computes exactly what the
+// original computes when those neurons crash — the paper's Section I
+// observation that maskable neurons "could have been eliminated from the
+// design" made executable, and a differential oracle for the crash
+// injector.
+//
+// Every layer must keep at least one neuron. neurons is a map from layer
+// (1..L) to the indices to remove within that layer.
+func RemoveNeurons(n *Network, neurons map[int][]int) (*Network, error) {
+	for layer, idxs := range neurons {
+		if layer < 1 || layer > n.Layers() {
+			return nil, fmt.Errorf("nn: RemoveNeurons layer %d out of range", layer)
+		}
+		seen := map[int]bool{}
+		for _, i := range idxs {
+			if i < 0 || i >= n.Width(layer) {
+				return nil, fmt.Errorf("nn: RemoveNeurons index %d out of range for layer %d", i, layer)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("nn: RemoveNeurons duplicate index %d in layer %d", i, layer)
+			}
+			seen[i] = true
+		}
+		if len(idxs) >= n.Width(layer) {
+			return nil, fmt.Errorf("nn: RemoveNeurons would empty layer %d", layer)
+		}
+	}
+
+	out := n.Clone()
+	// Process layers in order; removing rows of layer l shifts the
+	// column space of layer l+1.
+	for layer := 1; layer <= n.Layers(); layer++ {
+		idxs := append([]int(nil), neurons[layer]...)
+		if len(idxs) == 0 {
+			continue
+		}
+		sort.Ints(idxs)
+		keep := keepMask(out.Hidden[layer-1].Rows, idxs)
+
+		// Drop rows from this layer's weights and biases.
+		out.Hidden[layer-1] = dropRows(out.Hidden[layer-1], keep)
+		if out.Biases != nil && out.Biases[layer-1] != nil {
+			out.Biases[layer-1] = dropElems(out.Biases[layer-1], keep)
+		}
+		// Drop the matching columns downstream.
+		if layer == out.Layers() {
+			out.Output = dropElems(out.Output, keep)
+		} else {
+			out.Hidden[layer] = dropCols(out.Hidden[layer], keep)
+		}
+	}
+	return out, out.Validate()
+}
+
+// SplitNeurons over-provisions layer l by replacing every neuron with k
+// functionally identical copies: each copy keeps the original incoming
+// weights (so it computes the same output y) while the outgoing weights
+// are divided by k (so the downstream sums are unchanged). The transform
+// preserves the computed function EXACTLY — ε' does not move — while
+// w_m^{(l+1)} shrinks by the factor k, which multiplies the tolerated
+// fault counts of Theorems 1 and 3 accordingly: Corollary 1's
+// over-provisioning made mechanical, applicable to any trained network
+// without retraining. The price is k times the neurons (and synapses) in
+// that layer — exactly the robustness/cost trade the paper discusses.
+func SplitNeurons(n *Network, layer, k int) (*Network, error) {
+	if layer < 1 || layer > n.Layers() {
+		return nil, fmt.Errorf("nn: SplitNeurons layer %d out of range", layer)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("nn: SplitNeurons factor %d < 1", k)
+	}
+	out := n.Clone()
+	if k == 1 {
+		return out, nil
+	}
+	src := out.Hidden[layer-1]
+	width := src.Rows
+
+	// Duplicate incoming rows: copies are interleaved (j-th original
+	// becomes copies k*j .. k*j+k-1).
+	grown := tensor.NewMatrix(width*k, src.Cols)
+	for j := 0; j < width; j++ {
+		for c := 0; c < k; c++ {
+			copy(grown.Row(j*k+c), src.Row(j))
+		}
+	}
+	out.Hidden[layer-1] = grown
+	if out.Biases != nil && out.Biases[layer-1] != nil {
+		b := make([]float64, width*k)
+		for j, v := range out.Biases[layer-1] {
+			for c := 0; c < k; c++ {
+				b[j*k+c] = v
+			}
+		}
+		out.Biases[layer-1] = b
+	}
+
+	// Downstream weights: each column is split into k columns of w/k.
+	if layer == out.Layers() {
+		split := make([]float64, width*k)
+		for j, w := range out.Output {
+			for c := 0; c < k; c++ {
+				split[j*k+c] = w / float64(k)
+			}
+		}
+		out.Output = split
+	} else {
+		next := out.Hidden[layer]
+		splitNext := tensor.NewMatrix(next.Rows, width*k)
+		for r := 0; r < next.Rows; r++ {
+			srcRow := next.Row(r)
+			dstRow := splitNext.Row(r)
+			for j, w := range srcRow {
+				for c := 0; c < k; c++ {
+					dstRow[j*k+c] = w / float64(k)
+				}
+			}
+		}
+		out.Hidden[layer] = splitNext
+	}
+	return out, out.Validate()
+}
+
+func keepMask(n int, remove []int) []bool {
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, i := range remove {
+		keep[i] = false
+	}
+	return keep
+}
+
+func dropRows(m *tensor.Matrix, keep []bool) *tensor.Matrix {
+	var rows [][]float64
+	for r := 0; r < m.Rows; r++ {
+		if keep[r] {
+			rows = append(rows, tensor.Clone(m.Row(r)))
+		}
+	}
+	return tensor.FromRows(rows)
+}
+
+func dropCols(m *tensor.Matrix, keep []bool) *tensor.Matrix {
+	var rows [][]float64
+	for r := 0; r < m.Rows; r++ {
+		src := m.Row(r)
+		row := make([]float64, 0, len(src))
+		for c, v := range src {
+			if keep[c] {
+				row = append(row, v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return tensor.FromRows(rows)
+}
+
+func dropElems(xs []float64, keep []bool) []float64 {
+	out := make([]float64, 0, len(xs))
+	for i, v := range xs {
+		if keep[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/rng"
+)
+
+func surgeryNet(r *rng.Rand) *Network {
+	return NewRandom(r, Config{
+		InputDim: 3,
+		Widths:   []int{6, 5, 4},
+		Act:      activation.NewSigmoid(1),
+		Bias:     true,
+	}, 0.8)
+}
+
+// crashForward evaluates n with the given neurons outputting 0 — a local
+// reimplementation so this package needn't import the fault package.
+func crashForward(n *Network, dead map[int][]int, x []float64) float64 {
+	y := x
+	for l := 1; l <= n.Layers(); l++ {
+		s := n.Hidden[l-1].MulVec(y)
+		if n.Biases != nil && n.Biases[l-1] != nil {
+			for j := range s {
+				s[j] += n.Biases[l-1][j]
+			}
+		}
+		out := make([]float64, len(s))
+		for j := range s {
+			out[j] = n.Act.Eval(s[j])
+		}
+		for _, idx := range dead[l] {
+			out[idx] = 0
+		}
+		y = out
+	}
+	sum := n.OutputBias
+	for i, w := range n.Output {
+		sum += w * y[i]
+	}
+	return sum
+}
+
+func TestRemoveNeuronsEqualsCrash(t *testing.T) {
+	// The paper's Section I remark as an executable identity: a network
+	// with maskable neurons removed computes exactly the crashed network.
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := surgeryNet(r)
+		dead := map[int][]int{}
+		for l := 1; l <= n.Layers(); l++ {
+			k := r.Intn(n.Width(l) - 1) // keep at least one
+			if k > 0 {
+				dead[l] = r.Sample(n.Width(l), k)
+			}
+		}
+		removed, err := RemoveNeurons(n, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			x := make([]float64, 3)
+			r.Floats(x, 0, 1)
+			a := removed.Forward(x)
+			b := crashForward(n, dead, x)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("trial %d: removed %v != crashed %v", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestRemoveNeuronsShrinksWidths(t *testing.T) {
+	r := rng.New(2)
+	n := surgeryNet(r)
+	removed, err := RemoveNeurons(n, map[int][]int{1: {0, 2}, 3: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Width(1) != 4 || removed.Width(2) != 5 || removed.Width(3) != 3 {
+		t.Fatalf("widths after surgery: %v", removed.Widths())
+	}
+	if err := removed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNeuronsOriginalUntouched(t *testing.T) {
+	r := rng.New(3)
+	n := surgeryNet(r)
+	x := []float64{0.1, 0.5, 0.9}
+	before := n.Forward(x)
+	if _, err := RemoveNeurons(n, map[int][]int{2: {0}}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Forward(x) != before {
+		t.Fatal("surgery mutated the original")
+	}
+}
+
+func TestRemoveNeuronsValidation(t *testing.T) {
+	r := rng.New(4)
+	n := surgeryNet(r)
+	cases := []map[int][]int{
+		{0: {0}},                // layer out of range
+		{4: {0}},                // layer out of range
+		{1: {9}},                // index out of range
+		{1: {0, 0}},             // duplicate
+		{1: {0, 1, 2, 3, 4, 5}}, // empties the layer
+	}
+	for i, c := range cases {
+		if _, err := RemoveNeurons(n, c); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSplitNeuronsPreservesFunction(t *testing.T) {
+	r := rng.New(71)
+	for trial := 0; trial < 20; trial++ {
+		n := surgeryNet(r)
+		layer := r.Intn(3) + 1
+		k := r.Intn(3) + 2
+		split, err := SplitNeurons(n, layer, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if split.Width(layer) != n.Width(layer)*k {
+			t.Fatalf("layer %d width %d, want %d", layer, split.Width(layer), n.Width(layer)*k)
+		}
+		for i := 0; i < 10; i++ {
+			x := make([]float64, 3)
+			r.Floats(x, 0, 1)
+			a := n.Forward(x)
+			b := split.Forward(x)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("trial %d: split changed the function: %v vs %v", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestSplitNeuronsShrinksDownstreamMax(t *testing.T) {
+	// The robustness payoff: w_m of the next synapse layer divides by k,
+	// so Theorem 1/3 tolerate k times more faults at the same slack.
+	r := rng.New(73)
+	n := surgeryNet(r)
+	const k = 4
+	split, err := SplitNeurons(n, n.Layers(), k) // split the last layer
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmBefore := n.MaxWeight(n.Layers() + 1)
+	wmAfter := split.MaxWeight(split.Layers() + 1)
+	if math.Abs(wmAfter-wmBefore/k) > 1e-12 {
+		t.Fatalf("output w_m %v, want %v/4", wmAfter, wmBefore)
+	}
+}
+
+func TestSplitNeuronsIdentityFactor(t *testing.T) {
+	r := rng.New(75)
+	n := surgeryNet(r)
+	same, err := SplitNeurons(n, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.4, 0.6}
+	if same.Forward(x) != n.Forward(x) {
+		t.Fatal("k=1 split changed the function")
+	}
+}
+
+func TestSplitNeuronsValidation(t *testing.T) {
+	r := rng.New(77)
+	n := surgeryNet(r)
+	if _, err := SplitNeurons(n, 0, 2); err == nil {
+		t.Fatal("layer 0 accepted")
+	}
+	if _, err := SplitNeurons(n, 9, 2); err == nil {
+		t.Fatal("layer out of range accepted")
+	}
+	if _, err := SplitNeurons(n, 1, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestSplitThenCrashOneCopyIsGentler(t *testing.T) {
+	// After a 3-way split, crashing ONE copy removes only a third of the
+	// neuron's contribution: the failure unit got smaller, which is the
+	// whole point of granular over-provisioning.
+	r := rng.New(79)
+	n := surgeryNet(r)
+	split, err := SplitNeurons(n, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5, 0.5}
+	// Crash original neuron 0 of layer 3 vs one of its copies.
+	origCrash := crashForward(n, map[int][]int{3: {0}}, x)
+	copyCrash := crashForward(split, map[int][]int{3: {0}}, x)
+	clean := n.Forward(x)
+	if math.Abs(copyCrash-clean) > math.Abs(origCrash-clean)+1e-12 {
+		t.Fatalf("crashing one copy (%v) hurts more than the whole neuron (%v)",
+			math.Abs(copyCrash-clean), math.Abs(origCrash-clean))
+	}
+}
+
+func TestRemoveNoneIsIdentity(t *testing.T) {
+	r := rng.New(5)
+	n := surgeryNet(r)
+	removed, err := RemoveNeurons(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.3, 0.3}
+	if math.Abs(removed.Forward(x)-n.Forward(x)) > 1e-15 {
+		t.Fatal("empty surgery changed the function")
+	}
+}

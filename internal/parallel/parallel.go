@@ -1,0 +1,239 @@
+// Package parallel provides small data-parallel building blocks used by the
+// tensor kernels, the exhaustive fault-configuration search, and the
+// experiment sweeps. Everything is stdlib-only: goroutines, channels and
+// sync primitives, in the style of a fixed worker pool fed from a shared
+// index channel.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the degree of parallelism used by default: GOMAXPROCS.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) across the default number of
+// workers. Iterations are distributed in contiguous chunks to preserve
+// cache locality. It blocks until all iterations complete. For small n the
+// loop runs inline to avoid goroutine overhead.
+func For(n int, body func(i int)) {
+	ForChunked(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked partitions [0, n) into contiguous chunks of at least grain
+// iterations (grain <= 0 selects an automatic grain) and runs body(lo, hi)
+// for each chunk across the default number of workers.
+func ForChunked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if grain <= 0 {
+		grain = n / (4 * workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if chunks < workers {
+		workers = chunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies f to every index in [0, n) and collects the results in order.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// MaxFloat64 computes max over f(i) for i in [0, n) in parallel. It returns
+// negative infinity for n <= 0.
+func MaxFloat64(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return negInf
+	}
+	workers := Workers()
+	if n < 64 || workers <= 1 {
+		m := negInf
+		for i := 0; i < n; i++ {
+			if v := f(i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	partial := make([]float64, workers)
+	for i := range partial {
+		partial[i] = negInf
+	}
+	var next int64
+	const grain = 64
+	chunks := (n + grain - 1) / grain
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(slot int) {
+			defer wg.Done()
+			local := negInf
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					break
+				}
+				lo, hi := c*grain, (c+1)*grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if v := f(i); v > local {
+						local = v
+					}
+				}
+			}
+			partial[slot] = local
+		}(w)
+	}
+	wg.Wait()
+	m := negInf
+	for _, v := range partial {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SumFloat64 computes the sum of f(i) for i in [0, n) in parallel with
+// per-worker partial sums (deterministic per worker count is not
+// guaranteed bit-for-bit; callers needing exact reproducibility should use
+// a sequential loop).
+func SumFloat64(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := Workers()
+	if n < 64 || workers <= 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]float64, workers)
+	var next int64
+	const grain = 64
+	chunks := (n + grain - 1) / grain
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(slot int) {
+			defer wg.Done()
+			local := 0.0
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					break
+				}
+				lo, hi := c*grain, (c+1)*grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					local += f(i)
+				}
+			}
+			partial[slot] = local
+		}(w)
+	}
+	wg.Wait()
+	s := 0.0
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+const negInf = -1.7976931348623157e308 // approx -MaxFloat64; avoids math import
+
+// Pool is a reusable fixed-size worker pool for heterogeneous tasks. Tasks
+// are closures; Wait blocks until all submitted tasks finish. A Pool may be
+// reused across Wait cycles but is not safe for concurrent Submit/Wait
+// races from multiple producers.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+	size  int
+}
+
+// NewPool creates a pool with the given number of workers (<= 0 selects the
+// default degree of parallelism).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	p := &Pool{tasks: make(chan func(), 4*workers), size: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Submit enqueues a task. It must not be called after Close.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until every submitted task has completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close shuts the pool down after draining outstanding tasks.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.wg.Wait()
+		close(p.tasks)
+	})
+}

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversAllIndices(t *testing.T) {
+	for _, n := range []int{1, 5, 100, 1023} {
+		for _, grain := range []int{0, 1, 7, 100, 5000} {
+			hits := make([]int32, n)
+			ForChunked(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedZeroN(t *testing.T) {
+	called := false
+	ForChunked(0, 10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for n=0")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMaxFloat64(t *testing.T) {
+	vals := []float64{3, -1, 7.5, 2, 7.49, -100}
+	got := MaxFloat64(len(vals), func(i int) float64 { return vals[i] })
+	if got != 7.5 {
+		t.Fatalf("MaxFloat64 = %v, want 7.5", got)
+	}
+}
+
+func TestMaxFloat64Large(t *testing.T) {
+	const n = 10000
+	got := MaxFloat64(n, func(i int) float64 { return float64(i % 997) })
+	if got != 996 {
+		t.Fatalf("MaxFloat64 = %v, want 996", got)
+	}
+}
+
+func TestMaxFloat64Empty(t *testing.T) {
+	got := MaxFloat64(0, func(i int) float64 { return 1 })
+	if got != negInf {
+		t.Fatalf("MaxFloat64 on empty = %v", got)
+	}
+}
+
+func TestSumFloat64MatchesSequential(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 5000)
+		seq := 0.0
+		for i := 0; i < n; i++ {
+			seq += float64(i)
+		}
+		par := SumFloat64(n, func(i int) float64 { return float64(i) })
+		diff := par - seq
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*(seq+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count int64
+	for i := 0; i < 500; i++ {
+		p.Submit(func() { atomic.AddInt64(&count, 1) })
+	}
+	p.Wait()
+	if count != 500 {
+		t.Fatalf("pool ran %d/500 tasks", count)
+	}
+}
+
+func TestPoolReuseAcrossWaits(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var count int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 50; i++ {
+			p.Submit(func() { atomic.AddInt64(&count, 1) })
+		}
+		p.Wait()
+	}
+	if count != 150 {
+		t.Fatalf("pool ran %d/150 tasks across waits", count)
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() != Workers() {
+		t.Fatalf("default pool size %d, want %d", p.Size(), Workers())
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	buf := make([]float64, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(len(buf), func(j int) { buf[j] = float64(j) * 1.5 })
+	}
+}

@@ -1,0 +1,225 @@
+// Package quant implements the memory-cost-reduction application of
+// Section V-A: reduced-precision (fixed-point) implementations of a
+// trained network, together with the Theorem 5 certificate bounding the
+// accuracy lost. This reproduces, in simulation, the precision-
+// variability experiments of Proteus [31] that the paper explains
+// theoretically: per-layer quantisation induces a per-neuron output error
+// λ_l, and Theorem 5 turns the λ_l into an output accuracy bound.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// Options selects the fixed-point format.
+type Options struct {
+	// WeightBits is the signed fixed-point width for weights (>= 2).
+	WeightBits int
+	// ActBits, when positive, also quantises activations to unsigned
+	// fixed point over the activation's range.
+	ActBits int
+	// PerLayerBits, when non-nil, overrides WeightBits with one width
+	// per synapse layer (length L+1, the last entry for the output
+	// synapses) — the per-layer precision variability of Proteus [31].
+	PerLayerBits []int
+}
+
+// bitsFor returns the weight width for synapse layer l (1..L+1).
+func (o Options) bitsFor(l int) int {
+	if o.PerLayerBits != nil {
+		return o.PerLayerBits[l-1]
+	}
+	return o.WeightBits
+}
+
+// Quantized is a reduced-precision implementation of a network.
+type Quantized struct {
+	// Original is the full-precision network.
+	Original *nn.Network
+	// Net holds the weight-quantised parameters.
+	Net *nn.Network
+	// Opts echoes the format.
+	Opts Options
+	// Lambdas[l-1] bounds the output error of every neuron of layer l
+	// introduced by the quantisation (the λ_l of Theorem 5).
+	Lambdas []float64
+	// OutputStageErr bounds the additional error introduced by the
+	// quantised output synapses (the output node is outside Theorem 5's
+	// sum and enters additively).
+	OutputStageErr float64
+	// steps[l-1] is the weight quantisation step of layer l (1..L+1).
+	steps []float64
+	// actStep is the activation quantisation step (0 when disabled).
+	actStep float64
+	// actMin anchors activation quantisation.
+	actMin float64
+}
+
+// step returns the symmetric quantiser step for the given magnitude.
+func step(maxAbs float64, bits int) float64 {
+	levels := float64(int64(1)<<(bits-1)) - 1 // e.g. 127 for 8 bits
+	if maxAbs == 0 {
+		return 0
+	}
+	return maxAbs / levels
+}
+
+// snap rounds v to the lattice {k·q}.
+func snap(v, q float64) float64 {
+	if q == 0 {
+		return v
+	}
+	return math.Round(v/q) * q
+}
+
+// Quantize produces the fixed-point implementation and its Theorem 5
+// certificate.
+func Quantize(n *nn.Network, opts Options) (*Quantized, error) {
+	if opts.PerLayerBits != nil {
+		if len(opts.PerLayerBits) != n.Layers()+1 {
+			return nil, fmt.Errorf("quant: %d per-layer widths for %d synapse layers", len(opts.PerLayerBits), n.Layers()+1)
+		}
+		for l, b := range opts.PerLayerBits {
+			if b < 2 || b > 52 {
+				return nil, fmt.Errorf("quant: layer %d bits %d outside [2, 52]", l+1, b)
+			}
+		}
+	} else if opts.WeightBits < 2 || opts.WeightBits > 52 {
+		return nil, fmt.Errorf("quant: weight bits %d outside [2, 52]", opts.WeightBits)
+	}
+	if opts.ActBits < 0 || opts.ActBits > 52 {
+		return nil, fmt.Errorf("quant: activation bits %d outside [0, 52]", opts.ActBits)
+	}
+	if math.IsInf(n.Act.Max(), 1) || math.IsInf(n.Act.Min(), -1) {
+		return nil, fmt.Errorf("quant: unbounded activation %s cannot be certified", n.Act.Name())
+	}
+	L := n.Layers()
+	q := &Quantized{
+		Original: n,
+		Net:      n.Clone(),
+		Opts:     opts,
+		Lambdas:  make([]float64, L),
+		steps:    make([]float64, L+1),
+		actMin:   n.Act.Min(),
+	}
+	if opts.ActBits > 0 {
+		span := n.Act.Max() - n.Act.Min()
+		q.actStep = span / (math.Pow(2, float64(opts.ActBits)) - 1)
+	}
+
+	actCap := math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max()))
+	k := n.Act.Lipschitz()
+	for l := 1; l <= L+1; l++ {
+		ql := step(n.MaxWeight(l), opts.bitsFor(l))
+		q.steps[l-1] = ql
+		if l == L+1 {
+			tensorSnap(q.Net.Output, ql)
+			q.Net.OutputBias = snap(q.Net.OutputBias, ql)
+			// Output stage: |Σ Δv·y + Δc| <= (N_L·actCap + 1)·q/2, plus
+			// the rounding of already-quantised activations feeding it
+			// is counted in λ_L.
+			q.OutputStageErr = (float64(n.Width(L))*actCap + 1) * ql / 2
+			continue
+		}
+		for i := range q.Net.Hidden[l-1].Data {
+			q.Net.Hidden[l-1].Data[i] = snap(q.Net.Hidden[l-1].Data[i], ql)
+		}
+		if q.Net.Biases != nil && q.Net.Biases[l-1] != nil {
+			tensorSnap(q.Net.Biases[l-1], ql)
+		}
+		// Per-neuron received-sum error: N_{l-1} inputs each bounded by
+		// actCap (or 1 for the input layer, which [0,1]^d guarantees),
+		// each weight off by at most q/2, plus the bias; the K-Lipschitz
+		// activation then scales it. Activation rounding adds its own
+		// half-step after the squashing.
+		inCap := actCap
+		if l == 1 {
+			inCap = 1
+		}
+		lambda := k * (float64(n.Width(l-1))*inCap + 1) * ql / 2
+		if q.actStep > 0 {
+			lambda += q.actStep / 2
+		}
+		q.Lambdas[l-1] = lambda
+	}
+	return q, nil
+}
+
+func tensorSnap(xs []float64, q float64) {
+	for i := range xs {
+		xs[i] = snap(xs[i], q)
+	}
+}
+
+// Forward evaluates the reduced-precision implementation: quantised
+// weights, and (when enabled) activations rounded to the fixed-point
+// lattice after every layer.
+func (q *Quantized) Forward(x []float64) float64 {
+	if q.actStep == 0 {
+		return q.Net.Forward(x)
+	}
+	y := x
+	for l := 1; l <= q.Net.Layers(); l++ {
+		s := q.Net.Hidden[l-1].MulVec(y)
+		if q.Net.Biases != nil && q.Net.Biases[l-1] != nil {
+			for j := range s {
+				s[j] += q.Net.Biases[l-1][j]
+			}
+		}
+		out := make([]float64, len(s))
+		for j := range s {
+			v := q.Net.Act.Eval(s[j])
+			out[j] = q.actMin + snap(v-q.actMin, q.actStep)
+		}
+		y = out
+	}
+	sum := q.Net.OutputBias
+	for i, v := range y {
+		sum += q.Net.Output[i] * v
+	}
+	return sum
+}
+
+// Bound is the total Theorem 5 certificate: the propagated per-layer λ_l
+// plus the additive output-stage error. The propagation shape is the
+// original network's (the hybrid argument swaps one layer at a time and
+// propagates through full-precision downstream layers).
+func (q *Quantized) Bound() float64 {
+	return core.PrecisionBound(core.ShapeOf(q.Original), q.Lambdas) + q.OutputStageErr
+}
+
+// MeasuredError returns the empirical sup |F(x) - F_quant(x)| over the
+// inputs, in parallel.
+func (q *Quantized) MeasuredError(inputs [][]float64) float64 {
+	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
+		return math.Abs(q.Original.Forward(inputs[i]) - q.Forward(inputs[i]))
+	})
+}
+
+// MemoryBits reports the parameter memory of the quantised network in
+// bits, the quantity Proteus-style deployments trade against accuracy.
+// With per-layer widths, each layer's parameters are counted at that
+// layer's precision.
+func (q *Quantized) MemoryBits() int {
+	n := q.Original
+	total := 0
+	for l := 1; l <= n.Layers(); l++ {
+		params := len(n.Hidden[l-1].Data)
+		if n.Biases != nil && n.Biases[l-1] != nil {
+			params += len(n.Biases[l-1])
+		}
+		total += params * q.Opts.bitsFor(l)
+	}
+	total += (len(n.Output) + 1) * q.Opts.bitsFor(n.Layers()+1)
+	return total
+}
+
+// FullPrecisionBits reports the float64 baseline memory in bits.
+func FullPrecisionBits(n *nn.Network) int {
+	return n.Parameters() * 64
+}

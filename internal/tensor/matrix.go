@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Matrix is a dense row-major matrix. Row r occupies
+// Data[r*Cols : (r+1)*Cols].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			panic("tensor: FromRows ragged input")
+		}
+		copy(m.Row(r), row)
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a mutable view of row r.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MaxAbs returns the largest absolute entry (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 { return MaxAbs(m.Data) }
+
+// Apply replaces each entry x with f(x) in place.
+func (m *Matrix) Apply(f func(float64) float64) { Apply(m.Data, f) }
+
+// Scale multiplies every entry by alpha in place.
+func (m *Matrix) Scale(alpha float64) { Scale(alpha, m.Data) }
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*out.Cols+r] = v
+		}
+	}
+	return out
+}
+
+// EqualApprox reports elementwise equality within tol.
+func (m *Matrix) EqualApprox(other *Matrix, tol float64) bool {
+	return m.Rows == other.Rows && m.Cols == other.Cols &&
+		EqualApprox(m.Data, other.Data, tol)
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		for r := 0; r < m.Rows; r++ {
+			s += fmt.Sprintf("\n  %v", m.Row(r))
+		}
+	}
+	return s
+}
+
+// MulVec computes y = M x. It panics on dimension mismatch. The rows are
+// processed in parallel for large matrices.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = M x into a caller-provided y of length Rows.
+func (m *Matrix) MulVecTo(y, x []float64) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	if len(y) != m.Rows {
+		panic("tensor: MulVecTo output length mismatch")
+	}
+	if m.Rows*m.Cols >= 1<<15 {
+		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				y[r] = Dot(m.Row(r), x)
+			}
+		})
+		return
+	}
+	for r := 0; r < m.Rows; r++ {
+		y[r] = Dot(m.Row(r), x)
+	}
+}
+
+// MulVecT computes y = Mᵀ x (x has length Rows, result length Cols)
+// without materialising the transpose.
+func (m *Matrix) MulVecT(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecT dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		Axpy(x[r], m.Row(r), y)
+	}
+	return y
+}
+
+// AddOuterScaled accumulates M += alpha * u vᵀ (rank-1 update).
+func (m *Matrix) AddOuterScaled(alpha float64, u, v []float64) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic("tensor: AddOuterScaled dim mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		Axpy(alpha*u[r], v, m.Row(r))
+	}
+}
+
+// gemmBlock is the cache-block edge for MatMul.
+const gemmBlock = 64
+
+// MatMul returns C = A B using a cache-blocked i-k-j kernel with the row
+// blocks distributed over goroutines.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul dim mismatch: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	rowBlocks := (a.Rows + gemmBlock - 1) / gemmBlock
+	parallel.For(rowBlocks, func(rb int) {
+		i0 := rb * gemmBlock
+		i1 := i0 + gemmBlock
+		if i1 > a.Rows {
+			i1 = a.Rows
+		}
+		for k0 := 0; k0 < a.Cols; k0 += gemmBlock {
+			k1 := k0 + gemmBlock
+			if k1 > a.Cols {
+				k1 = a.Cols
+			}
+			for i := i0; i < i1; i++ {
+				ci := c.Row(i)
+				ai := a.Row(i)
+				for k := k0; k < k1; k++ {
+					Axpy(ai[k], b.Row(k), ci)
+				}
+			}
+		}
+	})
+	return c
+}
+
+// matMulNaive is the reference triple loop used by tests.
+func matMulNaive(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+// RandomMatrix returns a rows x cols matrix with entries uniform in
+// [-scale, scale).
+func RandomMatrix(r *rng.Rand, rows, cols int, scale float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	r.Floats(m.Data, -scale, scale)
+	return m
+}
+
+// GlorotMatrix returns a rows x cols matrix with the Glorot/Xavier uniform
+// initialisation bound sqrt(6/(rows+cols)), the usual choice for sigmoid
+// networks.
+func GlorotMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	bound := math.Sqrt(6.0 / float64(rows+cols))
+	return RandomMatrix(r, rows, cols, bound)
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 { return Norm2(m.Data) }

@@ -1,0 +1,182 @@
+// Package tensor implements the dense linear algebra needed by the neural
+// substrate: vectors, row-major matrices, and cache-blocked, goroutine
+// parallel matrix kernels. It is a deliberately small BLAS-like core built
+// on the standard library only; float64 throughout.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	// Four-way unrolled accumulation: better ILP, and the split
+	// accumulators reduce sequential rounding dependence.
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Axpy computes y += alpha*x in place. It panics if lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddConst adds c to every element of x in place.
+func AddConst(c float64, x []float64) {
+	for i := range x {
+		x[i] += c
+	}
+}
+
+// Add computes dst = a + b elementwise. dst may alias a or b.
+func Add(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Hadamard computes dst = a .* b elementwise. dst may alias a or b.
+func Hadamard(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Hadamard length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// MaxAbs returns max_i |x[i]|, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of x.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Apply replaces each x[i] with f(x[i]) in place.
+func Apply(x []float64, f func(float64) float64) {
+	for i := range x {
+		x[i] = f(x[i])
+	}
+}
+
+// EqualApprox reports whether a and b are equal within tol elementwise.
+func EqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgMaxAbs returns the index of the element with the largest absolute
+// value, or -1 for an empty slice. Ties resolve to the lowest index.
+func ArgMaxAbs(x []float64) int {
+	best, bestV := -1, -1.0
+	for i, v := range x {
+		if a := math.Abs(v); a > bestV {
+			best, bestV = i, a
+		}
+	}
+	return best
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n must be >= 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("tensor: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Logspace returns n logarithmically spaced points from lo to hi inclusive
+// (both must be positive).
+func Logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("tensor: Logspace needs positive bounds")
+	}
+	pts := Linspace(math.Log(lo), math.Log(hi), n)
+	Apply(pts, math.Exp)
+	return pts
+}

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotBasic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotUnrolledMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for n := 0; n < 40; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		r.Floats(a, -1, 1)
+		r.Floats(b, -1, 1)
+		naive := 0.0
+		for i := range a {
+			naive += a[i] * b[i]
+		}
+		if !almostEqual(Dot(a, b), naive, 1e-12*float64(n+1)) {
+			t.Fatalf("n=%d: Dot=%v naive=%v", n, Dot(a, b), naive)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	if !EqualApprox(y, want, 0) {
+		t.Fatalf("Axpy = %v, want %v", y, want)
+	}
+}
+
+func TestScaleAddConst(t *testing.T) {
+	x := []float64{1, -2}
+	Scale(3, x)
+	AddConst(1, x)
+	if x[0] != 4 || x[1] != -5 {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	dst := make([]float64, 3)
+	Add(dst, a, b)
+	if !EqualApprox(dst, []float64{5, 7, 9}, 0) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, a, b)
+	if !EqualApprox(dst, []float64{-3, -3, -3}, 0) {
+		t.Fatalf("Sub = %v", dst)
+	}
+	Hadamard(dst, a, b)
+	if !EqualApprox(dst, []float64{4, 10, 18}, 0) {
+		t.Fatalf("Hadamard = %v", dst)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) != 0")
+	}
+	if MaxAbs([]float64{-3, 2, 1}) != 3 {
+		t.Fatal("MaxAbs wrong")
+	}
+}
+
+func TestSumNorm(t *testing.T) {
+	x := []float64{3, 4}
+	if Sum(x) != 7 {
+		t.Fatal("Sum wrong")
+	}
+	if !almostEqual(Norm2(x), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 9
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestApplyFill(t *testing.T) {
+	x := []float64{1, 4, 9}
+	Apply(x, math.Sqrt)
+	if !EqualApprox(x, []float64{1, 2, 3}, 1e-12) {
+		t.Fatalf("Apply = %v", x)
+	}
+	Fill(x, 7)
+	if !EqualApprox(x, []float64{7, 7, 7}, 0) {
+		t.Fatalf("Fill = %v", x)
+	}
+}
+
+func TestArgMaxAbs(t *testing.T) {
+	if ArgMaxAbs(nil) != -1 {
+		t.Fatal("empty ArgMaxAbs should be -1")
+	}
+	if got := ArgMaxAbs([]float64{1, -5, 5, 2}); got != 1 {
+		t.Fatalf("ArgMaxAbs = %d, want 1 (first of tie)", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if !EqualApprox(pts, want, 1e-12) {
+		t.Fatalf("Linspace = %v", pts)
+	}
+}
+
+func TestLinspaceEndpoints(t *testing.T) {
+	pts := Linspace(-3, 7, 113)
+	if pts[0] != -3 || pts[len(pts)-1] != 7 {
+		t.Fatalf("Linspace endpoints %v..%v", pts[0], pts[len(pts)-1])
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(0.1, 10, 3)
+	want := []float64{0.1, 1, 10}
+	if !EqualApprox(pts, want, 1e-9) {
+		t.Fatalf("Logspace = %v", pts)
+	}
+}
+
+func TestDotLinearityProperty(t *testing.T) {
+	r := rng.New(7)
+	f := func(alpha float64, nRaw uint8) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		n := int(nRaw%32) + 1
+		a := make([]float64, n)
+		b := make([]float64, n)
+		r.Floats(a, -1, 1)
+		r.Floats(b, -1, 1)
+		scaled := Clone(a)
+		Scale(alpha, scaled)
+		lhs := Dot(scaled, b)
+		rhs := alpha * Dot(a, b)
+		return almostEqual(lhs, rhs, 1e-7*(math.Abs(rhs)+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	r := rng.New(9)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		a := make([]float64, n)
+		b := make([]float64, n)
+		r.Floats(a, -2, 2)
+		r.Floats(b, -2, 2)
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// smoothMaxP is the exponent of the p-norm smooth maximum. The p-norm
+// over-estimates the true maximum by at most n^{1/p} (n = #weights of a
+// layer), so SmoothFep is a genuine upper bound on Fep and approaches it
+// as p grows; p = 16 keeps the over-estimate below ~1.6x for layers of up
+// to a thousand weights while giving useful gradients to every large
+// weight, not only the argmax.
+const smoothMaxP = 16
+
+// smoothMax returns the p-norm (Σ |w|^p)^{1/p} of all weights into layer
+// l (1-indexed; L+1 selects the output weights), including biases.
+// Computation is rescaled by the true maximum for numerical stability.
+func smoothMax(n *nn.Network, l int) float64 {
+	w := layerWeights(n, l)
+	m := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range w {
+		s += math.Pow(math.Abs(v)/m, smoothMaxP)
+	}
+	return m * math.Pow(s, 1.0/smoothMaxP)
+}
+
+// layerWeights gathers the weights into layer l as one flat view. Biases
+// are excluded, mirroring nn.MaxWeight (bias synapses come from constant
+// neurons that never fail, so they carry no deviation).
+func layerWeights(n *nn.Network, l int) []float64 {
+	if l == n.Layers()+1 {
+		return n.Output
+	}
+	return n.Hidden[l-1].Data
+}
+
+// SmoothFep is the differentiable surrogate of core.Fep: the per-layer
+// maximum |w| is replaced by the p-norm smooth maximum. Because
+// p-norm >= max, SmoothFep >= Fep: minimising the surrogate minimises a
+// valid upper bound (Section VI's proposed learning target).
+func SmoothFep(n *nn.Network, faults []int, c float64) float64 {
+	L := n.Layers()
+	if len(faults) != L {
+		panic("train: SmoothFep fault distribution length mismatch")
+	}
+	m := make([]float64, L+1)
+	for l := 1; l <= L+1; l++ {
+		m[l-1] = smoothMax(n, l)
+	}
+	return fepFromMax(n, faults, c, m)
+}
+
+// fepFromMax evaluates the Fep expression given per-layer weight maxima.
+func fepFromMax(n *nn.Network, faults []int, c float64, m []float64) float64 {
+	L := n.Layers()
+	suffix := make([]float64, L+2)
+	suffix[L+1] = 1
+	suffix[L] = m[L]
+	for l := L - 1; l >= 0; l-- {
+		suffix[l] = float64(n.Width(l+1)-faults[l]) * m[l] * suffix[l+1]
+	}
+	k := n.Act.Lipschitz()
+	total := 0.0
+	for l := 1; l <= L; l++ {
+		total += float64(faults[l-1]) * math.Pow(k, float64(L-l)) * suffix[l]
+	}
+	return c * total
+}
+
+// smoothFepGradient returns ∂SmoothFep/∂w for every parameter. The chain
+// rule factors through the per-layer smooth maxima:
+//
+//	∂Fep/∂w = Σ_j (∂Fep/∂m_j)(∂m_j/∂w),
+//
+// where ∂m_j/∂w = sign(w)(|w|/m_j)^{p-1} and ∂Fep/∂m_j is obtained by a
+// product-with-hole over the suffix factors.
+func smoothFepGradient(n *nn.Network, faults []int, c float64) *grads {
+	L := n.Layers()
+	g := newGrads(n)
+	m := make([]float64, L+1)
+	for l := 1; l <= L+1; l++ {
+		m[l-1] = smoothMax(n, l)
+	}
+
+	// dFep/dm[j] computed by finite structure (exact, not numeric):
+	// Fep = c Σ_l f_l K^{L-l} Π_{l'=l+1..L+1} (N-f)_{l'} m_{l'}, where the
+	// (N-f) factor of the output layer is 1.
+	k := n.Act.Lipschitz()
+	nf := make([]float64, L+2) // (N-f) factor per layer index 1..L+1
+	for l := 1; l <= L; l++ {
+		nf[l] = float64(n.Width(l) - faults[l-1])
+	}
+	nf[L+1] = 1
+
+	dm := make([]float64, L+1) // ∂Fep/∂m_{j} for j = 1..L+1
+	for j := 1; j <= L+1; j++ {
+		total := 0.0
+		for l := 1; l < j; l++ {
+			if l > L || faults[l-1] == 0 {
+				continue
+			}
+			prod := 1.0
+			for lp := l + 1; lp <= L+1; lp++ {
+				if lp == j {
+					prod *= nf[lp]
+					continue
+				}
+				prod *= nf[lp] * m[lp-1]
+			}
+			total += float64(faults[l-1]) * math.Pow(k, float64(L-l)) * prod
+		}
+		dm[j-1] = c * total
+	}
+
+	// Distribute onto the weights through the p-norm derivative.
+	apply := func(params []float64, out []float64, mj, dmj float64) {
+		if mj == 0 || dmj == 0 {
+			return
+		}
+		for i, w := range params {
+			if w == 0 {
+				continue
+			}
+			ratio := math.Abs(w) / mj
+			d := math.Pow(ratio, smoothMaxP-1)
+			if w < 0 {
+				d = -d
+			}
+			out[i] += dmj * d
+		}
+	}
+	for l := 1; l <= L; l++ {
+		apply(n.Hidden[l-1].Data, g.hidden[l-1].Data, m[l-1], dm[l-1])
+	}
+	apply(n.Output, g.output, m[L], dm[L])
+	return g
+}
+
+// MaxWeightDecayClip scales all weights of the network so that no layer
+// maximum exceeds cap — the blunt instrument counterpart to Fep-penalised
+// training, used as an experimental baseline.
+func MaxWeightDecayClip(n *nn.Network, cap float64) {
+	for l := 1; l <= n.Layers()+1; l++ {
+		m := n.MaxWeight(l)
+		if m <= cap || m == 0 {
+			continue
+		}
+		scale := cap / m
+		if l == n.Layers()+1 {
+			tensor.Scale(scale, n.Output)
+			n.OutputBias *= scale
+			continue
+		}
+		n.Hidden[l-1].Scale(scale)
+		if n.Biases != nil && n.Biases[l-1] != nil {
+			tensor.Scale(scale, n.Biases[l-1])
+		}
+	}
+}

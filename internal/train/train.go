@@ -1,0 +1,400 @@
+// Package train implements the learning side of the reproduction:
+// backpropagation with minibatch SGD (momentum, weight decay, inverted
+// dropout) for the paper's network model, plus Fep-regularised training —
+// the future-work scheme of Section VI that takes the forward error
+// propagation as an additional minimisation target, here made
+// differentiable through a p-norm smooth maximum of the per-layer
+// weights.
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/activation"
+	"repro/internal/approx"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dataset is a supervised sample of a target function.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// FromTarget samples n uniform inputs from [0,1]^d and labels them.
+func FromTarget(r *rng.Rand, target approx.Target, n int) Dataset {
+	ds := Dataset{X: metrics.RandomPoints(r, target.Dim(), n), Y: make([]float64, n)}
+	for i, x := range ds.X {
+		ds.Y[i] = target.Eval(x)
+	}
+	return ds
+}
+
+// FromGrid labels a regular lattice (useful for 1-D and 2-D targets).
+func FromGrid(target approx.Target, perDim int) Dataset {
+	pts := metrics.Grid(target.Dim(), perDim)
+	ds := Dataset{X: pts, Y: make([]float64, len(pts))}
+	for i, x := range pts {
+		ds.Y[i] = target.Eval(x)
+	}
+	return ds
+}
+
+// Config controls training.
+type Config struct {
+	// Epochs is the number of passes over the dataset.
+	Epochs int
+	// BatchSize is the minibatch size (<= 0 selects 16).
+	BatchSize int
+	// LR is the learning rate (<= 0 selects 0.5, a reasonable default
+	// for sigmoid nets on [0,1] targets).
+	LR float64
+	// Momentum in [0,1) applies classical momentum.
+	Momentum float64
+	// WeightDecay is the L2 coefficient; it is the paper's Section V-C
+	// "imposing low weights" lever.
+	WeightDecay float64
+	// Dropout is the probability of dropping each hidden neuron during
+	// training (Srivastava et al., cited as the a-priori robustness
+	// scheme the paper's bounds deliberately do not rely on).
+	Dropout float64
+	// FepPenalty, when positive, adds FepPenalty · SmoothFep(weights) to
+	// the loss: the Section VI future-work scheme. FepFaults and FepC
+	// configure the anticipated fault distribution.
+	FepPenalty float64
+	FepFaults  []int
+	FepC       float64
+	// ClipWeights, when positive, projects every weight (and bias) into
+	// [-ClipWeights, ClipWeights] after each update: projected SGD under
+	// a hard weight budget, the regime in which Section V-C's K dilemma
+	// is stated.
+	ClipWeights float64
+	// Seed derives the private RNG stream for shuffling and dropout.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.LR <= 0 {
+		c.LR = 0.5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.FepC <= 0 {
+		c.FepC = 1
+	}
+	return c
+}
+
+// Report summarises a training run.
+type Report struct {
+	// Losses holds the dataset MSE after each epoch.
+	Losses []float64
+	// FinalLoss is the last entry of Losses.
+	FinalLoss float64
+	// Epochs actually run.
+	Epochs int
+}
+
+// grads mirrors a network's parameters.
+type grads struct {
+	hidden  []*tensor.Matrix
+	biases  [][]float64
+	output  []float64
+	outBias float64
+}
+
+func newGrads(n *nn.Network) *grads {
+	g := &grads{
+		hidden: make([]*tensor.Matrix, len(n.Hidden)),
+		output: make([]float64, len(n.Output)),
+	}
+	for i, m := range n.Hidden {
+		g.hidden[i] = tensor.NewMatrix(m.Rows, m.Cols)
+	}
+	if n.Biases != nil {
+		g.biases = make([][]float64, len(n.Biases))
+		for i, b := range n.Biases {
+			if b != nil {
+				g.biases[i] = make([]float64, len(b))
+			}
+		}
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for _, m := range g.hidden {
+		tensor.Fill(m.Data, 0)
+	}
+	for _, b := range g.biases {
+		if b != nil {
+			tensor.Fill(b, 0)
+		}
+	}
+	tensor.Fill(g.output, 0)
+	g.outBias = 0
+}
+
+// backprop accumulates the gradient of 0.5(out-y)^2 for one example into
+// g and returns the squared error. mask, when non-nil, holds the dropout
+// masks per layer (0 = dropped, 1/(1-p) = kept).
+func backprop(n *nn.Network, x []float64, y float64, g *grads, mask [][]float64) float64 {
+	L := n.Layers()
+	// Forward with cached sums/outputs (and dropout masks applied).
+	sums := make([][]float64, L)
+	outs := make([][]float64, L)
+	cur := x
+	for l := 0; l < L; l++ {
+		s := n.Hidden[l].MulVec(cur)
+		if n.Biases != nil && n.Biases[l] != nil {
+			tensor.Add(s, s, n.Biases[l])
+		}
+		sums[l] = s
+		o := make([]float64, len(s))
+		for j := range s {
+			o[j] = n.Act.Eval(s[j])
+		}
+		if mask != nil {
+			tensor.Hadamard(o, o, mask[l])
+		}
+		outs[l] = o
+		cur = o
+	}
+	out := tensor.Dot(n.Output, cur) + n.OutputBias
+	diff := out - y
+
+	// Output layer gradient.
+	tensor.Axpy(diff, cur, g.output)
+	g.outBias += diff
+
+	// Delta for the last hidden layer.
+	delta := make([]float64, len(cur))
+	for j := range delta {
+		d := diff * n.Output[j]
+		if mask != nil {
+			d *= mask[L-1][j]
+		}
+		delta[j] = d * n.Act.Deriv(sums[L-1][j])
+	}
+
+	for l := L - 1; l >= 0; l-- {
+		prev := x
+		if l > 0 {
+			prev = outs[l-1]
+		}
+		g.hidden[l].AddOuterScaled(1, delta, prev)
+		if g.biases != nil && g.biases[l] != nil {
+			tensor.Add(g.biases[l], g.biases[l], delta)
+		}
+		if l > 0 {
+			// delta_{l-1} = (W_lᵀ delta) ⊙ mask ⊙ ϕ'(s_{l-1}).
+			back := n.Hidden[l].MulVecT(delta)
+			next := make([]float64, len(back))
+			for j := range back {
+				d := back[j]
+				if mask != nil {
+					d *= mask[l-1][j]
+				}
+				next[j] = d * n.Act.Deriv(sums[l-1][j])
+			}
+			delta = next
+		}
+	}
+	return diff * diff
+}
+
+// Trainer runs SGD on a network. It owns momentum state; reuse across
+// calls to continue training.
+type Trainer struct {
+	cfg Config
+	r   *rng.Rand
+	vel *grads
+}
+
+// NewTrainer prepares a trainer for the given configuration.
+func NewTrainer(cfg Config) *Trainer {
+	cfg = cfg.withDefaults()
+	return &Trainer{cfg: cfg, r: rng.New(cfg.Seed + 0x9e3779b97f4a7c15)}
+}
+
+// Train runs cfg.Epochs of minibatch SGD on net (mutated in place) and
+// reports per-epoch losses.
+func (t *Trainer) Train(net *nn.Network, ds Dataset) Report {
+	cfg := t.cfg
+	if ds.Len() == 0 {
+		panic("train: empty dataset")
+	}
+	if cfg.FepPenalty > 0 && len(cfg.FepFaults) != net.Layers() {
+		panic(fmt.Sprintf("train: FepFaults has %d entries for %d layers", len(cfg.FepFaults), net.Layers()))
+	}
+	if t.vel == nil {
+		t.vel = newGrads(net)
+	}
+	g := newGrads(net)
+	report := Report{Epochs: cfg.Epochs}
+
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		t.r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			g.zero()
+			for _, idx := range order[start:end] {
+				mask := t.dropoutMasks(net)
+				backprop(net, ds.X[idx], ds.Y[idx], g, mask)
+			}
+			t.applyUpdate(net, g, end-start)
+		}
+		report.Losses = append(report.Losses, EvalMSE(net, ds))
+	}
+	if len(report.Losses) > 0 {
+		report.FinalLoss = report.Losses[len(report.Losses)-1]
+	}
+	return report
+}
+
+// dropoutMasks draws inverted-dropout masks, or nil when disabled.
+func (t *Trainer) dropoutMasks(net *nn.Network) [][]float64 {
+	p := t.cfg.Dropout
+	if p <= 0 {
+		return nil
+	}
+	keep := 1 - p
+	masks := make([][]float64, net.Layers())
+	for l := 1; l <= net.Layers(); l++ {
+		m := make([]float64, net.Width(l))
+		for j := range m {
+			if t.r.Float64() < keep {
+				m[j] = 1 / keep
+			}
+		}
+		masks[l-1] = m
+	}
+	return masks
+}
+
+// applyUpdate performs one SGD step from accumulated gradients over
+// batchSize examples, including weight decay, momentum, and the smooth
+// Fep penalty.
+func (t *Trainer) applyUpdate(net *nn.Network, g *grads, batchSize int) {
+	cfg := t.cfg
+	scale := 1.0 / float64(batchSize)
+
+	var fepGrad *grads
+	if cfg.FepPenalty > 0 {
+		fepGrad = smoothFepGradient(net, cfg.FepFaults, cfg.FepC)
+	}
+
+	step := func(param, grad []float64, vel []float64, fep []float64) {
+		for i := range param {
+			d := grad[i]*scale + cfg.WeightDecay*param[i]
+			if fep != nil {
+				d += cfg.FepPenalty * fep[i]
+			}
+			v := cfg.Momentum*vel[i] - cfg.LR*d
+			vel[i] = v
+			param[i] += v
+		}
+	}
+
+	for l, m := range net.Hidden {
+		var fep []float64
+		if fepGrad != nil {
+			fep = fepGrad.hidden[l].Data
+		}
+		step(m.Data, g.hidden[l].Data, t.vel.hidden[l].Data, fep)
+	}
+	if net.Biases != nil {
+		for l, b := range net.Biases {
+			if b == nil {
+				continue
+			}
+			var fep []float64
+			if fepGrad != nil && fepGrad.biases != nil {
+				fep = fepGrad.biases[l]
+			}
+			step(b, g.biases[l], t.vel.biases[l], fep)
+		}
+	}
+	var fepOut []float64
+	if fepGrad != nil {
+		fepOut = fepGrad.output
+	}
+	step(net.Output, g.output, t.vel.output, fepOut)
+	// Output bias (part of the linear output client; no Fep term).
+	d := g.outBias*scale + cfg.WeightDecay*net.OutputBias
+	if fepGrad != nil {
+		d += cfg.FepPenalty * fepGrad.outBias
+	}
+	v := cfg.Momentum*t.vel.outBias - cfg.LR*d
+	t.vel.outBias = v
+	net.OutputBias += v
+
+	if cfg.ClipWeights > 0 {
+		clip := func(xs []float64) {
+			for i, x := range xs {
+				if x > cfg.ClipWeights {
+					xs[i] = cfg.ClipWeights
+				} else if x < -cfg.ClipWeights {
+					xs[i] = -cfg.ClipWeights
+				}
+			}
+		}
+		for l, m := range net.Hidden {
+			clip(m.Data)
+			if net.Biases != nil && net.Biases[l] != nil {
+				clip(net.Biases[l])
+			}
+		}
+		clip(net.Output)
+	}
+}
+
+// EvalMSE returns the mean squared error of net over ds.
+func EvalMSE(net *nn.Network, ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, x := range ds.X {
+		d := net.Forward(x) - ds.Y[i]
+		s += d * d
+	}
+	return s / float64(ds.Len())
+}
+
+// Fit is the one-call convenience: build a Glorot network for the target,
+// train it, and return it with the training report and the empirical
+// sup-norm error ε' on a validation sample.
+func Fit(target approx.Target, widths []int, act activation.Func, cfg Config) (*nn.Network, Report, float64) {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	net := nn.NewGlorot(r, nn.Config{
+		InputDim: target.Dim(),
+		Widths:   widths,
+		Act:      act,
+		Bias:     true,
+	})
+	ds := FromTarget(r.Split(), target, 256*target.Dim())
+	rep := NewTrainer(cfg).Train(net, ds)
+	val := metrics.RandomPoints(r.Split(), target.Dim(), 2048)
+	sup := approx.SupDistance(target, net, val)
+	return net, rep, sup
+}

@@ -1,0 +1,362 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	r := rng.New(1)
+	net := nn.NewRandom(r, nn.Config{
+		InputDim: 3,
+		Widths:   []int{4, 3},
+		Act:      activation.NewSigmoid(1),
+		Bias:     true,
+	}, 0.7)
+	x := []float64{0.2, 0.5, 0.8}
+	y := 0.4
+
+	g := newGrads(net)
+	backprop(net, x, y, g, nil)
+
+	loss := func() float64 {
+		d := net.Forward(x) - y
+		return 0.5 * d * d
+	}
+	const h = 1e-6
+	checkParam := func(name string, param []float64, grad []float64) {
+		for i := range param {
+			orig := param[i]
+			param[i] = orig + h
+			up := loss()
+			param[i] = orig - h
+			down := loss()
+			param[i] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-grad[i]) > 1e-5*(math.Abs(numeric)+1) {
+				t.Fatalf("%s[%d]: backprop %v vs numeric %v", name, i, grad[i], numeric)
+			}
+		}
+	}
+	for l := range net.Hidden {
+		checkParam("W", net.Hidden[l].Data, g.hidden[l].Data)
+		checkParam("b", net.Biases[l], g.biases[l])
+	}
+	checkParam("out", net.Output, g.output)
+
+	// Output bias.
+	orig := net.OutputBias
+	net.OutputBias = orig + h
+	up := loss()
+	net.OutputBias = orig - h
+	down := loss()
+	net.OutputBias = orig
+	numeric := (up - down) / (2 * h)
+	if math.Abs(numeric-g.outBias) > 1e-6 {
+		t.Fatalf("outBias: backprop %v vs numeric %v", g.outBias, numeric)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	target := approx.Sine1D(1)
+	r := rng.New(2)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{12}, Act: activation.NewSigmoid(1), Bias: true})
+	ds := FromGrid(target, 64)
+	before := EvalMSE(net, ds)
+	rep := NewTrainer(Config{Epochs: 800, LR: 0.1, Momentum: 0.9, Seed: 7}).Train(net, ds)
+	if rep.FinalLoss >= before {
+		t.Fatalf("training did not reduce loss: %v -> %v", before, rep.FinalLoss)
+	}
+	if rep.FinalLoss > 0.005 {
+		t.Fatalf("sine fit too poor: MSE %v", rep.FinalLoss)
+	}
+	if len(rep.Losses) != 800 {
+		t.Fatalf("expected 800 epoch losses, got %d", len(rep.Losses))
+	}
+}
+
+func TestMomentumAcceleratesEarlyTraining(t *testing.T) {
+	target := approx.Sine1D(1)
+	ds := FromGrid(target, 64)
+	run := func(mom float64) float64 {
+		r := rng.New(5)
+		net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{10}, Act: activation.NewSigmoid(1), Bias: true})
+		rep := NewTrainer(Config{Epochs: 30, LR: 0.3, Momentum: mom, Seed: 5}).Train(net, ds)
+		return rep.FinalLoss
+	}
+	plain := run(0)
+	withMom := run(0.9)
+	// Momentum should not be catastrophically worse; usually better.
+	if withMom > plain*3 {
+		t.Fatalf("momentum hurt badly: %v vs %v", withMom, plain)
+	}
+}
+
+func TestWeightDecayShrinksMaxWeights(t *testing.T) {
+	target := approx.Sine1D(2)
+	ds := FromGrid(target, 64)
+	run := func(wd float64) float64 {
+		r := rng.New(3)
+		net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{16}, Act: activation.NewSigmoid(1), Bias: true})
+		NewTrainer(Config{Epochs: 120, LR: 0.5, WeightDecay: wd, Seed: 3}).Train(net, ds)
+		m := 0.0
+		for l := 1; l <= net.Layers()+1; l++ {
+			if w := net.MaxWeight(l); w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	free := run(0)
+	decayed := run(1e-3)
+	if decayed >= free {
+		t.Fatalf("weight decay did not shrink max weight: %v vs %v", decayed, free)
+	}
+}
+
+func TestDropoutTrainingStillLearns(t *testing.T) {
+	target := approx.Sine1D(1)
+	ds := FromGrid(target, 64)
+	r := rng.New(4)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{20}, Act: activation.NewSigmoid(1), Bias: true})
+	rep := NewTrainer(Config{Epochs: 400, LR: 0.1, Momentum: 0.9, Dropout: 0.2, Seed: 4}).Train(net, ds)
+	if rep.FinalLoss > 0.08 {
+		t.Fatalf("dropout training failed to learn: MSE %v", rep.FinalLoss)
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	target := approx.XORLike()
+	run := func() float64 {
+		r := rng.New(9)
+		net := nn.NewGlorot(r, nn.Config{InputDim: 2, Widths: []int{8}, Act: activation.NewSigmoid(1), Bias: true})
+		ds := FromTarget(rng.New(10), target, 128)
+		rep := NewTrainer(Config{Epochs: 20, Seed: 11}).Train(net, ds)
+		return rep.FinalLoss
+	}
+	if run() != run() {
+		t.Fatal("training is not deterministic under fixed seeds")
+	}
+}
+
+func TestSmoothFepUpperBoundsTrueFep(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 100; trial++ {
+		L := r.Intn(3) + 1
+		widths := make([]int, L)
+		faults := make([]int, L)
+		for i := range widths {
+			widths[i] = r.Intn(5) + 1
+			faults[i] = r.Intn(widths[i] + 1)
+		}
+		net := nn.NewRandom(r, nn.Config{
+			InputDim: 2, Widths: widths, Act: activation.NewSigmoid(r.Range(0.3, 2)), Bias: true,
+		}, r.Range(0.1, 1.5))
+		c := r.Range(0.1, 2)
+		smooth := SmoothFep(net, faults, c)
+		exact := core.Fep(core.ShapeOf(net), faults, c)
+		if smooth < exact*(1-1e-9) {
+			t.Fatalf("trial %d: SmoothFep %v below true Fep %v", trial, smooth, exact)
+		}
+		// p-norm over-estimate is bounded by n^{1/p} per layer.
+		maxParams := 1.0
+		for l := 1; l <= net.Layers()+1; l++ {
+			n := float64(len(layerWeights(net, l)))
+			maxParams *= math.Pow(n, 1.0/smoothMaxP)
+		}
+		if exact > 0 && smooth > exact*maxParams*(1+1e-9) {
+			t.Fatalf("trial %d: SmoothFep %v exceeds worst-case slack over %v", trial, smooth, exact)
+		}
+	}
+}
+
+func TestSmoothFepGradientMatchesNumeric(t *testing.T) {
+	r := rng.New(7)
+	net := nn.NewRandom(r, nn.Config{
+		InputDim: 2, Widths: []int{3, 2}, Act: activation.NewSigmoid(1), Bias: true,
+	}, 0.8)
+	faults := []int{1, 1}
+	c := 1.0
+	g := smoothFepGradient(net, faults, c)
+	const h = 1e-6
+	check := func(name string, param, grad []float64) {
+		for i := range param {
+			orig := param[i]
+			param[i] = orig + h
+			up := SmoothFep(net, faults, c)
+			param[i] = orig - h
+			down := SmoothFep(net, faults, c)
+			param[i] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-grad[i]) > 1e-4*(math.Abs(numeric)+1) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, grad[i], numeric)
+			}
+		}
+	}
+	for l := range net.Hidden {
+		check("W", net.Hidden[l].Data, g.hidden[l].Data)
+		check("b", net.Biases[l], g.biases[l])
+	}
+	check("out", net.Output, g.output)
+	// Output bias requires perturbing the field itself.
+	orig := net.OutputBias
+	net.OutputBias = orig + h
+	up := SmoothFep(net, faults, c)
+	net.OutputBias = orig - h
+	down := SmoothFep(net, faults, c)
+	net.OutputBias = orig
+	numeric := (up - down) / (2 * h)
+	if math.Abs(numeric-g.outBias) > 1e-4*(math.Abs(numeric)+1) {
+		t.Fatalf("outBias: analytic %v vs numeric %v", g.outBias, numeric)
+	}
+}
+
+func TestFepPenaltyReducesAchievedFep(t *testing.T) {
+	target := approx.Sine1D(1)
+	ds := FromGrid(target, 64)
+	faults := []int{2}
+	run := func(penalty float64) (float64, float64) {
+		r := rng.New(8)
+		net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{16}, Act: activation.NewSigmoid(1), Bias: true})
+		rep := NewTrainer(Config{
+			Epochs: 150, LR: 0.5, Seed: 8,
+			FepPenalty: penalty, FepFaults: faults, FepC: 1,
+		}).Train(net, ds)
+		return core.Fep(core.ShapeOf(net), faults, 1), rep.FinalLoss
+	}
+	fepFree, _ := run(0)
+	fepPen, lossPen := run(0.01)
+	if fepPen >= fepFree {
+		t.Fatalf("Fep penalty did not reduce Fep: %v vs %v", fepPen, fepFree)
+	}
+	if lossPen > 0.05 {
+		t.Fatalf("Fep-regularised training destroyed accuracy: MSE %v", lossPen)
+	}
+}
+
+func TestClipWeightsProjectsEveryUpdate(t *testing.T) {
+	target := approx.Sine1D(1)
+	ds := FromGrid(target, 32)
+	r := rng.New(20)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{10}, Act: activation.NewSigmoid(1), Bias: true})
+	NewTrainer(Config{Epochs: 50, LR: 0.5, ClipWeights: 0.3, Seed: 20}).Train(net, ds)
+	for _, m := range net.Hidden {
+		for _, w := range m.Data {
+			if math.Abs(w) > 0.3 {
+				t.Fatalf("hidden weight %v escaped the clip", w)
+			}
+		}
+	}
+	for _, b := range net.Biases {
+		for _, w := range b {
+			if math.Abs(w) > 0.3 {
+				t.Fatalf("bias %v escaped the clip", w)
+			}
+		}
+	}
+	for _, w := range net.Output {
+		if math.Abs(w) > 0.3 {
+			t.Fatalf("output weight %v escaped the clip", w)
+		}
+	}
+}
+
+func TestMaxWeightDecayClip(t *testing.T) {
+	r := rng.New(12)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{4}, Act: activation.NewSigmoid(1), Bias: true}, 3)
+	MaxWeightDecayClip(net, 0.5)
+	for l := 1; l <= net.Layers()+1; l++ {
+		if net.MaxWeight(l) > 0.5+1e-12 {
+			t.Fatalf("layer %d max weight %v exceeds clip", l, net.MaxWeight(l))
+		}
+	}
+}
+
+func TestFromTargetAndGrid(t *testing.T) {
+	target := approx.XORLike()
+	ds := FromTarget(rng.New(13), target, 50)
+	if ds.Len() != 50 {
+		t.Fatal("FromTarget size wrong")
+	}
+	for i, x := range ds.X {
+		if ds.Y[i] != target.Eval(x) {
+			t.Fatal("label mismatch")
+		}
+	}
+	grid := FromGrid(target, 5)
+	if grid.Len() != 25 {
+		t.Fatalf("FromGrid size %d, want 25", grid.Len())
+	}
+}
+
+func TestFitReachesReasonableSup(t *testing.T) {
+	net, rep, sup := Fit(approx.Sine1D(1), []int{24}, activation.NewSigmoid(1),
+		Config{Epochs: 800, LR: 0.1, Momentum: 0.9, Seed: 21})
+	if sup > 0.15 {
+		t.Fatalf("Fit sup error %v too large (final MSE %v)", sup, rep.FinalLoss)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainPanicsOnEmptyDataset(t *testing.T) {
+	r := rng.New(14)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{4}, Act: activation.NewSigmoid(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTrainer(Config{}).Train(net, Dataset{})
+}
+
+func TestTrainPanicsOnBadFepFaults(t *testing.T) {
+	r := rng.New(15)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{4}, Act: activation.NewSigmoid(1)})
+	ds := FromGrid(approx.Sine1D(1), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTrainer(Config{FepPenalty: 1, FepFaults: []int{1, 2}}).Train(net, ds)
+}
+
+func TestEvalMSEEmpty(t *testing.T) {
+	r := rng.New(16)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{2}, Act: activation.NewSigmoid(1)})
+	if EvalMSE(net, Dataset{}) != 0 {
+		t.Fatal("empty MSE should be 0")
+	}
+}
+
+func TestSupDistanceConsistentWithTargets(t *testing.T) {
+	// approx.SupDistance against a network that is identically 0.5:
+	// sup |target - 0.5| over the grid.
+	r := rng.New(17)
+	net := nn.NewGlorot(r, nn.Config{InputDim: 1, Widths: []int{2}, Act: activation.NewSigmoid(1), Bias: true})
+	// Zero all weights: output = OutputBias.
+	for _, m := range net.Hidden {
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	for i := range net.Output {
+		net.Output[i] = 0
+	}
+	net.OutputBias = 0.5
+	target := approx.Sine1D(1)
+	pts := metrics.Grid(1, 201)
+	got := approx.SupDistance(target, net, pts)
+	if math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("SupDistance = %v, want 0.5", got)
+	}
+}

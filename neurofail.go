@@ -1,0 +1,273 @@
+// Package neurofail is a Go implementation of "When Neurons Fail"
+// (El Mhamdi & Guerraoui, IPDPS 2017): tight bounds on how many neuron
+// and synapse failures a feed-forward neural network tolerates without
+// retraining, derived from the Forward Error Propagation quantity (Fep).
+//
+// The package is a curated facade over the implementation packages:
+//
+//   - internal/core — Fep and the bounds of Theorems 1-5 (the paper's
+//     contribution);
+//   - internal/nn, internal/activation — the neural computation model;
+//   - internal/fault — crash/Byzantine neuron and synapse injection,
+//     adversarial plans, exhaustive worst-case search;
+//   - internal/train, internal/approx — backprop training of
+//     ε'-approximations, including Fep-regularised learning;
+//   - internal/quant — fixed-point implementations with Theorem 5
+//     certificates;
+//   - internal/dist, internal/des — the network as a distributed system:
+//     goroutine processes, faulty channels, and the boosting scheme of
+//     Corollary 2 in virtual time;
+//   - internal/experiments — regeneration of every figure and claim in
+//     the paper's evaluation.
+//
+// Quickstart:
+//
+//	net, _, epsPrime := neurofail.Fit(neurofail.Sine1D(1), []int{16},
+//	    neurofail.NewSigmoid(1), neurofail.TrainConfig{Epochs: 400})
+//	shape := neurofail.ShapeOf(net)
+//	faults := []int{2}                       // two faulty neurons in layer 1
+//	bound := neurofail.CrashFep(shape, faults)
+//	ok := neurofail.CrashTolerates(shape, faults, epsPrime+bound*1.01, epsPrime)
+package neurofail
+
+import (
+	"repro/internal/activation"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+// Re-exported model types.
+type (
+	// Network is the paper's feed-forward computation model.
+	Network = nn.Network
+	// NetworkConfig describes a network to construct.
+	NetworkConfig = nn.Config
+	// Activation is a squashing function with a known Lipschitz constant.
+	Activation = activation.Func
+	// Shape carries the topology parameters the bounds depend on.
+	Shape = core.Shape
+	// CapSemantics selects how the synaptic capacity bounds Byzantine values.
+	CapSemantics = core.CapSemantics
+	// Plan is a set of neuron and synapse failures.
+	Plan = fault.Plan
+	// NeuronFault identifies one failing neuron.
+	NeuronFault = fault.NeuronFault
+	// SynapseFault identifies one failing synapse.
+	SynapseFault = fault.SynapseFault
+	// Target is a continuous function from [0,1]^d to [0,1].
+	Target = approx.Target
+	// TrainConfig controls SGD training.
+	TrainConfig = train.Config
+	// Rand is the deterministic splittable RNG used throughout.
+	Rand = rng.Rand
+)
+
+// Capacity semantics constants (see DESIGN.md).
+const (
+	// DeviationCap bounds |transmitted - nominal| <= C.
+	DeviationCap = core.DeviationCap
+	// TransmissionCap bounds |transmitted| <= C (Assumption 1 verbatim).
+	TransmissionCap = core.TransmissionCap
+)
+
+// NewRand returns a deterministic random stream.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewSigmoid returns the K-Lipschitz tuned sigmoid of Figure 2.
+func NewSigmoid(k float64) Activation { return activation.NewSigmoid(k) }
+
+// NewTanh returns the K-Lipschitz tuned hyperbolic tangent.
+func NewTanh(k float64) Activation { return activation.NewTanh(k) }
+
+// NewRandomNetwork builds a network with uniform random weights.
+func NewRandomNetwork(r *Rand, cfg NetworkConfig, scale float64) *Network {
+	return nn.NewRandom(r, cfg, scale)
+}
+
+// ShapeOf extracts the Shape the bounds operate on.
+func ShapeOf(n *Network) Shape { return core.ShapeOf(n) }
+
+// Fep computes the Forward Error Propagation of Theorem 2: the worst-case
+// output deviation when faults[l-1] neurons of layer l emit values within
+// deviation c of their nominal outputs.
+func Fep(s Shape, faults []int, c float64) float64 { return core.Fep(s, faults, c) }
+
+// CrashFep is the crash case of Theorem 3 (c replaced by the activation's
+// maximum).
+func CrashFep(s Shape, faults []int) float64 { return core.CrashFep(s, faults) }
+
+// SynapseFep bounds the effect of Byzantine synapses (Theorem 4 via the
+// Lemma 2 reduction).
+func SynapseFep(s Shape, faults []int, c float64) float64 {
+	return core.SynapseFep(s, faults, c)
+}
+
+// PrecisionBound is Theorem 5: the output deviation under per-neuron
+// implementation errors lambda[l-1] at every neuron of layer l.
+func PrecisionBound(s Shape, lambda []float64) float64 {
+	return core.PrecisionBound(s, lambda)
+}
+
+// Tolerates is Theorem 3's condition: the Byzantine distribution is
+// masked by an ε'-approximation required to stay ε-accurate iff
+// Fep <= ε-ε'.
+func Tolerates(s Shape, faults []int, c, eps, epsPrime float64) bool {
+	return core.Tolerates(s, faults, c, eps, epsPrime)
+}
+
+// CrashTolerates is the crash case of Theorem 3.
+func CrashTolerates(s Shape, faults []int, eps, epsPrime float64) bool {
+	return core.CrashTolerates(s, faults, eps, epsPrime)
+}
+
+// Theorem1MaxCrashes returns the single-layer crash tolerance
+// floor((ε-ε')/wm) of Theorem 1.
+func Theorem1MaxCrashes(eps, epsPrime, wm float64) int {
+	return core.Theorem1MaxCrashes(eps, epsPrime, wm)
+}
+
+// RequiredSignals is Corollary 2: how many signals consumers of each
+// layer must await under a tolerated crash distribution.
+func RequiredSignals(s Shape, faults []int) []int {
+	return core.RequiredSignals(s, faults)
+}
+
+// MaxUniformFaults returns the largest per-layer-uniform fault count
+// whose Fep stays within budget.
+func MaxUniformFaults(s Shape, c, budget float64) int {
+	return core.MaxUniformFaults(s, c, budget)
+}
+
+// Crash is the crash-failure injector (Definition 2: values read as 0).
+func Crash() fault.Injector { return fault.Crash{} }
+
+// Byzantine returns an extreme-value Byzantine injector with capacity c
+// under the given semantics.
+func Byzantine(c float64, sem CapSemantics) fault.Injector {
+	return fault.Byzantine{C: c, Sem: sem}
+}
+
+// FaultedForward evaluates the damaged network Ffail on x.
+func FaultedForward(n *Network, p Plan, inj fault.Injector, x []float64) float64 {
+	return fault.Forward(n, p, inj, x)
+}
+
+// MaxFaultError measures the largest |Fneu - Ffail| over the inputs.
+func MaxFaultError(n *Network, p Plan, inj fault.Injector, inputs [][]float64) float64 {
+	return fault.MaxError(n, p, inj, inputs)
+}
+
+// AdversarialPlan fails the heaviest-weight neurons per layer — the
+// worst-case adversary of the tightness proofs.
+func AdversarialPlan(n *Network, perLayer []int) Plan {
+	return fault.AdversarialNeuronPlan(n, perLayer)
+}
+
+// RandomPlan fails uniformly chosen neurons per layer.
+func RandomPlan(r *Rand, n *Network, perLayer []int) Plan {
+	return fault.RandomNeuronPlan(r, n, perLayer)
+}
+
+// Fit trains a fresh sigmoid-style network on the target and returns it
+// with the training report's final MSE and the measured sup-norm ε'.
+func Fit(target Target, widths []int, act Activation, cfg TrainConfig) (*Network, float64, float64) {
+	net, rep, sup := train.Fit(target, widths, act, cfg)
+	return net, rep.FinalLoss, sup
+}
+
+// Sine1D, XORLike and ControlSurface are representative targets from the
+// approximation library (see internal/approx for the full set).
+func Sine1D(cycles float64) Target { return approx.Sine1D(cycles) }
+
+// XORLike is the smooth exclusive-or surface on [0,1]^2.
+func XORLike() Target { return approx.XORLike() }
+
+// ControlSurface is a smooth 3-input flight-control-like response map.
+func ControlSurface() Target { return approx.ControlSurface() }
+
+// Quantize builds a fixed-point implementation with a Theorem 5
+// certificate (Application A).
+func Quantize(n *Network, weightBits int) (*quant.Quantized, error) {
+	return quant.Quantize(n, quant.Options{WeightBits: weightBits})
+}
+
+// CertifiedWaits derives boosting wait counts from a tolerated crash
+// distribution (Corollary 2), erroring if the distribution is not
+// tolerated.
+func CertifiedWaits(n *Network, faults []int, eps, epsPrime float64) ([]int, error) {
+	return dist.CertifiedWaits(n, faults, eps, epsPrime)
+}
+
+// SimulateLatency runs one virtual-time evaluation with per-neuron
+// latencies; waits enables the boosting scheme (nil = wait for all).
+func SimulateLatency(n *Network, x []float64, lat dist.LatencyModel, waits []int, r *Rand) (dist.BoostResult, error) {
+	return dist.Simulate(n, x, lat, waits, r)
+}
+
+// RunDistributed evaluates the network as a concurrent message-passing
+// system of neuron goroutines (crash processes when byz is nil).
+func RunDistributed(n *Network, p Plan, byz dist.ByzStrategy, x []float64) (dist.Result, error) {
+	return dist.Run(n, p, byz, dist.SynapseDeviation{}, x)
+}
+
+// MixedDistribution describes simultaneous crash, Byzantine and synapse
+// failures (see core.MixedFep).
+type MixedDistribution = core.MixedDistribution
+
+// MixedFep bounds the output deviation under simultaneous crash,
+// Byzantine and synapse failures.
+func MixedFep(s Shape, d MixedDistribution, c float64) float64 {
+	return core.MixedFep(s, d, c)
+}
+
+// MixedTolerates is Theorem 3 extended to mixed distributions.
+func MixedTolerates(s Shape, d MixedDistribution, c, eps, epsPrime float64) bool {
+	return core.MixedTolerates(s, d, c, eps, epsPrime)
+}
+
+// RemoveNeurons physically removes hidden neurons; the result computes
+// exactly what the original computes when those neurons crash (the
+// Section I "could have been eliminated" identity).
+func RemoveNeurons(n *Network, neurons map[int][]int) (*Network, error) {
+	return nn.RemoveNeurons(n, neurons)
+}
+
+// SplitNeurons replaces every neuron of a layer with k exact copies whose
+// outgoing weights are divided by k: the function (and ε') is preserved
+// exactly while w_m of the next synapse layer shrinks k-fold —
+// over-provisioning as a post-hoc robustification transform.
+func SplitNeurons(n *Network, layer, k int) (*Network, error) {
+	return nn.SplitNeurons(n, layer, k)
+}
+
+// MonteCarlo samples random failure configurations and returns the
+// empirical error profile (mean, quantiles, max) — the probabilistic
+// complement of the worst-case Fep.
+func MonteCarlo(n *Network, perLayer []int, c float64, inputs [][]float64, trials int, r *Rand) fault.Profile {
+	return fault.MonteCarlo(n, perLayer, c, core.DeviationCap, inputs, trials, r)
+}
+
+// WorstInput hill-climbs for an input maximising the damaged-vs-nominal
+// error.
+func WorstInput(n *Network, p Plan, inj fault.Injector, r *Rand, restarts, steps int) ([]float64, float64) {
+	return fault.WorstInput(n, p, inj, r, restarts, steps)
+}
+
+// Stream processes inputs while failures accumulate on a schedule,
+// reporting per-round errors and certificates.
+func Stream(n *Network, inputs [][]float64, schedule []dist.FailureEvent, capacity float64) ([]dist.StreamResult, error) {
+	return dist.Stream(n, inputs, schedule, capacity)
+}
+
+// BuildRobust constructs a single-layer approximation of a 1-D target
+// certified (Theorem 1) to mask the requested number of crashes at
+// accuracy eps — Corollary 1 as a constructor.
+func BuildRobust(target Target, faults int, eps float64, maxWidth int) (*Network, approx.Certificate, error) {
+	return approx.BuildRobust(target, faults, eps, maxWidth)
+}

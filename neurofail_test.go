@@ -1,0 +1,193 @@
+package neurofail_test
+
+import (
+	"math"
+	"testing"
+
+	neurofail "repro"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+)
+
+// TestFacadeEndToEnd exercises the README quickstart path through the
+// public facade only: train, certify, inject, verify.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training")
+	}
+	net, mse, epsPrime := neurofail.Fit(neurofail.Sine1D(1), []int{16},
+		neurofail.NewSigmoid(1), neurofail.TrainConfig{Epochs: 300, LR: 0.1, Momentum: 0.9, Seed: 1})
+	if mse > 0.05 {
+		t.Fatalf("training failed: MSE %v", mse)
+	}
+	shape := neurofail.ShapeOf(net)
+	faults := []int{2}
+	bound := neurofail.CrashFep(shape, faults)
+	eps := epsPrime + bound*1.01
+	if !neurofail.CrashTolerates(shape, faults, eps, epsPrime) {
+		t.Fatal("certified distribution not tolerated")
+	}
+
+	plan := neurofail.AdversarialPlan(net, faults)
+	inputs := metrics.Grid(1, 101)
+	measured := neurofail.MaxFaultError(net, plan, neurofail.Crash(), inputs)
+	if measured > bound*(1+1e-9) {
+		t.Fatalf("measured %v exceeds certified %v", measured, bound)
+	}
+
+	// Quantise and keep the certificate.
+	q, err := neurofail.Quantize(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MeasuredError(inputs) > q.Bound() {
+		t.Fatal("quantisation certificate violated")
+	}
+
+	// Boosting path.
+	waits, err := neurofail.CertifiedWaits(net, faults, eps, epsPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := neurofail.SimulateLatency(net, []float64{0.4},
+		dist.HeavyTail{Base: 1, TailProb: 0.3, TailScale: 10}, waits, neurofail.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(res.Output - net.Forward([]float64{0.4})); e > bound*(1+1e-9) {
+		t.Fatalf("boosted error %v above certificate %v", e, bound)
+	}
+
+	// Distributed goroutine runtime agrees with the injector.
+	dres, err := neurofail.RunDistributed(net, plan, nil, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := neurofail.FaultedForward(net, plan, neurofail.Crash(), []float64{0.4})
+	if math.Abs(dres.Output-want) > 1e-12 {
+		t.Fatal("distributed runtime disagrees with injector")
+	}
+}
+
+func TestFacadeBoundsMatchInternals(t *testing.T) {
+	r := neurofail.NewRand(5)
+	net := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2, Widths: []int{4, 3}, Act: neurofail.NewSigmoid(1),
+	}, 0.5)
+	s := neurofail.ShapeOf(net)
+	if neurofail.Fep(s, []int{1, 1}, 1) <= 0 {
+		t.Fatal("Fep should be positive")
+	}
+	if neurofail.SynapseFep(s, []int{1, 0, 0}, 1) <= 0 {
+		t.Fatal("SynapseFep should be positive")
+	}
+	if neurofail.PrecisionBound(s, []float64{0.1, 0.1}) <= 0 {
+		t.Fatal("PrecisionBound should be positive")
+	}
+	if neurofail.Theorem1MaxCrashes(0.5, 0.1, 0.1) != 4 {
+		t.Fatal("Theorem1MaxCrashes wrong through facade")
+	}
+	sig := neurofail.RequiredSignals(s, []int{1, 1})
+	if sig[0] != 3 || sig[1] != 2 {
+		t.Fatalf("RequiredSignals = %v", sig)
+	}
+	if neurofail.MaxUniformFaults(s, 1, 1e9) == 0 {
+		t.Fatal("huge budget should allow faults")
+	}
+	if neurofail.Tolerates(s, []int{0, 0}, 1, 0.1, 0.05) != true {
+		t.Fatal("no faults must always be tolerated when eps >= eps'")
+	}
+}
+
+func TestFacadeTargets(t *testing.T) {
+	for _, target := range []neurofail.Target{
+		neurofail.Sine1D(1), neurofail.XORLike(), neurofail.ControlSurface(),
+	} {
+		x := make([]float64, target.Dim())
+		v := target.Eval(x)
+		if v < 0 || v > 1 {
+			t.Fatalf("%s out of range", target.Name())
+		}
+	}
+}
+
+func TestFacadeMixedAndSurgery(t *testing.T) {
+	r := neurofail.NewRand(31)
+	net := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2, Widths: []int{6, 4}, Act: neurofail.NewSigmoid(1),
+	}, 0.5)
+	s := neurofail.ShapeOf(net)
+	d := neurofail.MixedDistribution{Crash: []int{1, 0}, Byzantine: []int{0, 1}}
+	f := neurofail.MixedFep(s, d, 1)
+	if f <= 0 {
+		t.Fatal("MixedFep should be positive")
+	}
+	if !neurofail.MixedTolerates(s, d, 1, f+1, 0.5) {
+		t.Fatal("MixedTolerates inconsistent")
+	}
+	pruned, err := neurofail.RemoveNeurons(net, map[int][]int{1: {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Width(1) != 5 {
+		t.Fatal("surgery through facade failed")
+	}
+}
+
+func TestFacadeMonteCarloAndWorstInput(t *testing.T) {
+	r := neurofail.NewRand(33)
+	net := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2, Widths: []int{6}, Act: neurofail.NewSigmoid(1),
+	}, 0.5)
+	inputs := metrics.RandomPoints(r, 2, 10)
+	prof := neurofail.MonteCarlo(net, []int{2}, 1, inputs, 50, r)
+	bound := neurofail.Fep(neurofail.ShapeOf(net), []int{2}, 1)
+	if prof.Stats.Max > bound*(1+1e-9) {
+		t.Fatal("Monte Carlo exceeded Fep through facade")
+	}
+	plan := neurofail.AdversarialPlan(net, []int{2})
+	x, e := neurofail.WorstInput(net, plan, neurofail.Crash(), r, 3, 20)
+	if len(x) != 2 || e < 0 {
+		t.Fatal("WorstInput malformed result")
+	}
+}
+
+func TestFacadeStreamAndBuilder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction search")
+	}
+	net, cert, err := neurofail.BuildRobust(neurofail.Sine1D(1), 2, 0.3, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.MaxCrashes < 2 {
+		t.Fatal("BuildRobust under-delivered")
+	}
+	inputs := metrics.Grid(1, 5)
+	schedule := []dist.FailureEvent{
+		{Round: 1, Neuron: neurofail.NeuronFault{Layer: 1, Index: 0}},
+	}
+	results, err := neurofail.Stream(net, inputs, schedule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || results[0].Faulty != 0 || results[2].Faulty != 1 {
+		t.Fatalf("stream results malformed: %+v", results)
+	}
+}
+
+func TestFacadeRandomPlan(t *testing.T) {
+	r := neurofail.NewRand(9)
+	net := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2, Widths: []int{5}, Act: neurofail.NewSigmoid(1),
+	}, 1)
+	p := neurofail.RandomPlan(r, net, []int{2})
+	if len(p.Neurons) != 2 {
+		t.Fatal("RandomPlan wrong size")
+	}
+	inputs := metrics.RandomPoints(r, 2, 10)
+	e := neurofail.MaxFaultError(net, p, neurofail.Byzantine(1, neurofail.DeviationCap), inputs)
+	if e > neurofail.Fep(neurofail.ShapeOf(net), []int{2}, 1)*(1+1e-9) {
+		t.Fatal("facade byzantine injection exceeded Fep")
+	}
+}
