@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: ci vet build test bench
+
+ci: vet build test bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short smoke of the hot-path microbenchmarks (fixed iteration count so
+# it stays fast on slow runners). Full runs: go test -bench . -benchtime=2s
+bench:
+	$(GO) test -run '^$$' -bench 'Forward|Faulted' -benchtime=100x -benchmem .

@@ -153,9 +153,29 @@ func BenchmarkForward(b *testing.B) {
 	_ = sink
 }
 
-// BenchmarkFaultedForward measures one damaged evaluation (includes the
-// clean trace for nominal values).
+// BenchmarkFaultedForward measures one damaged evaluation on a compiled
+// plan — the steady-state cost every measurement loop (MaxError, Monte
+// Carlo, exhaustive search) pays per (plan, input) pair. The clean
+// reference sweep runs only as deep as the injector needs nominal values
+// (not at all for crash failures).
 func BenchmarkFaultedForward(b *testing.B) {
+	net := benchNet([]int{64, 64, 64, 64})
+	plan := neurofail.AdversarialPlan(net, []int{4, 4, 4, 4})
+	cp := fault.Compile(net, plan)
+	inj := neurofail.Crash()
+	x := make([]float64, 8)
+	rng.New(2).Floats(x, 0, 1)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cp.Forward(inj, x)
+	}
+	_ = sink
+}
+
+// BenchmarkFaultedForwardOneShot measures the uncompiled convenience
+// path (FaultedForward indexes the plan on every call).
+func BenchmarkFaultedForwardOneShot(b *testing.B) {
 	net := benchNet([]int{64, 64, 64, 64})
 	plan := neurofail.AdversarialPlan(net, []int{4, 4, 4, 4})
 	x := make([]float64, 8)
@@ -164,6 +184,24 @@ func BenchmarkFaultedForward(b *testing.B) {
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += neurofail.FaultedForward(net, plan, neurofail.Crash(), x)
+	}
+	_ = sink
+}
+
+// BenchmarkFaultedErrorOn measures the fused clean+damaged error sweep
+// on a compiled plan with an injector that consumes nominal values (the
+// worst case: both sweeps must run).
+func BenchmarkFaultedErrorOn(b *testing.B) {
+	net := benchNet([]int{64, 64, 64, 64})
+	plan := neurofail.AdversarialPlan(net, []int{4, 4, 4, 4})
+	cp := fault.Compile(net, plan)
+	var inj fault.Injector = fault.Byzantine{C: 1, Sem: core.DeviationCap}
+	x := make([]float64, 8)
+	rng.New(2).Floats(x, 0, 1)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cp.ErrorOn(inj, x)
 	}
 	_ = sink
 }

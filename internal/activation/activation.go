@@ -177,13 +177,48 @@ func (Identity) Max() float64            { return math.Inf(1) }
 func (Identity) Name() string            { return "identity" }
 
 // Eval applies f to every element of src, writing into dst (which may
-// alias src). It panics if lengths differ.
+// alias src). It panics if lengths differ. The known concrete functions
+// are special-cased so the hot loop runs without an interface dispatch
+// per element; each fast path performs the exact arithmetic of the
+// corresponding Eval method, so results are bit-identical.
 func Eval(f Func, dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("activation: Eval length mismatch")
 	}
-	for i, v := range src {
-		dst[i] = f.Eval(v)
+	dst = dst[:len(src)]
+	switch g := f.(type) {
+	case Sigmoid:
+		k := -4 * g.K
+		for i, v := range src {
+			dst[i] = 1 / (1 + math.Exp(k*v))
+		}
+	case Tanh:
+		for i, v := range src {
+			dst[i] = math.Tanh(g.K * v)
+		}
+	case HardSigmoid:
+		for i, v := range src {
+			y := g.K*v + 0.5
+			if y < 0 {
+				y = 0
+			} else if y > 1 {
+				y = 1
+			}
+			dst[i] = y
+		}
+	case ReLU:
+		for i, v := range src {
+			if v < 0 {
+				v = 0
+			}
+			dst[i] = v
+		}
+	case Identity:
+		copy(dst, src)
+	default:
+		for i, v := range src {
+			dst[i] = f.Eval(v)
+		}
 	}
 }
 

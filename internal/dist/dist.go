@@ -1,0 +1,413 @@
+// Package dist treats the network as a distributed system, as the paper
+// does (Section II): neurons are processes, synapses are channels. It
+// provides three runtimes:
+//
+//   - Run — a concurrent goroutine-per-neuron message-passing evaluation
+//     with crash and Byzantine processes, used to check that the fault
+//     injector's synchronous semantics agree with a genuinely concurrent
+//     execution;
+//   - Simulate — a virtual-time (discrete-event) evaluation with
+//     per-neuron computation latencies, implementing the boosting scheme
+//     of Corollary 2: consumers proceed after N_l - f_l signals, treating
+//     stragglers as crashed;
+//   - Stream — a long-running evaluation over a stream of inputs while
+//     failures accumulate on a schedule, emitting the per-round Fep
+//     certificate next to the measured error.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// LatencyModel draws per-neuron computation latencies (virtual time).
+type LatencyModel interface {
+	Sample(r *rng.Rand) float64
+}
+
+// HeavyTail is a two-point straggler model: latency is uniform in
+// [Base/2, 3Base/2), and with probability TailProb it is additionally
+// multiplied by TailScale — the heavy tail the boosting scheme cuts off.
+type HeavyTail struct {
+	Base, TailProb, TailScale float64
+}
+
+// Sample draws one latency.
+func (h HeavyTail) Sample(r *rng.Rand) float64 {
+	d := h.Base * (0.5 + r.Float64())
+	if r.Bool(h.TailProb) {
+		d *= h.TailScale
+	}
+	return d
+}
+
+// BoostResult reports one virtual-time evaluation.
+type BoostResult struct {
+	// Output is the value the output node computes (with stragglers
+	// treated as crashed when waits are in force).
+	Output float64
+	// FinishTime is the virtual time at which the output is available.
+	FinishTime float64
+	// Resets counts straggler signals that arrived after their layer was
+	// released — the computations the boosting scheme wasted.
+	Resets int
+}
+
+// CertifiedWaits derives the boosting wait counts of Corollary 2 from a
+// crash distribution: if the distribution is tolerated at accuracy eps by
+// an epsPrime-approximation, consumers of layer l need await only
+// N_l - faults[l-1] signals. It errors if the distribution is not
+// tolerated (waiting that aggressively would void the certificate).
+func CertifiedWaits(n *nn.Network, faults []int, eps, epsPrime float64) ([]int, error) {
+	s := core.ShapeOf(n)
+	if len(faults) != s.Layers() {
+		return nil, fmt.Errorf("dist: %d fault entries for %d layers", len(faults), s.Layers())
+	}
+	if !core.CrashTolerates(s, faults, eps, epsPrime) {
+		return nil, fmt.Errorf("dist: crash distribution %v not tolerated at eps=%g, eps'=%g (Fep %g)",
+			faults, eps, epsPrime, core.CrashFep(s, faults))
+	}
+	return core.RequiredSignals(s, faults), nil
+}
+
+// Simulate runs one evaluation in virtual time: every neuron of layer l
+// starts once its layer's inputs are released and finishes after a
+// latency drawn from lat. With waits == nil each layer is released only
+// when all its neurons have finished; otherwise layer l is released as
+// soon as waits[l-1] of its neurons have finished, and the stragglers are
+// treated as crashed (Corollary 2's boosting scheme — the error is then
+// bounded by the crash Fep of the induced fault distribution).
+func Simulate(n *nn.Network, x []float64, lat LatencyModel, waits []int, r *rng.Rand) (BoostResult, error) {
+	if err := n.Validate(); err != nil {
+		return BoostResult{}, err
+	}
+	if len(x) != n.InputDim {
+		return BoostResult{}, fmt.Errorf("dist: input length %d, want %d", len(x), n.InputDim)
+	}
+	L := n.Layers()
+	if waits != nil {
+		if len(waits) != L {
+			return BoostResult{}, fmt.Errorf("dist: %d wait entries for %d layers", len(waits), L)
+		}
+		for l, w := range waits {
+			if w < 1 || w > n.Width(l+1) {
+				return BoostResult{}, fmt.Errorf("dist: wait %d out of range 1..%d for layer %d", w, n.Width(l+1), l+1)
+			}
+		}
+	}
+
+	sim := des.New()
+	resets := 0
+	finishTime := math.NaN()
+	var dropped []fault.NeuronFault
+
+	// Each layer is scheduled from within its predecessor's release event,
+	// so the event queue interleaves stragglers of layer l with the
+	// computations of layer l+1 — one coherent virtual timeline.
+	var scheduleLayer func(l int)
+	scheduleLayer = func(l int) {
+		if l > L {
+			// The output node computes as soon as its inputs are released.
+			sim.Schedule(lat.Sample(r), func() { finishTime = sim.Now() })
+			return
+		}
+		width := n.Width(l)
+		need := width
+		if waits != nil {
+			need = waits[l-1]
+		}
+		arrived := 0
+		for j := 0; j < width; j++ {
+			j := j
+			sim.Schedule(lat.Sample(r), func() {
+				arrived++
+				switch {
+				case arrived == need:
+					scheduleLayer(l + 1)
+				case arrived > need:
+					// Straggler: its layer was already released, so its
+					// signal is discarded — the consumers read it as
+					// crashed.
+					resets++
+					dropped = append(dropped, fault.NeuronFault{Layer: l, Index: j})
+				}
+			})
+		}
+	}
+	scheduleLayer(1)
+	sim.Run()
+	out := fault.Forward(n, fault.Plan{Neurons: dropped}, fault.Crash{}, x)
+	return BoostResult{Output: out, FinishTime: finishTime, Resets: resets}, nil
+}
+
+// ByzStrategy decides what a Byzantine process sends on each outgoing
+// channel — unlike the synchronous injector it may equivocate, sending
+// different values to different receivers. computed is the value the
+// process actually computed from its (possibly already damaged) inputs;
+// to is the receiving neuron's index in the next layer (0 for the output
+// node).
+type ByzStrategy interface {
+	Value(f fault.NeuronFault, to int, computed float64) float64
+}
+
+// Equivocate is the classic two-faced traitor: it adds +C on channels to
+// even-indexed receivers and -C on channels to odd-indexed ones.
+type Equivocate struct {
+	C float64
+}
+
+// Value implements ByzStrategy.
+func (e Equivocate) Value(_ fault.NeuronFault, to int, computed float64) float64 {
+	if to%2 == 0 {
+		return computed + e.C
+	}
+	return computed - e.C
+}
+
+// SynapseDeviation perturbs individual channels: Delta[f] is added to the
+// value received over the faulty synapse f. The zero value deviates
+// nothing.
+type SynapseDeviation struct {
+	Delta map[fault.SynapseFault]float64
+}
+
+// Result reports one concurrent evaluation.
+type Result struct {
+	// Output is the value computed by the output-node process.
+	Output float64
+	// Messages counts channel sends that actually occurred (crashed
+	// processes stop sending).
+	Messages int
+}
+
+// message is one value on a synapse channel. Silent marks a crashed
+// sender: the receiver reads the channel as 0 (Definition 2).
+type message struct {
+	from   int
+	value  float64
+	silent bool
+}
+
+// Run evaluates the network as a concurrent system with one goroutine per
+// neuron communicating over channels. Neurons in p.Neurons crash when byz
+// is nil and follow byz otherwise; syn perturbs individual channels. The
+// result agrees with the synchronous injector semantics (fault.Forward
+// with Crash) for crash failures.
+func Run(n *nn.Network, p fault.Plan, byz ByzStrategy, syn SynapseDeviation, x []float64) (Result, error) {
+	if err := n.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(n); err != nil {
+		return Result{}, err
+	}
+	if len(x) != n.InputDim {
+		return Result{}, fmt.Errorf("dist: input length %d, want %d", len(x), n.InputDim)
+	}
+	L := n.Layers()
+	faulty := make(map[fault.NeuronFault]bool, len(p.Neurons))
+	for _, f := range p.Neurons {
+		faulty[f] = true
+	}
+
+	// inbox[l][j] feeds neuron j of layer l (layer L has index L-1); the
+	// final slot is the output node's inbox.
+	inbox := make([][]chan message, L)
+	for l := 1; l <= L; l++ {
+		inbox[l-1] = make([]chan message, n.Width(l))
+		for j := range inbox[l-1] {
+			inbox[l-1][j] = make(chan message, n.Width(l-1))
+		}
+	}
+	outBox := make(chan message, n.Width(L))
+	sent := make(chan int, n.Neurons()+1)
+
+	// send broadcasts a layer-l neuron's emission to all its receivers.
+	send := func(l, j int, f fault.NeuronFault, value float64, crashed bool) {
+		count := 0
+		emit := func(to int, ch chan message) {
+			m := message{from: j, value: value, silent: crashed}
+			if !crashed && byz != nil && faulty[f] {
+				m.value = byz.Value(f, to, value)
+			}
+			ch <- m
+			if !m.silent {
+				count++
+			}
+		}
+		if l == L {
+			emit(0, outBox)
+		} else {
+			for to, ch := range inbox[l] {
+				emit(to, ch)
+			}
+		}
+		sent <- count
+	}
+
+	for l := 1; l <= L; l++ {
+		m := n.Hidden[l-1]
+		for j := 0; j < m.Rows; j++ {
+			l, j, m := l, j, m
+			go func() {
+				var vec []float64
+				if l == 1 {
+					vec = x
+				} else {
+					vec = receive(n.Width(l-1), inbox[l-2][j])
+				}
+				s := tensor.Dot(m.Row(j), vec)
+				if n.Biases != nil && n.Biases[l-1] != nil {
+					s += n.Biases[l-1][j]
+				}
+				s += syn.deltaInto(l, j)
+				y := n.Act.Eval(s)
+				f := fault.NeuronFault{Layer: l, Index: j}
+				crashed := byz == nil && faulty[f]
+				send(l, j, f, y, crashed)
+			}()
+		}
+	}
+
+	vec := receive(n.Width(L), outBox)
+	out := tensor.Dot(n.Output, vec) + n.OutputBias + syn.deltaInto(L+1, 0)
+	messages := 0
+	for i := 0; i < n.Neurons(); i++ {
+		messages += <-sent
+	}
+	return Result{Output: out, Messages: messages}, nil
+}
+
+// receive collects one message per upstream neuron from ch; silent
+// channels read as 0 (Definition 2).
+func receive(fromWidth int, ch chan message) []float64 {
+	vec := make([]float64, fromWidth)
+	for i := 0; i < fromWidth; i++ {
+		m := <-ch
+		if !m.silent {
+			vec[m.from] = m.value
+		}
+	}
+	return vec
+}
+
+// deltaInto sums the channel deviations landing on the receiving sum of
+// neuron to in layer l (l = L+1 addresses the output node).
+func (s SynapseDeviation) deltaInto(l, to int) float64 {
+	d := 0.0
+	for f, v := range s.Delta {
+		if f.Layer == l && f.To == to {
+			d += v
+		}
+	}
+	return d
+}
+
+// FailureEvent is one entry of a failure schedule: starting at Round, the
+// given neuron is faulty — crashed by default, Byzantine (bounded by the
+// stream's capacity) when Byzantine is set.
+type FailureEvent struct {
+	Round     int
+	Neuron    fault.NeuronFault
+	Byzantine bool
+}
+
+// StreamResult reports one round of a failure stream.
+type StreamResult struct {
+	// Round is the 0-based round index; Faulty the number of failures
+	// active during it.
+	Round, Faulty int
+	// Err is the measured |Fneu - Ffail| on the round's input; Certified
+	// is the closed-form mixed Fep certificate for the active
+	// distribution. Err <= Certified always (Theorem 2).
+	Err, Certified float64
+}
+
+// activeAt partitions the schedule's events active at round i into
+// crashed and Byzantine neuron sets.
+func activeAt(schedule []FailureEvent, round int) (crashed, byzantine []fault.NeuronFault) {
+	for _, ev := range schedule {
+		if ev.Round > round {
+			continue
+		}
+		if ev.Byzantine {
+			byzantine = append(byzantine, ev.Neuron)
+		} else {
+			crashed = append(crashed, ev.Neuron)
+		}
+	}
+	return
+}
+
+// distributionAt summarises the active failures as a per-layer mixed
+// distribution.
+func distributionAt(schedule []FailureEvent, round, L int) core.MixedDistribution {
+	crashed, byzantine := activeAt(schedule, round)
+	d := core.MixedDistribution{Crash: make([]int, L), Byzantine: make([]int, L)}
+	for _, f := range crashed {
+		d.Crash[f.Layer-1]++
+	}
+	for _, f := range byzantine {
+		d.Byzantine[f.Layer-1]++
+	}
+	return d
+}
+
+// Stream processes one input per round while the schedule's failures
+// accumulate, measuring each round's error and emitting the matching
+// closed-form certificate. capacity bounds Byzantine deviations (crash
+// failures ignore it).
+func Stream(n *nn.Network, inputs [][]float64, schedule []FailureEvent, capacity float64) ([]StreamResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	s := core.ShapeOf(n)
+	L := n.Layers()
+	sorted := append([]FailureEvent(nil), schedule...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	results := make([]StreamResult, 0, len(inputs))
+	for round, x := range inputs {
+		crashed, byzantine := activeAt(sorted, round)
+		plan := fault.Plan{Neurons: append(append([]fault.NeuronFault(nil), crashed...), byzantine...)}
+		if err := plan.Validate(n); err != nil {
+			return nil, fmt.Errorf("dist: round %d: %w", round, err)
+		}
+		var inj fault.Injector = fault.Crash{}
+		if len(byzantine) > 0 {
+			crashSet := make(map[fault.NeuronFault]bool, len(crashed))
+			for _, f := range crashed {
+				crashSet[f] = true
+			}
+			inj = fault.Mixed{CrashSet: crashSet, Byz: fault.Byzantine{C: capacity, Sem: core.DeviationCap}}
+		}
+		results = append(results, StreamResult{
+			Round:     round,
+			Faulty:    len(crashed) + len(byzantine),
+			Err:       fault.ErrorOn(n, plan, inj, x),
+			Certified: core.MixedFep(s, distributionAt(sorted, round, L), capacity),
+		})
+	}
+	return results, nil
+}
+
+// DegradationPoint forecasts, without running anything, the first round
+// at which the schedule's accumulated failures are no longer tolerated at
+// accuracy eps by an epsPrime-approximation (-1 if the whole horizon
+// stays certified) — the operator-side use of the O(L) bound.
+func DegradationPoint(n *nn.Network, rounds int, schedule []FailureEvent, c, eps, epsPrime float64) int {
+	s := core.ShapeOf(n)
+	L := n.Layers()
+	for round := 0; round < rounds; round++ {
+		if !core.MixedTolerates(s, distributionAt(schedule, round, L), c, eps, epsPrime) {
+			return round
+		}
+	}
+	return -1
+}

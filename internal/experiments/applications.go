@@ -412,9 +412,9 @@ func OverProvisioning() *Result {
 func measuredCrashTolerance(net *nn.Network, target approx.Target, eps float64, inputs [][]float64) int {
 	measuredMax := 0
 	for f := 0; f <= net.Width(1); f++ {
-		plan := fault.AdversarialNeuronPlan(net, []int{f})
+		cp := fault.Compile(net, fault.AdversarialNeuronPlan(net, []int{f}))
 		worst := metrics.SupDistance(target.Eval, func(x []float64) float64 {
-			return fault.Forward(net, plan, fault.Crash{}, x)
+			return cp.Forward(fault.Crash{}, x)
 		}, inputs)
 		if worst <= eps {
 			measuredMax = f

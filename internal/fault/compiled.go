@@ -1,0 +1,385 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// NominalFree is implemented by injectors whose NeuronValue ignores its
+// nominal argument (crash failures, transmission-capped Byzantine
+// values). For such injectors the evaluation engine skips the clean
+// reference trace entirely — the damaged pass is the only pass.
+type NominalFree interface {
+	NominalFree() bool
+}
+
+// NominalFree reports that crashed neurons emit 0 regardless of their
+// nominal output.
+func (Crash) NominalFree() bool { return true }
+
+// NominalFree reports whether the Byzantine value depends on the clean
+// nominal output (it does not under TransmissionCap, where faulty
+// components emit extreme values of the allowed range).
+func (b Byzantine) NominalFree() bool { return b.Sem == core.TransmissionCap }
+
+// NominalFree is the random analogue of Byzantine.NominalFree.
+func (b RandomByzantine) NominalFree() bool { return b.Sem == core.TransmissionCap }
+
+// NominalFree delegates to the Byzantine component: crash-set neurons
+// emit 0 regardless of nominal.
+func (m Mixed) NominalFree() bool { return m.Byz.NominalFree() }
+
+// needsNominal reports whether inj requires clean nominal outputs.
+func needsNominal(inj Injector) bool {
+	nf, ok := inj.(NominalFree)
+	return !(ok && nf.NominalFree())
+}
+
+// CompiledPlan is a Plan indexed once for repeated evaluation: per-layer
+// fault lists, the first divergent layer (everything before it is shared
+// between the clean and damaged sweeps), and per-layer skip segments for
+// neurons whose received sums are overridden anyway.
+//
+// A CompiledPlan is immutable after Compile and safe for concurrent use
+// by multiple goroutines (evaluation scratch comes from an internal
+// pool), provided the injector passed to each call is itself safe for
+// concurrent use. Reset re-indexes a new plan in place and must not race
+// with concurrent evaluations.
+type CompiledPlan struct {
+	net  *nn.Network
+	plan Plan
+
+	// neuronsAt[l] / synapsesAt[l] hold the faults acting on layer l
+	// (neurons: 1..L; synapses: 1..L+1).
+	neuronsAt  [][]NeuronFault
+	synapsesAt [][]SynapseFault
+	// overridden[l] lists, sorted, the neuron indices of layer l whose
+	// outputs are replaced by the injector — their received sums and
+	// activations need not be computed.
+	overridden [][]int
+	// diverge is the first hidden layer whose outputs can differ from the
+	// clean pass (L+1 if only output synapses are faulty or the plan is
+	// empty). lastNominal is the deepest layer with neuron faults (0 if
+	// none).
+	diverge     int
+	lastNominal int
+}
+
+// Compile indexes p against n for repeated evaluation. It panics if the
+// plan addresses layers outside the network (use Plan.Validate for full
+// validation with errors).
+func Compile(n *nn.Network, p Plan) *CompiledPlan {
+	cp := &CompiledPlan{net: n}
+	cp.Reset(p)
+	return cp
+}
+
+// Plan returns the plan as passed to Compile/Reset. The fault slices
+// are retained, not copied: if the caller rebuilds the plan in a reused
+// buffer (the allocation-free Reset sweep), Plan reflects the buffer's
+// current contents, not the compiled index — copy the slices before
+// mutating them if the original plan must stay readable.
+func (cp *CompiledPlan) Plan() Plan { return cp.plan }
+
+// Reset re-indexes cp for a new plan, reusing the index buffers — the
+// allocation-free way to sweep many plans over one network (the plan's
+// slices are read during Reset and retained only for Plan; evaluation
+// never touches them again). Not safe to call while other goroutines
+// evaluate cp.
+func (cp *CompiledPlan) Reset(p Plan) {
+	L := cp.net.Layers()
+	if cap(cp.neuronsAt) < L+2 {
+		cp.neuronsAt = make([][]NeuronFault, L+2)
+		cp.synapsesAt = make([][]SynapseFault, L+2)
+		cp.overridden = make([][]int, L+2)
+	}
+	cp.neuronsAt = cp.neuronsAt[:L+2]
+	cp.synapsesAt = cp.synapsesAt[:L+2]
+	cp.overridden = cp.overridden[:L+2]
+	for l := range cp.neuronsAt {
+		cp.neuronsAt[l] = cp.neuronsAt[l][:0]
+		cp.synapsesAt[l] = cp.synapsesAt[l][:0]
+		cp.overridden[l] = cp.overridden[l][:0]
+	}
+	for _, f := range p.Neurons {
+		if f.Layer < 1 || f.Layer > L {
+			panic(fmt.Sprintf("fault: neuron fault at layer %d outside 1..%d", f.Layer, L))
+		}
+		cp.neuronsAt[f.Layer] = append(cp.neuronsAt[f.Layer], f)
+		cp.overridden[f.Layer] = append(cp.overridden[f.Layer], f.Index)
+	}
+	for _, f := range p.Synapses {
+		if f.Layer < 1 || f.Layer > L+1 {
+			panic(fmt.Sprintf("fault: synapse fault at layer %d outside 1..%d", f.Layer, L+1))
+		}
+		cp.synapsesAt[f.Layer] = append(cp.synapsesAt[f.Layer], f)
+	}
+	cp.diverge = L + 1
+	cp.lastNominal = 0
+	for l := 1; l <= L; l++ {
+		sort.Ints(cp.overridden[l])
+		// Compact duplicates: a (not Validate-d) plan may list a neuron
+		// twice; the override loop still applies every entry in plan
+		// order, but the skip segments must name each row once.
+		uniq := cp.overridden[l][:0]
+		for i, v := range cp.overridden[l] {
+			if i == 0 || v != cp.overridden[l][i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		cp.overridden[l] = uniq
+		if len(cp.neuronsAt[l]) > 0 || len(cp.synapsesAt[l]) > 0 {
+			if l < cp.diverge {
+				cp.diverge = l
+			}
+		}
+		if len(cp.neuronsAt[l]) > 0 {
+			cp.lastNominal = l
+		}
+	}
+	cp.plan = p
+}
+
+// planEval is the reusable scratch of one evaluation: per-layer buffers
+// for the damaged sweep and (when needed) the clean reference sweep.
+type planEval struct {
+	// sizedFor tags the network the buffers currently fit, skipping the
+	// per-layer size walk on the hot path.
+	sizedFor *nn.Network
+	fault    [][]float64
+	clean    [][]float64
+}
+
+func (e *planEval) ensure(n *nn.Network) {
+	if e.sizedFor == n {
+		return
+	}
+	L := n.Layers()
+	if cap(e.fault) < L {
+		e.fault = make([][]float64, L)
+		e.clean = make([][]float64, L)
+	}
+	e.fault = e.fault[:L]
+	e.clean = e.clean[:L]
+	for l, m := range n.Hidden {
+		if cap(e.fault[l]) < m.Rows {
+			e.fault[l] = make([]float64, m.Rows)
+			e.clean[l] = make([]float64, m.Rows)
+		}
+		e.fault[l] = e.fault[l][:m.Rows]
+		e.clean[l] = e.clean[l][:m.Rows]
+	}
+	e.sizedFor = n
+}
+
+// evalPool recycles evaluation scratch across plans, goroutines and
+// networks (buffers are grow-only).
+var evalPool = sync.Pool{New: func() any { return new(planEval) }}
+
+// Forward evaluates the damaged neural function Ffail on x. Identical in
+// semantics to the package-level Forward, but the fault index is reused
+// across calls and the steady state allocates nothing. The clean
+// reference trace is only computed as deep as the injector actually
+// needs nominal values (not at all for crash failures).
+func (cp *CompiledPlan) Forward(inj Injector, x []float64) float64 {
+	e := evalPool.Get().(*planEval)
+	f, _ := cp.eval(e, inj, x, nil, false)
+	evalPool.Put(e)
+	return f
+}
+
+// ErrorOn returns |Fneu(x) - Ffail(x)| with the clean and damaged sweeps
+// fused: layers before the first fault are computed once and shared, and
+// from there each weight row is read once for both sweeps.
+func (cp *CompiledPlan) ErrorOn(inj Injector, x []float64) float64 {
+	e := evalPool.Get().(*planEval)
+	f, c := cp.eval(e, inj, x, nil, true)
+	evalPool.Put(e)
+	return math.Abs(c - f)
+}
+
+// ErrorOnTrace returns |Fneu - Ffail| on tr.Input given the input's
+// precomputed clean trace: only the damaged sweep runs, and it starts at
+// the plan's first divergent layer. Use CleanTraces to evaluate a fixed
+// input set once and sweep many plans over it.
+func (cp *CompiledPlan) ErrorOnTrace(inj Injector, tr *nn.Trace) float64 {
+	e := evalPool.Get().(*planEval)
+	f, _ := cp.eval(e, inj, tr.Input, tr, false)
+	evalPool.Put(e)
+	return math.Abs(tr.Output - f)
+}
+
+// eval runs the fused sweep. tr, when non-nil, supplies the clean trace
+// (no clean computation happens at all); needClean requests the clean
+// output even without a trace. Returns the damaged output and, when
+// available, the clean output.
+func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trace, needClean bool) (faulted, clean float64) {
+	n := cp.net
+	L := n.Layers()
+	e.ensure(n)
+
+	// How deep the clean sweep must run: to the end for the fused error,
+	// to the deepest neuron fault when the injector consumes nominal
+	// values, not at all alongside a precomputed trace.
+	cleanUpTo := 0
+	if tr == nil {
+		if needClean {
+			cleanUpTo = L
+		} else if needsNominal(inj) {
+			cleanUpTo = cp.lastNominal
+		}
+	}
+	// Crashed neurons always emit 0: write it directly instead of an
+	// interface call per fault.
+	_, isCrash := inj.(Crash)
+
+	yF, yC := x, x
+	l := 1
+	if tr != nil && cp.diverge > 1 {
+		// Shared prefix is already on the trace: jump to the divergence.
+		l = cp.diverge
+		if l > L+1 {
+			l = L + 1
+		}
+		if l > 1 {
+			yF = tr.Outputs[l-2]
+		}
+	}
+	for ; l <= L; l++ {
+		m := n.Hidden[l-1]
+		b := biasOf(n, l)
+		sF := e.fault[l-1]
+		switch {
+		case l < cp.diverge:
+			// Shared prefix: one sweep serves both paths.
+			m.MulVecAddTo(sF, yF, b)
+			activation.Eval(n.Act, sF, sF)
+			yF, yC = sF, sF
+			continue
+		case tr == nil && l <= cleanUpTo && !sameSlice(yF, yC):
+			// Diverged and clean still needed: one fused sweep computes
+			// both sums.
+			sC := e.clean[l-1]
+			m.MulVec2AddTo(sF, yF, sC, yC, b)
+			activation.Eval(n.Act, sC, sC)
+			yC = sC
+		case tr == nil && l <= cleanUpTo:
+			// First divergent layer: received sums are still identical,
+			// so compute them once and branch the activations.
+			m.MulVecAddTo(sF, yF, b)
+			sC := e.clean[l-1]
+			copy(sC, sF)
+			activation.Eval(n.Act, sC, sC)
+			yC = sC
+		default:
+			mulVecAddSkip(m, sF, yF, b, cp.overridden[l])
+		}
+		for _, f := range cp.synapsesAt[l] {
+			transmitted := m.At(f.To, f.From) * yF[f.From]
+			sF[f.To] += inj.SynapseDelta(f, transmitted)
+		}
+		evalSkip(n.Act, sF, cp.overridden[l])
+		if isCrash {
+			for _, f := range cp.neuronsAt[l] {
+				sF[f.Index] = 0
+			}
+		} else {
+			for _, f := range cp.neuronsAt[l] {
+				// The clean output exists wherever the injector can read
+				// it: injectors that never consume nominals (cleanUpTo
+				// stopped short) receive a fixed 0.
+				nom := 0.0
+				if tr != nil {
+					nom = tr.Outputs[l-1][f.Index]
+				} else if l <= cleanUpTo {
+					nom = yC[f.Index]
+				}
+				sF[f.Index] = inj.NeuronValue(f, nom)
+			}
+		}
+		yF = sF
+	}
+
+	faulted = tensor.Dot(n.Output, yF) + n.OutputBias
+	for _, f := range cp.synapsesAt[L+1] {
+		transmitted := n.Output[f.From] * yF[f.From]
+		faulted += inj.SynapseDelta(f, transmitted)
+	}
+	switch {
+	case tr != nil:
+		clean = tr.Output
+	case needClean:
+		clean = tensor.Dot(n.Output, yC) + n.OutputBias
+	}
+	return faulted, clean
+}
+
+// biasOf returns the bias vector into layer l (1-based), or nil.
+func biasOf(n *nn.Network, l int) []float64 {
+	if n.Biases == nil {
+		return nil
+	}
+	return n.Biases[l-1]
+}
+
+// sameSlice reports whether a and b share the same backing view.
+func sameSlice(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// mulVecAddSkip is MulVecAddTo for a sweep whose skip-listed rows
+// (sorted, deduplicated) are about to be overridden by the injector:
+// their received sums are never observed, so neither the dot products
+// nor the activations (see evalSkip) are spent on them. Layers large
+// enough for the parallel matvec compute the doomed rows anyway — the
+// waste is negligible there and the row range stays contiguous for the
+// goroutine dispatch.
+func mulVecAddSkip(m *tensor.Matrix, y, x, b []float64, skip []int) {
+	if len(skip) == 0 || m.Rows*m.Cols >= 1<<15 {
+		m.MulVecAddTo(y, x, b)
+		return
+	}
+	lo := 0
+	for _, idx := range skip {
+		m.MulVecAddRange(y, x, b, lo, idx)
+		lo = idx + 1
+	}
+	m.MulVecAddRange(y, x, b, lo, m.Rows)
+}
+
+// evalSkip applies the activation in place to every entry of s except
+// the (sorted) skipped indices, whose values are overridden afterwards.
+func evalSkip(f activation.Func, s []float64, skip []int) {
+	if len(skip) == 0 {
+		activation.Eval(f, s, s)
+		return
+	}
+	lo := 0
+	for _, idx := range skip {
+		if idx > lo {
+			activation.Eval(f, s[lo:idx], s[lo:idx])
+		}
+		lo = idx + 1
+	}
+	if lo < len(s) {
+		activation.Eval(f, s[lo:], s[lo:])
+	}
+}
+
+// CleanTraces evaluates the fault-free trace of every input once, in
+// parallel — the shared reference for sweeping many plans over a fixed
+// input set (Monte Carlo profiles, sign searches, exhaustive
+// configuration searches).
+func CleanTraces(n *nn.Network, inputs [][]float64) []*nn.Trace {
+	out := make([]*nn.Trace, len(inputs))
+	parallel.For(len(inputs), func(i int) { out[i] = n.ForwardTrace(inputs[i]) })
+	return out
+}

@@ -9,12 +9,10 @@ package fault
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/rng"
-	"repro/internal/tensor"
 )
 
 // NeuronFault identifies one failing neuron: layer is 1..L, index is the
@@ -218,55 +216,15 @@ func (b RandomByzantine) SynapseDelta(_ SynapseFault, nominal float64) float64 {
 // neurons' outputs are replaced via the injector after each layer, and
 // faulty synapses perturb the receiving sums. Injectors receive clean
 // nominal values (see Injector), so Forward also runs the fault-free
-// trace.
+// sweep as deep as the injector needs it. For repeated evaluation of one
+// plan, Compile once and reuse the CompiledPlan.
 func Forward(n *nn.Network, p Plan, inj Injector, x []float64) float64 {
-	L := n.Layers()
-	// Pre-index faults per layer for the forward sweep.
-	neuronsAt := make([][]NeuronFault, L+1) // index by layer
-	for _, f := range p.Neurons {
-		neuronsAt[f.Layer] = append(neuronsAt[f.Layer], f)
-	}
-	synapsesAt := make([][]SynapseFault, L+2)
-	for _, f := range p.Synapses {
-		synapsesAt[f.Layer] = append(synapsesAt[f.Layer], f)
-	}
-	clean := n.ForwardTrace(x)
-	cleanOut := func(layer, idx int) float64 {
-		if layer == 0 {
-			return x[idx]
-		}
-		return clean.Outputs[layer-1][idx]
-	}
-
-	y := x
-	for l := 1; l <= L; l++ {
-		m := n.Hidden[l-1]
-		s := m.MulVec(y)
-		if n.Biases != nil && n.Biases[l-1] != nil {
-			tensor.Add(s, s, n.Biases[l-1])
-		}
-		for _, f := range synapsesAt[l] {
-			transmitted := m.At(f.To, f.From) * y[f.From]
-			s[f.To] += inj.SynapseDelta(f, transmitted)
-		}
-		out := make([]float64, len(s))
-		for j := range s {
-			out[j] = n.Act.Eval(s[j])
-		}
-		for _, f := range neuronsAt[l] {
-			out[f.Index] = inj.NeuronValue(f, cleanOut(l, f.Index))
-		}
-		y = out
-	}
-	sum := tensor.Dot(n.Output, y) + n.OutputBias
-	for _, f := range synapsesAt[L+1] {
-		transmitted := n.Output[f.From] * y[f.From]
-		sum += inj.SynapseDelta(f, transmitted)
-	}
-	return sum
+	return Compile(n, p).Forward(inj, x)
 }
 
-// ErrorOn returns |Fneu(x) - Ffail(x)| for one input.
+// ErrorOn returns |Fneu(x) - Ffail(x)| for one input. For repeated
+// evaluation, Compile the plan once and use CompiledPlan.ErrorOn (or
+// ErrorOnTrace over a fixed input set).
 func ErrorOn(n *nn.Network, p Plan, inj Injector, x []float64) float64 {
-	return math.Abs(n.Forward(x) - Forward(n, p, inj, x))
+	return Compile(n, p).ErrorOn(inj, x)
 }

@@ -9,19 +9,22 @@ import (
 )
 
 // MaxError returns the largest |Fneu(x) - Ffail(x)| over the given inputs,
-// evaluated in parallel. The injector must be safe for concurrent use
-// (Crash and Byzantine are; RandomByzantine is not — use MaxErrorSeq).
+// evaluated in parallel on a plan compiled once. The injector must be
+// safe for concurrent use (Crash and Byzantine are; RandomByzantine is
+// not — use MaxErrorSeq).
 func MaxError(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+	cp := Compile(n, p)
 	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
-		return ErrorOn(n, p, inj, inputs[i])
+		return cp.ErrorOn(inj, inputs[i])
 	})
 }
 
 // MaxErrorSeq is the sequential variant for stateful injectors.
 func MaxErrorSeq(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+	cp := Compile(n, p)
 	worst := 0.0
 	for _, x := range inputs {
-		if e := ErrorOn(n, p, inj, x); e > worst {
+		if e := cp.ErrorOn(inj, x); e > worst {
 			worst = e
 		}
 	}
@@ -40,6 +43,8 @@ func WorstSignError(n *nn.Network, p Plan, base Byzantine, inputs [][]float64) f
 		panic(fmt.Sprintf("fault: WorstSignError with %d faults (max %d)", k, maxSignBits))
 	}
 	patterns := 1 << k
+	cp := Compile(n, p)
+	traces := CleanTraces(n, inputs)
 	return parallel.MaxFloat64(patterns, func(bits int) float64 {
 		inj := Byzantine{
 			C:       base.C,
@@ -62,8 +67,8 @@ func WorstSignError(n *nn.Network, p Plan, base Byzantine, inputs [][]float64) f
 			}
 		}
 		worst := 0.0
-		for _, x := range inputs {
-			if e := ErrorOn(n, p, inj, x); e > worst {
+		for _, tr := range traces {
+			if e := cp.ErrorOnTrace(inj, tr); e > worst {
 				worst = e
 			}
 		}
@@ -182,18 +187,26 @@ func ExhaustiveWorstCrash(n *nn.Network, perLayer []int, inputs [][]float64, max
 		perLayerCombos[l] = combos
 	}
 
-	buildPlan := func(flat int64) Plan {
-		var p Plan
+	// fillPlan rebuilds the configuration for a flat index into a
+	// reusable buffer — the enumeration loop allocates only when a new
+	// worst case is found.
+	fillPlan := func(buf []NeuronFault, flat int64) []NeuronFault {
+		buf = buf[:0]
 		for l := 0; l < L; l++ {
 			count := int64(len(perLayerCombos[l]))
 			choice := perLayerCombos[l][flat%count]
 			flat /= count
 			for _, idx := range choice {
-				p.Neurons = append(p.Neurons, NeuronFault{Layer: l + 1, Index: idx})
+				buf = append(buf, NeuronFault{Layer: l + 1, Index: idx})
 			}
 		}
-		return p
+		return buf
 	}
+
+	// The clean traces are shared by every configuration: evaluate the
+	// input sweep once, then each configuration costs one damaged sweep
+	// per input.
+	traces := CleanTraces(n, inputs)
 
 	type worst struct {
 		err  float64
@@ -212,12 +225,20 @@ func ExhaustiveWorstCrash(n *nn.Network, perLayer []int, inputs [][]float64, max
 				hi = total
 			}
 			local := worst{}
+			cp := Compile(n, Plan{})
+			var buf []NeuronFault
 			for flat := lo; flat < hi; flat++ {
-				p := buildPlan(flat)
-				for _, x := range inputs {
-					if e := ErrorOn(n, p, Crash{}, x); e > local.err {
-						local = worst{err: e, plan: p}
+				buf = fillPlan(buf, flat)
+				cp.Reset(Plan{Neurons: buf})
+				improved := false
+				for _, tr := range traces {
+					if e := cp.ErrorOnTrace(Crash{}, tr); e > local.err {
+						local.err = e
+						improved = true
 					}
+				}
+				if improved {
+					local.plan = Plan{Neurons: append([]NeuronFault(nil), buf...)}
 				}
 			}
 			partial[slot] = local

@@ -26,16 +26,26 @@ type Profile struct {
 // when c == 0), measures the max error over the inputs for each, and
 // returns the empirical profile.
 func MonteCarlo(n *nn.Network, perLayer []int, c float64, sem core.CapSemantics, inputs [][]float64, trials int, r *rng.Rand) Profile {
+	// One clean sweep per input serves every sampled configuration; each
+	// trial then costs only damaged sweeps on a re-indexed compiled plan.
+	traces := CleanTraces(n, inputs)
+	cp := Compile(n, Plan{})
 	errs := make([]float64, trials)
 	for t := 0; t < trials; t++ {
-		plan := RandomNeuronPlan(r, n, perLayer)
+		cp.Reset(RandomNeuronPlan(r, n, perLayer))
 		var inj Injector
 		if c == 0 {
 			inj = Crash{}
 		} else {
 			inj = RandomByzantine{C: c, Sem: sem, R: r.Split()}
 		}
-		errs[t] = MaxErrorSeq(n, plan, inj, inputs)
+		worst := 0.0
+		for _, tr := range traces {
+			if e := cp.ErrorOnTrace(inj, tr); e > worst {
+				worst = e
+			}
+		}
+		errs[t] = worst
 	}
 	sorted := append([]float64(nil), errs...)
 	insertionSort(sorted)
@@ -91,12 +101,13 @@ func quantile(sorted []float64, q float64) float64 {
 // more cheaply than a dense grid.
 func WorstInput(n *nn.Network, p Plan, inj Injector, r *rng.Rand, restarts, steps int) ([]float64, float64) {
 	d := n.InputDim
+	cp := Compile(n, p)
 	// Sampling phase: collect starting points, keep the `restarts` best.
 	pool := make([]inputCand, 0, 16*restarts)
 	for i := 0; i < 16*restarts; i++ {
 		x := make([]float64, d)
 		r.Floats(x, 0, 1)
-		pool = append(pool, inputCand{x, ErrorOn(n, p, inj, x)})
+		pool = append(pool, inputCand{x, cp.ErrorOn(inj, x)})
 	}
 	insertionSortCands(pool)
 	if restarts > len(pool) {
@@ -119,7 +130,7 @@ func WorstInput(n *nn.Network, p Plan, inj Injector, r *rng.Rand, restarts, step
 					}
 					old := x[i]
 					x[i] = cand
-					if e := ErrorOn(n, p, inj, x); e > cur {
+					if e := cp.ErrorOn(inj, x); e > cur {
 						cur = e
 						improved = true
 					} else {

@@ -172,10 +172,8 @@ type Trace struct {
 func (n *Network) Forward(x []float64) float64 {
 	y := x
 	for l, m := range n.Hidden {
-		s := m.MulVec(y)
-		if n.Biases != nil && n.Biases[l] != nil {
-			tensor.Add(s, s, n.Biases[l])
-		}
+		s := make([]float64, m.Rows)
+		m.MulVecAddTo(s, y, n.bias(l))
 		activation.Eval(n.Act, s, s)
 		y = s
 	}
@@ -183,7 +181,8 @@ func (n *Network) Forward(x []float64) float64 {
 }
 
 // ForwardTrace evaluates the network and records all intermediate sums and
-// outputs.
+// outputs. The trace owns its buffers; for an allocation-free variant see
+// ForwardTraceInto.
 func (n *Network) ForwardTrace(x []float64) *Trace {
 	tr := &Trace{
 		Input:   tensor.Clone(x),
@@ -192,11 +191,9 @@ func (n *Network) ForwardTrace(x []float64) *Trace {
 	}
 	y := x
 	for l, m := range n.Hidden {
-		s := m.MulVec(y)
-		if n.Biases != nil && n.Biases[l] != nil {
-			tensor.Add(s, s, n.Biases[l])
-		}
-		tr.Sums[l] = tensor.Clone(s)
+		s := make([]float64, m.Rows)
+		m.MulVecAddTo(s, y, n.bias(l))
+		tr.Sums[l] = s
 		out := make([]float64, len(s))
 		activation.Eval(n.Act, out, s)
 		tr.Outputs[l] = out
@@ -206,10 +203,22 @@ func (n *Network) ForwardTrace(x []float64) *Trace {
 	return tr
 }
 
-// ForwardBatch evaluates the network on many inputs in parallel.
+// ForwardBatch evaluates the network on many inputs in parallel. Small
+// batches run per-input matvecs on pooled per-worker scratch; larger
+// batches are evaluated as one matrix-matrix product per layer.
 func (n *Network) ForwardBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	parallel.For(len(xs), func(i int) { out[i] = n.Forward(xs[i]) })
+	if len(xs) >= gemmBatchMin {
+		n.forwardBatchGEMM(out, xs)
+		return out
+	}
+	parallel.ForChunked(len(xs), 1, func(lo, hi int) {
+		sc := GetScratch(n)
+		for i := lo; i < hi; i++ {
+			out[i] = n.ForwardInto(sc, xs[i])
+		}
+		PutScratch(sc)
+	})
 	return out
 }
 

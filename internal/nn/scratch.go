@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/activation"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Scratch holds preallocated per-layer buffers for allocation-free
+// forward passes. A Scratch is NOT safe for concurrent use: give each
+// goroutine its own (ForwardBatch does this via an internal pool). The
+// zero value is usable; buffers grow on first use and are reused
+// afterwards, so steady-state evaluation performs no allocations.
+type Scratch struct {
+	// outs[l-1] receives y^{(l)}; sums[l-1] receives s^{(l)} when
+	// tracing.
+	outs [][]float64
+	sums [][]float64
+	in   []float64
+	tr   Trace
+}
+
+// NewScratch returns a Scratch pre-sized for n.
+func NewScratch(n *Network) *Scratch {
+	sc := &Scratch{}
+	sc.ensure(n)
+	return sc
+}
+
+// grow returns buf resized to length want, reusing its backing array
+// when capacity allows.
+func grow(buf []float64, want int) []float64 {
+	if cap(buf) < want {
+		return make([]float64, want)
+	}
+	return buf[:want]
+}
+
+// ensure sizes the buffers for n (grow-only; cheap when already sized).
+func (sc *Scratch) ensure(n *Network) {
+	L := n.Layers()
+	if cap(sc.outs) < L {
+		sc.outs = make([][]float64, L)
+		sc.sums = make([][]float64, L)
+	}
+	sc.outs = sc.outs[:L]
+	sc.sums = sc.sums[:L]
+	for l, m := range n.Hidden {
+		sc.outs[l] = grow(sc.outs[l], m.Rows)
+		sc.sums[l] = grow(sc.sums[l], m.Rows)
+	}
+	sc.in = grow(sc.in, n.InputDim)
+}
+
+// bias returns the bias vector of layer l+1 (0-based index into Hidden),
+// or nil.
+func (n *Network) bias(l int) []float64 {
+	if n.Biases == nil {
+		return nil
+	}
+	return n.Biases[l]
+}
+
+// ForwardInto evaluates Fneu(X) using sc's buffers: the steady state
+// performs zero allocations. Results are bit-identical to Forward.
+func (n *Network) ForwardInto(sc *Scratch, x []float64) float64 {
+	sc.ensure(n)
+	y := x
+	for l, m := range n.Hidden {
+		s := sc.outs[l]
+		m.MulVecAddTo(s, y, n.bias(l))
+		activation.Eval(n.Act, s, s)
+		y = s
+	}
+	return tensor.Dot(n.Output, y) + n.OutputBias
+}
+
+// ForwardTraceInto evaluates the network recording all intermediate sums
+// and outputs, like ForwardTrace but into sc's buffers: the steady state
+// performs zero allocations. The returned Trace is owned by sc and only
+// valid until its next use.
+func (n *Network) ForwardTraceInto(sc *Scratch, x []float64) *Trace {
+	sc.ensure(n)
+	copy(sc.in, x)
+	tr := &sc.tr
+	tr.Input = sc.in
+	tr.Sums = sc.sums
+	tr.Outputs = sc.outs
+	y := x
+	for l, m := range n.Hidden {
+		s := sc.sums[l]
+		m.MulVecAddTo(s, y, n.bias(l))
+		out := sc.outs[l]
+		activation.Eval(n.Act, out, s)
+		y = out
+	}
+	tr.Output = tensor.Dot(n.Output, y) + n.OutputBias
+	return tr
+}
+
+// scratchPool recycles Scratch values across ForwardBatch workers (and
+// any other callers evaluating many inputs); buffers are grow-only, so a
+// pooled Scratch adapts to whichever network uses it next.
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch borrows a pooled Scratch sized for n; return it with
+// PutScratch when done.
+func GetScratch(n *Network) *Scratch {
+	sc := scratchPool.Get().(*Scratch)
+	sc.ensure(n)
+	return sc
+}
+
+// PutScratch returns a Scratch to the pool.
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// gemmBatchMin is the batch size from which ForwardBatch switches from
+// per-worker matvecs to one matrix-matrix product per layer.
+const gemmBatchMin = 16
+
+// forwardBatchGEMM evaluates the whole batch as one GEMM per layer:
+// inputs are packed as the rows of X and every layer computes
+// S = X W^{(l)ᵀ} (+ bias), so each weight matrix is swept once per batch
+// instead of once per input. Per-row arithmetic matches Forward exactly,
+// so results are bit-identical.
+func (n *Network) forwardBatchGEMM(out []float64, xs [][]float64) {
+	batch := len(xs)
+	x := tensor.NewMatrix(batch, n.InputDim)
+	for i, xi := range xs {
+		if len(xi) != n.InputDim {
+			panic(fmt.Sprintf("nn: ForwardBatch input %d has length %d, want %d", i, len(xi), n.InputDim))
+		}
+		copy(x.Row(i), xi)
+	}
+	for l, m := range n.Hidden {
+		s := tensor.NewMatrix(batch, m.Rows)
+		tensor.MatMulTransBInto(s, x, m)
+		b := n.bias(l)
+		parallel.ForChunked(batch, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := s.Row(i)
+				if b != nil {
+					tensor.Add(row, row, b)
+				}
+				activation.Eval(n.Act, row, row)
+			}
+		})
+		x = s
+	}
+	parallel.ForChunked(batch, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = tensor.Dot(x.Row(i), n.Output) + n.OutputBias
+		}
+	})
+}

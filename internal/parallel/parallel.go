@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -80,26 +81,25 @@ func Map[T any](n int, f func(i int) T) []T {
 	return out
 }
 
-// MaxFloat64 computes max over f(i) for i in [0, n) in parallel. It returns
-// negative infinity for n <= 0.
-func MaxFloat64(n int, f func(i int) float64) float64 {
+// ReduceFloat64 combines f(i) for i in [0, n) with merge, a commutative
+// and associative operation with the given identity. Work is distributed
+// over per-worker partial reductions (the combination order is therefore
+// not deterministic for non-exact merges such as floating-point
+// addition; callers needing bit-for-bit reproducibility should reduce
+// sequentially). It returns identity for n <= 0.
+func ReduceFloat64(n int, identity float64, f func(i int) float64, merge func(a, b float64) float64) float64 {
 	if n <= 0 {
-		return negInf
+		return identity
 	}
 	workers := Workers()
 	if n < 64 || workers <= 1 {
-		m := negInf
+		acc := identity
 		for i := 0; i < n; i++ {
-			if v := f(i); v > m {
-				m = v
-			}
+			acc = merge(acc, f(i))
 		}
-		return m
+		return acc
 	}
 	partial := make([]float64, workers)
-	for i := range partial {
-		partial[i] = negInf
-	}
 	var next int64
 	const grain = 64
 	chunks := (n + grain - 1) / grain
@@ -108,7 +108,7 @@ func MaxFloat64(n int, f func(i int) float64) float64 {
 	for w := 0; w < workers; w++ {
 		go func(slot int) {
 			defer wg.Done()
-			local := negInf
+			local := identity
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1
 				if c >= chunks {
@@ -119,22 +119,34 @@ func MaxFloat64(n int, f func(i int) float64) float64 {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					if v := f(i); v > local {
-						local = v
-					}
+					local = merge(local, f(i))
 				}
 			}
 			partial[slot] = local
 		}(w)
 	}
 	wg.Wait()
-	m := negInf
+	acc := identity
 	for _, v := range partial {
-		if v > m {
-			m = v
-		}
+		acc = merge(acc, v)
 	}
-	return m
+	return acc
+}
+
+// maxNaNIgnore returns the larger argument, ignoring NaNs (unlike
+// math.Max, which propagates them) — the historical semantics of
+// MaxFloat64's comparison loop.
+func maxNaNIgnore(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// MaxFloat64 computes max over f(i) for i in [0, n) in parallel. It returns
+// negative infinity for n <= 0.
+func MaxFloat64(n int, f func(i int) float64) float64 {
+	return ReduceFloat64(n, math.Inf(-1), f, maxNaNIgnore)
 }
 
 // SumFloat64 computes the sum of f(i) for i in [0, n) in parallel with
@@ -142,52 +154,8 @@ func MaxFloat64(n int, f func(i int) float64) float64 {
 // guaranteed bit-for-bit; callers needing exact reproducibility should use
 // a sequential loop).
 func SumFloat64(n int, f func(i int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	workers := Workers()
-	if n < 64 || workers <= 1 {
-		s := 0.0
-		for i := 0; i < n; i++ {
-			s += f(i)
-		}
-		return s
-	}
-	partial := make([]float64, workers)
-	var next int64
-	const grain = 64
-	chunks := (n + grain - 1) / grain
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(slot int) {
-			defer wg.Done()
-			local := 0.0
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks {
-					break
-				}
-				lo, hi := c*grain, (c+1)*grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					local += f(i)
-				}
-			}
-			partial[slot] = local
-		}(w)
-	}
-	wg.Wait()
-	s := 0.0
-	for _, v := range partial {
-		s += v
-	}
-	return s
+	return ReduceFloat64(n, 0, f, func(a, b float64) float64 { return a + b })
 }
-
-const negInf = -1.7976931348623157e308 // approx -MaxFloat64; avoids math import
 
 // Pool is a reusable fixed-size worker pool for heterogeneous tasks. Tasks
 // are closures; Wait blocks until all submitted tasks finish. A Pool may be

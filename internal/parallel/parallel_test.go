@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -75,7 +76,7 @@ func TestMaxFloat64Large(t *testing.T) {
 
 func TestMaxFloat64Empty(t *testing.T) {
 	got := MaxFloat64(0, func(i int) float64 { return 1 })
-	if got != negInf {
+	if !math.IsInf(got, -1) {
 		t.Fatalf("MaxFloat64 on empty = %v", got)
 	}
 }

@@ -102,24 +102,166 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 }
 
 // MulVecTo computes y = M x into a caller-provided y of length Rows.
-func (m *Matrix) MulVecTo(y, x []float64) {
+func (m *Matrix) MulVecTo(y, x []float64) { m.MulVecAddTo(y, x, nil) }
+
+// MulVecAddTo computes y = M x + b in one sweep over the matrix (the
+// fused matvec-plus-bias kernel of the forward pass). b may be nil, in
+// which case it computes a plain matvec. y must not alias x or b. Large
+// matrices distribute row ranges over goroutines.
+func (m *Matrix) MulVecAddTo(y, x, b []float64) {
 	if len(x) != m.Cols {
-		panic(fmt.Sprintf("tensor: MulVec dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+		panic(fmt.Sprintf("tensor: MulVecAddTo dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
 	if len(y) != m.Rows {
-		panic("tensor: MulVecTo output length mismatch")
+		panic("tensor: MulVecAddTo output length mismatch")
+	}
+	if b != nil && len(b) != m.Rows {
+		panic("tensor: MulVecAddTo bias length mismatch")
 	}
 	if m.Rows*m.Cols >= 1<<15 {
 		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				y[r] = Dot(m.Row(r), x)
-			}
+			m.mulVecAddRange(y, x, b, lo, hi)
 		})
 		return
 	}
-	for r := 0; r < m.Rows; r++ {
-		y[r] = Dot(m.Row(r), x)
+	m.mulVecAddRange(y, x, b, 0, m.Rows)
+}
+
+// MulVecAddRange computes y[lo:hi] = (M x + b)[lo:hi]: the row-range
+// variant of MulVecAddTo, for callers that sweep a matrix in segments.
+func (m *Matrix) MulVecAddRange(y, x, b []float64, lo, hi int) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVecAddRange dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
+	if len(y) != m.Rows || lo < 0 || hi > m.Rows || lo > hi {
+		panic("tensor: MulVecAddRange bad output or range")
+	}
+	if b != nil && len(b) != m.Rows {
+		panic("tensor: MulVecAddRange bias length mismatch")
+	}
+	m.mulVecAddRange(y, x, b, lo, hi)
+}
+
+// mulVecAddRange is the serial matvec kernel: two rows per iteration
+// share the loads of x, and each row keeps the exact four-way
+// accumulation order of Dot, so results are bit-identical to calling Dot
+// row by row.
+func (m *Matrix) mulVecAddRange(y, x, b []float64, lo, hi int) {
+	cols := m.Cols
+	data := m.Data
+	r := lo
+	for ; r+2 <= hi; r += 2 {
+		row0 := data[r*cols : r*cols+cols]
+		row1 := data[(r+1)*cols : (r+1)*cols+cols]
+		x := x[:len(row0)]
+		var a0, a1, a2, a3, c0, c1, c2, c3 float64
+		i := 0
+		for ; i+4 <= len(row0); i += 4 {
+			x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+			a0 += row0[i] * x0
+			a1 += row0[i+1] * x1
+			a2 += row0[i+2] * x2
+			a3 += row0[i+3] * x3
+			c0 += row1[i] * x0
+			c1 += row1[i+1] * x1
+			c2 += row1[i+2] * x2
+			c3 += row1[i+3] * x3
+		}
+		for ; i < len(row0); i++ {
+			a0 += row0[i] * x[i]
+			c0 += row1[i] * x[i]
+		}
+		y[r] = a0 + a1 + a2 + a3
+		y[r+1] = c0 + c1 + c2 + c3
+		if b != nil {
+			y[r] += b[r]
+			y[r+1] += b[r+1]
+		}
+	}
+	for ; r < hi; r++ {
+		row := data[r*cols : r*cols+cols]
+		x := x[:len(row)]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			s0 += row[i] * x[i]
+			s1 += row[i+1] * x[i+1]
+			s2 += row[i+2] * x[i+2]
+			s3 += row[i+3] * x[i+3]
+		}
+		for ; i < len(row); i++ {
+			s0 += row[i] * x[i]
+		}
+		y[r] = s0 + s1 + s2 + s3
+		if b != nil {
+			y[r] += b[r]
+		}
+	}
+}
+
+// MulVec2AddTo computes y1 = M x1 + b and y2 = M x2 + b in a single sweep
+// over the matrix: both dot products per row read the row while it is hot
+// in cache. This is the kernel behind the fused clean+faulted forward
+// pass. b may be nil. Outputs must not alias any input.
+func (m *Matrix) MulVec2AddTo(y1, x1, y2, x2, b []float64) {
+	if len(x1) != m.Cols || len(x2) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec2AddTo dim mismatch: %dx%d by %d/%d", m.Rows, m.Cols, len(x1), len(x2)))
+	}
+	if len(y1) != m.Rows || len(y2) != m.Rows {
+		panic("tensor: MulVec2AddTo output length mismatch")
+	}
+	if b != nil && len(b) != m.Rows {
+		panic("tensor: MulVec2AddTo bias length mismatch")
+	}
+	if m.Rows*m.Cols >= 1<<15 {
+		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
+			m.mulVec2AddRange(y1, x1, y2, x2, b, lo, hi)
+		})
+		return
+	}
+	m.mulVec2AddRange(y1, x1, y2, x2, b, 0, m.Rows)
+}
+
+// mulVec2AddRange is the serial row-range core of MulVec2AddTo (a named
+// method rather than a closure so the serial path stays allocation-free).
+func (m *Matrix) mulVec2AddRange(y1, x1, y2, x2, b []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		row := m.Row(r)
+		s1 := dotPair(row, x1, x2, &y2[r])
+		y1[r] = s1
+		if b != nil {
+			y1[r] += b[r]
+			y2[r] += b[r]
+		}
+	}
+}
+
+// dotPair accumulates Dot(row, x1) (returned) and Dot(row, x2) (stored in
+// *d2) with the exact same accumulation order as Dot, sharing the row
+// loads between the two products.
+func dotPair(row, x1, x2 []float64, d2 *float64) float64 {
+	x1 = x1[:len(row)]
+	x2 = x2[:len(row)]
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		r0, r1, r2, r3 := row[i], row[i+1], row[i+2], row[i+3]
+		a0 += r0 * x1[i]
+		a1 += r1 * x1[i+1]
+		a2 += r2 * x1[i+2]
+		a3 += r3 * x1[i+3]
+		b0 += r0 * x2[i]
+		b1 += r1 * x2[i+1]
+		b2 += r2 * x2[i+2]
+		b3 += r3 * x2[i+3]
+	}
+	for ; i < len(row); i++ {
+		a0 += row[i] * x1[i]
+		b0 += row[i] * x2[i]
+	}
+	*d2 = b0 + b1 + b2 + b3
+	return a0 + a1 + a2 + a3
 }
 
 // MulVecT computes y = Mᵀ x (x has length Rows, result length Cols)
@@ -177,6 +319,43 @@ func MatMul(a, b *Matrix) *Matrix {
 		}
 	})
 	return c
+}
+
+// MatMulTransBInto computes C = A Bᵀ into a caller-provided C
+// (A.Rows x B.Rows; A.Cols must equal B.Cols). With both operands
+// row-major this is the natural batched-forward kernel: row i of A is an
+// input, row j of B a neuron's weights, and C[i][j] their dot product —
+// every access is sequential. Row blocks are distributed over goroutines
+// for large products.
+func MatMulTransBInto(c, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB dim mismatch: %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB output is %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
+	}
+	blocked := func(lo, hi int) {
+		// Tile over B's rows so a block of weights stays cached while
+		// each input row sweeps it.
+		for j0 := 0; j0 < b.Rows; j0 += gemmBlock {
+			j1 := j0 + gemmBlock
+			if j1 > b.Rows {
+				j1 = b.Rows
+			}
+			for i := lo; i < hi; i++ {
+				ai := a.Row(i)
+				ci := c.Row(i)
+				for j := j0; j < j1; j++ {
+					ci[j] = Dot(ai, b.Row(j))
+				}
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows >= 1<<17 {
+		parallel.ForChunked(a.Rows, gemmBlock/4, blocked)
+		return
+	}
+	blocked(0, a.Rows)
 }
 
 // matMulNaive is the reference triple loop used by tests.

@@ -218,3 +218,92 @@ func BenchmarkMulVec1024(b *testing.B) {
 		m.MulVecTo(y, x)
 	}
 }
+
+// TestMulVecAddToMatchesMulVec checks the fused matvec+bias kernel (and
+// its paired-row inner loop) against Dot row by row, bit for bit, across
+// odd/even row counts and column tails.
+func TestMulVecAddToMatchesMulVec(t *testing.T) {
+	r := rng.New(21)
+	for _, rows := range []int{1, 2, 3, 8, 17} {
+		for _, cols := range []int{1, 3, 4, 7, 16, 65} {
+			m := RandomMatrix(r, rows, cols, 1)
+			x := make([]float64, cols)
+			r.Floats(x, -1, 1)
+			b := make([]float64, rows)
+			r.Floats(b, -1, 1)
+			y := make([]float64, rows)
+			m.MulVecAddTo(y, x, nil)
+			for i := 0; i < rows; i++ {
+				if want := Dot(m.Row(i), x); y[i] != want {
+					t.Fatalf("%dx%d row %d: %v != %v", rows, cols, i, y[i], want)
+				}
+			}
+			m.MulVecAddTo(y, x, b)
+			for i := 0; i < rows; i++ {
+				if want := Dot(m.Row(i), x) + b[i]; y[i] != want {
+					t.Fatalf("%dx%d row %d with bias: %v != %v", rows, cols, i, y[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecAddRange checks the row-range variant leaves rows outside the
+// range untouched.
+func TestMulVecAddRange(t *testing.T) {
+	r := rng.New(22)
+	m := RandomMatrix(r, 9, 5, 1)
+	x := make([]float64, 5)
+	r.Floats(x, -1, 1)
+	y := make([]float64, 9)
+	Fill(y, -7)
+	m.MulVecAddRange(y, x, nil, 2, 6)
+	for i := 0; i < 9; i++ {
+		if i >= 2 && i < 6 {
+			if want := Dot(m.Row(i), x); y[i] != want {
+				t.Fatalf("row %d: %v != %v", i, y[i], want)
+			}
+		} else if y[i] != -7 {
+			t.Fatalf("row %d outside range was written", i)
+		}
+	}
+}
+
+// TestMulVec2AddTo checks the dual-input fused sweep against two separate
+// matvecs, bit for bit.
+func TestMulVec2AddTo(t *testing.T) {
+	r := rng.New(23)
+	for _, cols := range []int{1, 4, 6, 33} {
+		m := RandomMatrix(r, 7, cols, 1)
+		x1 := make([]float64, cols)
+		x2 := make([]float64, cols)
+		b := make([]float64, 7)
+		r.Floats(x1, -1, 1)
+		r.Floats(x2, -1, 1)
+		r.Floats(b, -1, 1)
+		y1 := make([]float64, 7)
+		y2 := make([]float64, 7)
+		m.MulVec2AddTo(y1, x1, y2, x2, b)
+		for i := 0; i < 7; i++ {
+			if y1[i] != Dot(m.Row(i), x1)+b[i] || y2[i] != Dot(m.Row(i), x2)+b[i] {
+				t.Fatalf("cols %d row %d differs", cols, i)
+			}
+		}
+	}
+}
+
+// TestMatMulTransBInto checks C = A Bᵀ against MatMul with an explicit
+// transpose.
+func TestMatMulTransBInto(t *testing.T) {
+	r := rng.New(24)
+	for _, dims := range [][3]int{{3, 4, 5}, {1, 7, 2}, {70, 33, 66}} {
+		a := RandomMatrix(r, dims[0], dims[1], 1)
+		b := RandomMatrix(r, dims[2], dims[1], 1)
+		c := NewMatrix(dims[0], dims[2])
+		MatMulTransBInto(c, a, b)
+		want := MatMul(a, b.Transpose())
+		if !c.EqualApprox(want, 1e-12) {
+			t.Fatalf("dims %v: mismatch", dims)
+		}
+	}
+}

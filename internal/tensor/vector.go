@@ -14,6 +14,7 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)] // bounds-check elimination hint
 	// Four-way unrolled accumulation: better ILP, and the split
 	// accumulators reduce sequential rounding dependence.
 	var s0, s1, s2, s3 float64
@@ -35,6 +36,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
+	y = y[:len(x)] // bounds-check elimination hint
 	for i := range x {
 		y[i] += alpha * x[i]
 	}

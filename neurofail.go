@@ -153,10 +153,27 @@ func Byzantine(c float64, sem CapSemantics) fault.Injector {
 	return fault.Byzantine{C: c, Sem: sem}
 }
 
-// FaultedForward evaluates the damaged network Ffail on x.
+// FaultedForward evaluates the damaged network Ffail on x. For repeated
+// evaluation of one plan, use CompilePlan once and call the compiled
+// plan's methods — the steady state then allocates nothing.
 func FaultedForward(n *Network, p Plan, inj fault.Injector, x []float64) float64 {
 	return fault.Forward(n, p, inj, x)
 }
+
+// CompiledPlan is a fault plan indexed once against a network for
+// repeated, allocation-free evaluation (see fault.CompiledPlan for the
+// concurrency contract).
+type CompiledPlan = fault.CompiledPlan
+
+// CompilePlan indexes a plan for repeated evaluation.
+func CompilePlan(n *Network, p Plan) *CompiledPlan { return fault.Compile(n, p) }
+
+// Scratch holds preallocated buffers for allocation-free forward passes
+// (Network.ForwardInto / ForwardTraceInto). Not safe for concurrent use.
+type Scratch = nn.Scratch
+
+// NewScratch returns evaluation scratch sized for n.
+func NewScratch(n *Network) *Scratch { return nn.NewScratch(n) }
 
 // MaxFaultError measures the largest |Fneu - Ffail| over the inputs.
 func MaxFaultError(n *Network, p Plan, inj fault.Injector, inputs [][]float64) float64 {
