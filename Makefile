@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test bench
+.PHONY: ci fmt vet build test race bench
 
-ci: vet build test bench
+ci: fmt vet build test bench
+
+fmt:
+	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
 
 vet:
 	$(GO) vet ./...
@@ -12,6 +15,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race coverage for the worker-pool scenario engine, pooled scratch and
+# the goroutine message-passing runtime.
+race:
+	$(GO) test -race ./...
 
 # Short smoke of the hot-path microbenchmarks (fixed iteration count so
 # it stays fast on slow runners). Full runs: go test -bench . -benchtime=2s

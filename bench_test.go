@@ -188,6 +188,40 @@ func BenchmarkFaultedForwardOneShot(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkFaultedForwardPerModel measures the compiled-plan damaged
+// pass under every registered fault model (the BENCH_2.json matrix):
+// run with -benchmem to see the zero-allocation contract hold for each
+// deterministic model, and that the stochastic ones stay allocation-free
+// too (their rng draws reuse injector state).
+func BenchmarkFaultedForwardPerModel(b *testing.B) {
+	net := benchNet([]int{64, 64, 64, 64})
+	plan := neurofail.AdversarialPlan(net, []int{4, 4, 4, 4})
+	cp := fault.Compile(net, plan)
+	x := make([]float64, 8)
+	rng.New(2).Floats(x, 0, 1)
+	for _, m := range neurofail.FaultModels() {
+		inj, err := m.New(neurofail.FaultParams{
+			C: 1, Sem: core.DeviationCap, Value: 0.5, Prob: 0.5,
+			Bits: 8, Bit: 6, Net: net, R: rng.New(3),
+		})
+		if err != nil {
+			b.Fatalf("%s: %v", m.Name, err)
+		}
+		b.Run(m.Name, func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += cp.Forward(inj, x)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFaultModelSweep regenerates the S1 scenario sweep end to end.
+func BenchmarkFaultModelSweep(b *testing.B) {
+	runExperiment(b, experiments.FaultModelSweep)
+}
+
 // BenchmarkFaultedErrorOn measures the fused clean+damaged error sweep
 // on a compiled plan with an injector that consumes nominal values (the
 // worst case: both sweeps must run).

@@ -7,9 +7,14 @@
 //
 //	neurofail train    -target sine -widths 16 -k 1 -epochs 400 -out net.json
 //	neurofail bounds   -net net.json -faults 2 -c 1 -eps 0.4 -epsprime 0.1
-//	neurofail inject   -net net.json -faults 2 -mode crash
+//	neurofail inject   -net net.json -faults 2 -mode stuck -value 0.8
+//	neurofail models
 //	neurofail quantize -net net.json -bits 8
 //	neurofail boost    -net net.json -faults 1 -eps 0.4 -epsprime 0.1
+//
+// inject's -mode accepts any model registered in the fault-model
+// registry (crash, byzantine, stuck, intermittent, noise, signflip,
+// bitflip, ...); `neurofail models` prints the catalogue.
 package main
 
 import (
@@ -44,6 +49,8 @@ func main() {
 		err = cmdBounds(os.Args[2:])
 	case "inject":
 		err = cmdInject(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	case "quantize":
 		err = cmdQuantize(os.Args[2:])
 	case "boost":
@@ -70,7 +77,8 @@ func usage() {
 commands:
   train     train an ε'-approximation of a target and save it as JSON
   bounds    compute Fep / tolerance certificates for a saved network
-  inject    inject failures and compare measured error with the bound
+  inject    inject any registered fault model and compare measured error with its bound
+  models    print the fault-model registry
   quantize   build a fixed-point implementation with a Theorem 5 certificate
   boost      simulate the Corollary 2 boosting scheme in virtual time
   montecarlo sample random failure configurations: error profile vs the bound
@@ -166,12 +174,21 @@ func cmdInject(args []string) error {
 	fs := flag.NewFlagSet("inject", flag.ExitOnError)
 	netPath := fs.String("net", "net.json", "network file")
 	faultsArg := fs.String("faults", "1", "faults per layer")
-	mode := fs.String("mode", "crash", "crash or byzantine")
-	c := fs.Float64("c", 1, "capacity for byzantine mode")
+	mode := fs.String("mode", "crash", "fault model name (see 'neurofail models')")
+	c := fs.Float64("c", 1, "capacity for byzantine/noise models")
+	value := fs.Float64("value", 0.8, "latched output for the stuck model")
+	prob := fs.Float64("prob", 0.5, "failure probability for the intermittent model")
+	bits := fs.Int("bits", 8, "code width for the bitflip model")
+	bit := fs.Int("bit", 7, "flipped bit for the bitflip model (bits-1 = sign)")
 	adversarial := fs.Bool("adversarial", true, "target heaviest weights (false = random)")
-	seed := fs.Uint64("seed", 7, "seed for random plans")
+	seed := fs.Uint64("seed", 7, "seed for random plans and stochastic models")
 	fs.Parse(args)
 
+	model, ok := fault.Lookup(*mode)
+	if !ok {
+		return fmt.Errorf("unknown fault model %q; registered models: %s",
+			*mode, strings.Join(fault.ModelNames(), ", "))
+	}
 	net, err := cliutil.LoadNetwork(*netPath)
 	if err != nil {
 		return err
@@ -188,19 +205,32 @@ func cmdInject(args []string) error {
 	} else {
 		plan = fault.RandomNeuronPlan(rng.New(*seed), net, faults)
 	}
-	inputs := evalInputs(net.InputDim)
-	var measured, bound float64
-	switch *mode {
-	case "crash":
-		measured = fault.MaxError(net, plan, fault.Crash{}, inputs)
-		bound = core.CrashFep(s, faults)
-	case "byzantine":
-		measured = fault.MaxError(net, plan, fault.Byzantine{C: *c, Sem: core.DeviationCap}, inputs)
-		bound = core.Fep(s, faults, *c)
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	params := fault.Params{
+		C:     *c,
+		Sem:   core.DeviationCap,
+		Value: *value,
+		Prob:  *prob,
+		Bits:  *bits,
+		Bit:   *bit,
+		Net:   net,
+		R:     rng.New(*seed ^ 0xfa0175),
 	}
-	fmt.Printf("plan: %d neuron failures (%s)\n", len(plan.Neurons), *mode)
+	inj, err := model.New(params)
+	if err != nil {
+		return err
+	}
+	inputs := evalInputs(net.InputDim)
+	var measured float64
+	if model.Deterministic {
+		measured = fault.MaxError(net, plan, inj, inputs)
+	} else {
+		measured = fault.MaxErrorSeq(net, plan, inj, inputs)
+	}
+	dev := model.NeuronDeviation(params, s)
+	bound := core.Fep(s, faults, dev)
+	fmt.Printf("plan: %d neuron failures (%s)\n", len(plan.Neurons), model.Name)
+	fmt.Printf("model: %s\n", model.Description)
+	fmt.Printf("per-neuron deviation cap:                   %.6f\n", dev)
 	fmt.Printf("measured max |Fneu - Ffail| over %d inputs: %.6f\n", len(inputs), measured)
 	fmt.Printf("Fep bound:                                  %.6f\n", bound)
 	if bound > 0 {
@@ -208,6 +238,20 @@ func cmdInject(args []string) error {
 	}
 	if measured > bound*(1+1e-9) {
 		return fmt.Errorf("bound violated — this is a bug")
+	}
+	return nil
+}
+
+func cmdModels(args []string) error {
+	fs := flag.NewFlagSet("models", flag.ExitOnError)
+	fs.Parse(args)
+	fmt.Printf("%-18s %-13s %s\n", "NAME", "DETERMINISTIC", "DESCRIPTION")
+	for _, m := range fault.Models() {
+		det := "yes"
+		if !m.Deterministic {
+			det = "no (needs rng)"
+		}
+		fmt.Printf("%-18s %-13s %s\n", m.Name, det, m.Description)
 	}
 	return nil
 }
@@ -357,7 +401,10 @@ func cmdStream(args []string) error {
 		}
 	}
 	if *eps > 0 {
-		dp := dist.DegradationPoint(net, *rounds, schedule, *c, *eps, *epsPrime)
+		dp, err := dist.DegradationPoint(net, *rounds, schedule, *c, *eps, *epsPrime)
+		if err != nil {
+			return err
+		}
 		if dp < 0 {
 			fmt.Printf("forecast: the whole %d-round schedule stays certified at ε=%.3f\n", *rounds, *eps)
 		} else {

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+)
+
+// trainTestNet trains a tiny network into dir and returns its path.
+func trainTestNet(t *testing.T, dir string) string {
+	t.Helper()
+	netPath := filepath.Join(dir, "net.json")
+	if err := cmdTrain([]string{
+		"-target", "sine", "-widths", "10", "-epochs", "80", "-seed", "2", "-out", netPath,
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(netPath); err != nil {
+		t.Fatalf("train did not write the network: %v", err)
+	}
+	return netPath
+}
+
+// TestTrainInjectBoundsRoundTrip drives the CLI plumbing end to end
+// through a temp dir: train a network, inject EVERY registered fault
+// model against it (inject itself errors if a measurement ever exceeds
+// its bound), then compute bound certificates and a quantisation.
+func TestTrainInjectBoundsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	netPath := trainTestNet(t, t.TempDir())
+
+	net, err := cliutil.LoadNetwork(netPath)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if net.Layers() != 1 || net.Width(1) != 10 {
+		t.Fatalf("round-tripped network has wrong topology: %v", net.Widths())
+	}
+
+	for _, name := range fault.ModelNames() {
+		if err := cmdInject([]string{
+			"-net", netPath, "-faults", "2", "-mode", name,
+			"-c", "0.6", "-value", "0.7", "-prob", "0.5", "-bits", "8", "-bit", "6",
+		}); err != nil {
+			t.Errorf("inject -mode %s: %v", name, err)
+		}
+	}
+
+	if err := cmdBounds([]string{
+		"-net", netPath, "-faults", "2", "-c", "1", "-eps", "0.9", "-epsprime", "0.05",
+	}); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+	if err := cmdQuantize([]string{"-net", netPath, "-bits", "8"}); err != nil {
+		t.Errorf("quantize: %v", err)
+	}
+	// Boosting requires a tolerated crash distribution: leave generous
+	// slack above the trained network's CrashFep (~2 here).
+	if err := cmdBoost([]string{
+		"-net", netPath, "-faults", "1", "-eps", "5", "-epsprime", "0.05", "-trials", "5",
+	}); err != nil {
+		t.Errorf("boost: %v", err)
+	}
+	if err := cmdMonteCarlo([]string{
+		"-net", netPath, "-faults", "1", "-trials", "20",
+	}); err != nil {
+		t.Errorf("montecarlo: %v", err)
+	}
+	if err := cmdStream([]string{
+		"-net", netPath, "-rounds", "6", "-every", "2", "-eps", "0.9", "-epsprime", "0.05",
+	}); err != nil {
+		t.Errorf("stream: %v", err)
+	}
+}
+
+// TestInjectUnknownModelListsRegistry pins the error UX: an unknown
+// -mode must name the valid models.
+func TestInjectUnknownModelListsRegistry(t *testing.T) {
+	err := cmdInject([]string{"-mode", "gremlin"})
+	if err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	for _, want := range []string{"gremlin", "crash", "byzantine", "stuck", "bitflip"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestInjectMissingNetwork pins the error path before any model work.
+func TestInjectMissingNetwork(t *testing.T) {
+	err := cmdInject([]string{"-net", filepath.Join(t.TempDir(), "absent.json")})
+	if err == nil {
+		t.Fatal("expected error for missing network file")
+	}
+}
+
+func TestCmdModels(t *testing.T) {
+	if err := cmdModels(nil); err != nil {
+		t.Fatalf("models: %v", err)
+	}
+}
+
+func TestTrainRejectsUnknownTarget(t *testing.T) {
+	err := cmdTrain([]string{"-target", "nope", "-out", filepath.Join(t.TempDir(), "x.json")})
+	if err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("expected unknown-target error, got %v", err)
+	}
+}

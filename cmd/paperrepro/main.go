@@ -1,13 +1,17 @@
 // Command paperrepro regenerates every figure of the paper's evaluation
 // plus one harness per theorem/application, as indexed in DESIGN.md, and
 // prints the tables the paper's figures plot. The rendered output is the
-// source of EXPERIMENTS.md.
+// source of EXPERIMENTS.md. Experiments run on the scenario engine's
+// worker pool with per-experiment wall-clock timing.
 //
 // Usage:
 //
-//	paperrepro              # run everything to stdout
-//	paperrepro -only F3,T1  # run a subset
+//	paperrepro                  # run everything to stdout
+//	paperrepro -only F3,T1      # run a subset by ID
+//	paperrepro -tags figure     # run a subset by tag
+//	paperrepro -json            # machine-readable report
 //	paperrepro -out data.txt
+//	paperrepro -list            # experiment index
 package main
 
 import (
@@ -23,35 +27,31 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	tags := flag.String("tags", "", "comma-separated tags: run experiments carrying any of them")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	workers := flag.Int("workers", 0, "worker pool size (0 = number of CPUs)")
 	out := flag.String("out", "", "also write the report to this file")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	list := flag.Bool("list", false, "list experiment IDs, tags and titles, then exit")
 	flag.Parse()
 
-	all := experiments.All()
 	if *list {
-		for _, e := range all {
-			fmt.Printf("%-3s %s\n", e.ID, e.Name)
+		for _, e := range experiments.All() {
+			fmt.Printf("%-3s %-35s %s\n", e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Title)
 		}
 		return
 	}
 
-	selected := all
-	if *only != "" {
-		want := map[string]bool{}
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
-		selected = nil
-		for _, e := range all {
-			if want[e.ID] {
-				selected = append(selected, e)
-				delete(want, e.ID)
-			}
-		}
-		if len(want) > 0 {
-			fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment ids: %v\n", keys(want))
-			os.Exit(2)
-		}
+	selected, err := experiments.Select(experiments.Options{
+		IDs:  splitList(*only),
+		Tags: splitList(*tags),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(2)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "paperrepro: no experiments selected")
+		os.Exit(2)
 	}
 
 	var w io.Writer = os.Stdout
@@ -65,24 +65,39 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	fmt.Fprintf(w, "When Neurons Fail — experiment reproduction (%d experiments)\n", len(selected))
 	start := time.Now()
-	for _, e := range selected {
-		t0 := time.Now()
-		res := e.Run()
-		if err := res.Render(w); err != nil {
+	outcomes := experiments.Run(selected, *workers)
+
+	if *jsonOut {
+		if err := experiments.WriteJSON(w, outcomes); err != nil {
 			fmt.Fprintln(os.Stderr, "paperrepro:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "(%.1fs)\n", time.Since(t0).Seconds())
+		return
 	}
-	fmt.Fprintf(w, "\ntotal: %.1fs\n", time.Since(start).Seconds())
+
+	fmt.Fprintf(w, "When Neurons Fail — experiment reproduction (%d experiments)\n", len(outcomes))
+	for _, o := range outcomes {
+		if err := o.Result.Render(w); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%.1fs)\n", o.Elapsed.Seconds())
+	}
+	fmt.Fprintf(w, "\ntotal: %.1fs wall clock\n", time.Since(start).Seconds())
 }
 
-func keys(m map[string]bool) []string {
-	var out []string
-	for k := range m {
-		out = append(out, k)
+// splitList parses a comma-separated flag into trimmed entries.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
 	}
 	return out
 }

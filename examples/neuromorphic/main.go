@@ -45,7 +45,10 @@ func main() {
 
 	// The operator's forecast needs no test runs at all: it reads the
 	// schedule and the topology (this is the paper's whole point).
-	forecast := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+	forecast, err := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+	if err != nil {
+		panic(err)
+	}
 	if forecast < 0 {
 		fmt.Printf("forecast: all %d rounds certified at ε = %.3f\n", rounds, eps)
 	} else {

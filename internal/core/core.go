@@ -129,6 +129,46 @@ func FepGeneral(s Shape, faults []int, mags []float64) float64 {
 	return total
 }
 
+// DeviationFep generalises Theorem 2 to heterogeneous per-fault
+// deviation caps, the form consumed by the fault-model registry:
+// devs[l-1] lists one worst-case output-deviation cap per faulty neuron
+// of layer l (so layer l has len(devs[l-1]) faults), and the output
+// deviates by at most
+//
+//	Σ_{l=1..L} Σ_i devs_l[i] · K^{L-l} · Π_{l'=l+1..L+1} (N_{l'}-f_{l'}) w_m^{(l')}.
+//
+// Fep is the special case where every cap equals c; FepGeneral the case
+// where caps are uniform within each layer. Heterogeneity is what mixed
+// model streams need: a crashed neuron caps at ActCap while a stuck or
+// noisy neighbour in the same layer caps at its own model's deviation.
+func DeviationFep(s Shape, devs [][]float64) float64 {
+	L := s.Layers()
+	if len(devs) != L {
+		panic(fmt.Sprintf("core: DeviationFep has %d layers of caps for %d layers", len(devs), L))
+	}
+	faults := make([]int, L)
+	for l, d := range devs {
+		faults[l] = len(d)
+	}
+	s.checkFaults(faults)
+	suffix := s.suffixProducts(faults)
+	total := 0.0
+	for l := 1; l <= L; l++ {
+		sum := 0.0
+		for _, d := range devs[l-1] {
+			if d < 0 || math.IsNaN(d) {
+				panic(fmt.Sprintf("core: deviation cap %v at layer %d", d, l))
+			}
+			sum += d
+		}
+		if sum == 0 {
+			continue
+		}
+		total += sum * math.Pow(s.K, float64(L-l)) * suffix[l]
+	}
+	return total
+}
+
 // Fep computes the Forward Error Propagation of Theorem 2 for Byzantine
 // neurons whose output deviation is bounded by c per neuron:
 //

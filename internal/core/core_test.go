@@ -456,3 +456,80 @@ func TestFepAgainstBruteForceRecursion(t *testing.T) {
 		}
 	}
 }
+
+func TestDeviationFepUniformReducesToFep(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 200; trial++ {
+		L := r.Intn(4) + 1
+		widths := make([]int, L)
+		maxw := make([]float64, L+1)
+		faults := make([]int, L)
+		for i := range widths {
+			widths[i] = r.Intn(5) + 1
+			faults[i] = r.Intn(widths[i] + 1)
+		}
+		for i := range maxw {
+			maxw[i] = r.Range(0, 2)
+		}
+		s := Shape{Widths: widths, MaxW: maxw, K: r.Range(0.1, 3), ActCap: 1}
+		c := r.Range(0, 2)
+		devs := make([][]float64, L)
+		for l := range devs {
+			devs[l] = make([]float64, faults[l])
+			for i := range devs[l] {
+				devs[l][i] = c
+			}
+		}
+		a, b := DeviationFep(s, devs), Fep(s, faults, c)
+		if math.Abs(a-b) > 1e-12*(math.Abs(b)+1) {
+			t.Fatalf("trial %d: DeviationFep %v != Fep %v", trial, a, b)
+		}
+	}
+}
+
+func TestDeviationFepHeterogeneousIsPerFaultSum(t *testing.T) {
+	s := Shape{Widths: []int{4, 3}, MaxW: []float64{1.5, 0.5, 2}, K: 2, ActCap: 1}
+	devs := [][]float64{{0.3, 0.7}, {1.1}}
+	// Per-fault sum: each fault alone with its own cap, same exclusion
+	// counts as the combined plan.
+	faults := []int{2, 1}
+	want := 0.0
+	for l := 1; l <= 2; l++ {
+		for _, d := range devs[l-1] {
+			// FepGeneral with magnitude d in layer l only counts
+			// faults[l-1] identical faults there; one fault's share is
+			// the term divided by the count (same combined suffix).
+			term := FepGeneral(s, faults, perLayerMag(2, l, d))
+			want += term / float64(faults[l-1])
+		}
+	}
+	got := DeviationFep(s, devs)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DeviationFep %v != per-fault sum %v", got, want)
+	}
+}
+
+// perLayerMag builds a magnitude vector with d at layer l (1-based).
+func perLayerMag(L, l int, d float64) []float64 {
+	mags := make([]float64, L)
+	mags[l-1] = d
+	return mags
+}
+
+func TestDeviationFepPanics(t *testing.T) {
+	s := Shape{Widths: []int{3}, MaxW: []float64{1, 1}, K: 1, ActCap: 1}
+	for name, fn := range map[string]func(){
+		"layer mismatch": func() { DeviationFep(s, [][]float64{{1}, {1}}) },
+		"too many":       func() { DeviationFep(s, [][]float64{{1, 1, 1, 1}}) },
+		"negative cap":   func() { DeviationFep(s, [][]float64{{-1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -172,6 +172,24 @@ func (e Equivocate) Value(_ fault.NeuronFault, to int, computed float64) float64
 	return computed - e.C
 }
 
+// InjectorStrategy adapts any registry fault model (fault.Injector) to
+// the concurrent runtime, letting Run consume models uniformly with the
+// synchronous engine. The adapted process does not equivocate — it sends
+// the same value on every channel. Note the semantic difference from the
+// synchronous injector: the runtime has no clean-execution oracle, so
+// the injector receives the value the process COMPUTED from its possibly
+// already-damaged inputs, not the fault-free nominal. For nominal-free
+// models (crash, stuck, transmission-capped Byzantine) the two coincide
+// exactly; for the rest this is the "local" reading of the same model.
+type InjectorStrategy struct {
+	Inj fault.Injector
+}
+
+// Value implements ByzStrategy by delegating to the wrapped injector.
+func (s InjectorStrategy) Value(f fault.NeuronFault, _ int, computed float64) float64 {
+	return s.Inj.NeuronValue(f, computed)
+}
+
 // SynapseDeviation perturbs individual channels: Delta[f] is added to the
 // value received over the faulty synapse f. The zero value deviates
 // nothing.
@@ -261,7 +279,11 @@ func Run(n *nn.Network, p fault.Plan, byz ByzStrategy, syn SynapseDeviation, x [
 				if l == 1 {
 					vec = x
 				} else {
-					vec = receive(n.Width(l-1), inbox[l-2][j])
+					// Drain this neuron's own inbox (inbox[l-1] feeds
+					// layer l); reading the previous layer's inbox here
+					// deadlocked every network with more than one
+					// hidden layer.
+					vec = receive(n.Width(l-1), inbox[l-1][j])
 				}
 				s := tensor.Dot(m.Row(j), vec)
 				if n.Biases != nil && n.Biases[l-1] != nil {
@@ -310,13 +332,30 @@ func (s SynapseDeviation) deltaInto(l, to int) float64 {
 	return d
 }
 
-// FailureEvent is one entry of a failure schedule: starting at Round, the
-// given neuron is faulty — crashed by default, Byzantine (bounded by the
-// stream's capacity) when Byzantine is set.
+// FailureEvent is one entry of a failure schedule: starting at Round,
+// the given neuron is faulty. The failure behaviour is selected by
+// Model, a fault-model registry name ("crash", "stuck", "noise", ...);
+// an empty Model falls back to the legacy pair — crash by default,
+// Byzantine-extreme (bounded by the stream's capacity) when Byzantine is
+// set. Params optionally overrides the model parameters for this event;
+// when nil, Stream derives defaults from its capacity argument.
 type FailureEvent struct {
 	Round     int
 	Neuron    fault.NeuronFault
 	Byzantine bool
+	Model     string
+	Params    *fault.Params
+}
+
+// modelName resolves the event's registry key.
+func (ev FailureEvent) modelName() string {
+	if ev.Model != "" {
+		return ev.Model
+	}
+	if ev.Byzantine {
+		return "byzantine"
+	}
+	return "crash"
 }
 
 // StreamResult reports one round of a failure stream.
@@ -330,40 +369,66 @@ type StreamResult struct {
 	Err, Certified float64
 }
 
-// activeAt partitions the schedule's events active at round i into
-// crashed and Byzantine neuron sets.
-func activeAt(schedule []FailureEvent, round int) (crashed, byzantine []fault.NeuronFault) {
-	for _, ev := range schedule {
-		if ev.Round > round {
-			continue
-		}
-		if ev.Byzantine {
-			byzantine = append(byzantine, ev.Neuron)
-		} else {
-			crashed = append(crashed, ev.Neuron)
-		}
+// eventParams derives the model parameters for one event: the event's
+// explicit Params when present, otherwise stream defaults anchored on
+// the capacity (deviation semantics, stuck value and noise amplitude at
+// the capacity, coin-flip intermittence, 8-bit sign flips).
+func eventParams(ev FailureEvent, n *nn.Network, capacity float64) fault.Params {
+	if ev.Params != nil {
+		return *ev.Params
 	}
-	return
+	return fault.Params{
+		C:     capacity,
+		Sem:   core.DeviationCap,
+		Value: capacity,
+		Prob:  0.5,
+		Bits:  8,
+		Bit:   7,
+		Net:   n,
+	}
 }
 
-// distributionAt summarises the active failures as a per-layer mixed
-// distribution.
-func distributionAt(schedule []FailureEvent, round, L int) core.MixedDistribution {
-	crashed, byzantine := activeAt(schedule, round)
-	d := core.MixedDistribution{Crash: make([]int, L), Byzantine: make([]int, L)}
-	for _, f := range crashed {
-		d.Crash[f.Layer-1]++
+// resolvedEvent is one schedule entry bound to its model: the injector
+// that realises it and the worst-case deviation cap that certifies it.
+type resolvedEvent struct {
+	ev  FailureEvent
+	inj fault.Injector
+	dev float64
+}
+
+// resolveSchedule instantiates every event's fault model once (events
+// persist across rounds, so stochastic models keep one stream each,
+// split deterministically from the stream seed).
+func resolveSchedule(n *nn.Network, schedule []FailureEvent, capacity float64) ([]resolvedEvent, error) {
+	s := core.ShapeOf(n)
+	r := rng.New(0x57ea8d)
+	out := make([]resolvedEvent, 0, len(schedule))
+	for i, ev := range schedule {
+		name := ev.modelName()
+		m, ok := fault.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("dist: event %d: unknown fault model %q (registered: %v)", i, name, fault.ModelNames())
+		}
+		p := eventParams(ev, n, capacity)
+		if !m.Deterministic && p.R == nil {
+			p.R = r.Split()
+		}
+		inj, err := m.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("dist: event %d (%s): %w", i, name, err)
+		}
+		out = append(out, resolvedEvent{ev: ev, inj: inj, dev: m.NeuronDeviation(p, s)})
 	}
-	for _, f := range byzantine {
-		d.Byzantine[f.Layer-1]++
-	}
-	return d
+	return out, nil
 }
 
 // Stream processes one input per round while the schedule's failures
 // accumulate, measuring each round's error and emitting the matching
-// closed-form certificate. capacity bounds Byzantine deviations (crash
-// failures ignore it).
+// closed-form certificate (core.DeviationFep over the active models'
+// deviation caps — heterogeneous schedules mixing crash, stuck, noisy
+// and Byzantine neurons are certified by the one recursion). capacity
+// parameterises the default models: Byzantine/noise deviations, stuck
+// values (crash failures ignore it).
 func Stream(n *nn.Network, inputs [][]float64, schedule []FailureEvent, capacity float64) ([]StreamResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -372,42 +437,68 @@ func Stream(n *nn.Network, inputs [][]float64, schedule []FailureEvent, capacity
 	L := n.Layers()
 	sorted := append([]FailureEvent(nil), schedule...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	resolved, err := resolveSchedule(n, sorted, capacity)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]StreamResult, 0, len(inputs))
 	for round, x := range inputs {
-		crashed, byzantine := activeAt(sorted, round)
-		plan := fault.Plan{Neurons: append(append([]fault.NeuronFault(nil), crashed...), byzantine...)}
+		var plan fault.Plan
+		inj := fault.Dispatch{Neurons: map[fault.NeuronFault]fault.Injector{}}
+		for _, re := range resolved {
+			if re.ev.Round > round {
+				continue
+			}
+			plan.Neurons = append(plan.Neurons, re.ev.Neuron)
+			inj.Neurons[re.ev.Neuron] = re.inj
+		}
 		if err := plan.Validate(n); err != nil {
 			return nil, fmt.Errorf("dist: round %d: %w", round, err)
 		}
-		var inj fault.Injector = fault.Crash{}
-		if len(byzantine) > 0 {
-			crashSet := make(map[fault.NeuronFault]bool, len(crashed))
-			for _, f := range crashed {
-				crashSet[f] = true
-			}
-			inj = fault.Mixed{CrashSet: crashSet, Byz: fault.Byzantine{C: capacity, Sem: core.DeviationCap}}
-		}
 		results = append(results, StreamResult{
 			Round:     round,
-			Faulty:    len(crashed) + len(byzantine),
+			Faulty:    len(plan.Neurons),
 			Err:       fault.ErrorOn(n, plan, inj, x),
-			Certified: core.MixedFep(s, distributionAt(sorted, round, L), capacity),
+			Certified: core.DeviationFep(s, deviationsAt(resolved, round, L)),
 		})
 	}
 	return results, nil
 }
 
+// deviationsAt collects the per-layer deviation caps of the events
+// active at the given round.
+func deviationsAt(resolved []resolvedEvent, round, L int) [][]float64 {
+	devs := make([][]float64, L)
+	for _, re := range resolved {
+		if re.ev.Round > round {
+			continue
+		}
+		devs[re.ev.Neuron.Layer-1] = append(devs[re.ev.Neuron.Layer-1], re.dev)
+	}
+	return devs
+}
+
 // DegradationPoint forecasts, without running anything, the first round
 // at which the schedule's accumulated failures are no longer tolerated at
 // accuracy eps by an epsPrime-approximation (-1 if the whole horizon
-// stays certified) — the operator-side use of the O(L) bound.
-func DegradationPoint(n *nn.Network, rounds int, schedule []FailureEvent, c, eps, epsPrime float64) int {
+// stays certified) — the operator-side use of the O(L) bound. Like
+// Stream, it reads each event's fault model from the registry, and like
+// Stream it errors on schedules naming unknown models (a configuration
+// mistake must not read as round-0 degradation).
+func DegradationPoint(n *nn.Network, rounds int, schedule []FailureEvent, c, eps, epsPrime float64) (int, error) {
 	s := core.ShapeOf(n)
 	L := n.Layers()
+	resolved, err := resolveSchedule(n, schedule, c)
+	if err != nil {
+		return 0, err
+	}
+	if eps < epsPrime {
+		return 0, nil
+	}
 	for round := 0; round < rounds; round++ {
-		if !core.MixedTolerates(s, distributionAt(schedule, round, L), c, eps, epsPrime) {
-			return round
+		if core.DeviationFep(s, deviationsAt(resolved, round, L)) > eps-epsPrime {
+			return round, nil
 		}
 	}
-	return -1
+	return -1, nil
 }

@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func testNet(seed uint64, widths []int) *nn.Network {
+	return nn.NewRandom(rng.New(seed), nn.Config{
+		InputDim: 2,
+		Widths:   widths,
+		Act:      activation.NewSigmoid(1),
+	}, 0.6)
+}
+
+// TestRunAgreesWithInjectorCrash pins the concurrent runtime against the
+// synchronous engine for crash failures, where the two semantics
+// coincide exactly.
+func TestRunAgreesWithInjectorCrash(t *testing.T) {
+	net := testNet(3, []int{6, 5})
+	r := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		p := fault.RandomNeuronPlan(r, net, []int{2, 1})
+		x := []float64{r.Float64(), r.Float64()}
+		res, err := Run(net, p, nil, SynapseDeviation{}, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fault.Forward(net, p, fault.Crash{}, x)
+		if math.Abs(res.Output-want) > 1e-12 {
+			t.Fatalf("trial %d: concurrent %v != injector %v", trial, res.Output, want)
+		}
+	}
+}
+
+// TestRunInjectorStrategyNominalFree checks that any nominal-free
+// registry model driven through InjectorStrategy agrees exactly with
+// the synchronous engine — the runtime's computed value is never read,
+// so the missing clean-execution oracle cannot matter.
+func TestRunInjectorStrategyNominalFree(t *testing.T) {
+	net := testNet(7, []int{5, 4})
+	r := rng.New(11)
+	p := fault.RandomNeuronPlan(r, net, []int{1, 1})
+	x := []float64{0.3, 0.8}
+	for _, inj := range []fault.Injector{
+		fault.StuckAt{V: 0.45},
+		fault.Byzantine{C: 0.9, Sem: core.TransmissionCap},
+	} {
+		res, err := Run(net, p, InjectorStrategy{Inj: inj}, SynapseDeviation{}, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fault.Forward(net, p, inj, x)
+		if math.Abs(res.Output-want) > 1e-12 {
+			t.Fatalf("%T: concurrent %v != injector %v", inj, res.Output, want)
+		}
+	}
+}
+
+// TestStreamModelRegistry runs a schedule mixing five registry models
+// and checks every round's measured error against its heterogeneous
+// certificate.
+func TestStreamModelRegistry(t *testing.T) {
+	net := testNet(13, []int{7, 6})
+	schedule := []FailureEvent{
+		{Round: 0, Neuron: fault.NeuronFault{Layer: 1, Index: 0}},                    // legacy crash
+		{Round: 1, Neuron: fault.NeuronFault{Layer: 2, Index: 1}, Byzantine: true},   // legacy byzantine
+		{Round: 2, Neuron: fault.NeuronFault{Layer: 1, Index: 3}, Model: "stuck"},    // latched
+		{Round: 3, Neuron: fault.NeuronFault{Layer: 2, Index: 4}, Model: "noise"},    // stochastic
+		{Round: 4, Neuron: fault.NeuronFault{Layer: 1, Index: 5}, Model: "signflip"}, // polarity
+	}
+	r := rng.New(17)
+	inputs := make([][]float64, 8)
+	for i := range inputs {
+		inputs[i] = []float64{r.Float64(), r.Float64()}
+	}
+	results, err := Stream(net, inputs, schedule, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(inputs) {
+		t.Fatalf("%d results for %d rounds", len(results), len(inputs))
+	}
+	for _, res := range results {
+		if res.Err > res.Certified*(1+1e-9) {
+			t.Fatalf("round %d: error %v above certificate %v", res.Round, res.Err, res.Certified)
+		}
+		if res.Round >= 4 && res.Faulty != 5 {
+			t.Fatalf("round %d: %d faulty, want 5", res.Round, res.Faulty)
+		}
+	}
+	// The last round certifies strictly more damage potential than the
+	// first (certificates are NOT monotone in general — each new fault
+	// also shrinks the (N-f) exclusion factors — but over this schedule
+	// the accumulated caps dominate).
+	if results[len(results)-1].Certified <= results[0].Certified {
+		t.Fatalf("certificate did not grow over the schedule: %v -> %v",
+			results[0].Certified, results[len(results)-1].Certified)
+	}
+}
+
+// TestStreamDeterministic pins reproducibility: the same schedule with
+// stochastic models yields identical streams on repeated runs (the
+// internal rng is seeded deterministically).
+func TestStreamDeterministic(t *testing.T) {
+	net := testNet(19, []int{5})
+	schedule := []FailureEvent{
+		{Round: 0, Neuron: fault.NeuronFault{Layer: 1, Index: 1}, Model: "intermittent"},
+		{Round: 1, Neuron: fault.NeuronFault{Layer: 1, Index: 3}, Model: "noise"},
+	}
+	inputs := [][]float64{{0.2, 0.4}, {0.6, 0.1}, {0.9, 0.9}}
+	a, err := Stream(net, inputs, schedule, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stream(net, inputs, schedule, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Err != b[i].Err {
+			t.Fatalf("round %d: runs diverged (%v vs %v)", i, a[i].Err, b[i].Err)
+		}
+	}
+}
+
+func TestStreamUnknownModel(t *testing.T) {
+	net := testNet(23, []int{4})
+	schedule := []FailureEvent{{Round: 0, Neuron: fault.NeuronFault{Layer: 1, Index: 0}, Model: "gremlin"}}
+	_, err := Stream(net, [][]float64{{0.5, 0.5}}, schedule, 1)
+	if err == nil || !strings.Contains(err.Error(), "gremlin") {
+		t.Fatalf("expected unknown-model error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "crash") {
+		t.Fatalf("error should list registered names, got %v", err)
+	}
+}
+
+// TestStreamEventParamsOverride checks that per-event Params are
+// honoured: a stuck-at event with an explicit value behaves as that
+// value, not the capacity default.
+func TestStreamEventParamsOverride(t *testing.T) {
+	net := testNet(29, []int{4})
+	nf := fault.NeuronFault{Layer: 1, Index: 2}
+	x := [][]float64{{0.3, 0.6}}
+	run := func(v float64) float64 {
+		schedule := []FailureEvent{{
+			Round:  0,
+			Neuron: nf,
+			Model:  "stuck",
+			Params: &fault.Params{Value: v},
+		}}
+		res, err := Stream(net, x, schedule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Err
+	}
+	// Stuck at the clean output = no error; stuck elsewhere = error.
+	clean := net.ForwardTrace(x[0]).Outputs[0][nf.Index]
+	if e := run(clean); e > 1e-12 {
+		t.Fatalf("stuck at the clean output should be error-free, got %v", e)
+	}
+	if e := run(clean + 0.4); e < 1e-6 {
+		t.Fatalf("stuck off the clean output should show error, got %v", e)
+	}
+}
+
+// TestDegradationPointModels checks the forecast agrees with the
+// certificates the stream actually emits.
+func TestDegradationPointModels(t *testing.T) {
+	net := testNet(31, []int{6, 6})
+	s := core.ShapeOf(net)
+	var schedule []FailureEvent
+	models := []string{"crash", "stuck", "signflip", "byzantine", "noise", "intermittent"}
+	idx := 0
+	for round := 0; round < 12; round += 2 {
+		schedule = append(schedule, FailureEvent{
+			Round:  round,
+			Neuron: fault.NeuronFault{Layer: idx%2 + 1, Index: idx},
+			Model:  models[idx%len(models)],
+		})
+		idx++
+	}
+	epsPrime := 0.05
+	eps := epsPrime + 1.5*core.CrashFep(s, []int{1, 0})
+	dp, err := DegradationPoint(net, 12, schedule, 1, eps, epsPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp < 0 {
+		t.Skip("schedule stays certified for this topology; nothing to cross-check")
+	}
+	// Recompute the certificate at dp-1 and dp directly.
+	resolved, err := resolveSchedule(net, schedule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := eps - epsPrime
+	if dp > 0 {
+		if got := core.DeviationFep(s, deviationsAt(resolved, dp-1, net.Layers())); got > budget {
+			t.Fatalf("round %d already over budget (%v > %v) but forecast says %d", dp-1, got, budget, dp)
+		}
+	}
+	if got := core.DeviationFep(s, deviationsAt(resolved, dp, net.Layers())); got <= budget {
+		t.Fatalf("round %d within budget (%v <= %v) but forecast says degradation", dp, got, budget)
+	}
+}
+
+// TestSimulateBoostingCertified checks the virtual-time boosting path
+// end to end: certified waits produce outputs within the certificate.
+func TestSimulateBoostingCertified(t *testing.T) {
+	net := testNet(37, []int{8, 8})
+	s := core.ShapeOf(net)
+	faults := []int{1, 1}
+	epsPrime := 0.05
+	eps := epsPrime + core.CrashFep(s, faults)*1.01
+	waits, err := CertifiedWaits(net, faults, eps, epsPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := HeavyTail{Base: 1, TailProb: 0.3, TailScale: 20}
+	r := rng.New(41)
+	for trial := 0; trial < 5; trial++ {
+		x := []float64{r.Float64(), r.Float64()}
+		res, err := Simulate(net, x, lat, waits, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(res.Output - net.Forward(x)); e > eps-epsPrime+1e-9 {
+			t.Fatalf("trial %d: boosted error %v above certified slack %v", trial, e, eps-epsPrime)
+		}
+	}
+}

@@ -20,6 +20,23 @@ import (
 // neurons have heavy-tailed latencies, evaluated baseline (wait for all
 // signals) vs boosted (wait for N_l - f_l per Corollary 2), comparing
 // completion time and verifying the certified accuracy envelope.
+func init() {
+	Register(Experiment{ID: "B1", Title: "Corollary 2 / App. B: boosting computations",
+		Tags: []string{"application"}, Run: Boosting})
+	Register(Experiment{ID: "L1", Title: "Lemma 1: unbounded transmission",
+		Tags: []string{"lemma", "training"}, Run: Lemma1UnboundedByzantine})
+	Register(Experiment{ID: "TR", Title: "App. C: robustness vs ease of learning",
+		Tags: []string{"application", "training"}, Run: TradeoffRobustnessLearning})
+	Register(Experiment{ID: "CV", Title: "Section VI: convolutional receptive fields",
+		Tags: []string{"analysis"}, Run: ConvReceptiveField})
+	Register(Experiment{ID: "CX", Title: "Section I: combinatorial explosion vs Fep",
+		Tags: []string{"analysis"}, Run: CombinatorialVsFep})
+	Register(Experiment{ID: "OP", Title: "Section II-C / Cor. 1: over-provisioning",
+		Tags: []string{"application", "training"}, Run: OverProvisioning})
+	Register(Experiment{ID: "FR", Title: "Section VI future work: Fep-regularised learning",
+		Tags: []string{"extension", "training"}, Run: FepRegularisedTraining})
+}
+
 func Boosting() *Result {
 	res := &Result{ID: "B1", Title: "Boosting computations (Corollary 2)"}
 	r := rng.New(77)

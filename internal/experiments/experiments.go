@@ -3,18 +3,30 @@
 // experiment is a deterministic function returning tables (the rows/series
 // the paper plots) plus notes recording the shape checks — who wins, what
 // grows polynomially vs exponentially, where bounds sit relative to
-// measurements. cmd/paperrepro renders them all; bench_test.go wraps each
-// in a testing.B benchmark.
+// measurements.
+//
+// Experiments self-register into a scenario engine: they declare an ID,
+// a title and tags at init time, and the engine selects by ID or tag,
+// executes on a worker pool with per-experiment wall-clock timing, and
+// serialises results to text or JSON. cmd/paperrepro renders them all
+// (-json, -tags, -only); bench_test.go wraps each in a testing.B
+// benchmark.
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/activation"
 	"repro/internal/approx"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/train"
 )
@@ -57,44 +69,202 @@ func (r *Result) Render(w io.Writer) error {
 	return nil
 }
 
-// Experiment is a named generator.
+// Experiment is one registered scenario: a named, tagged generator.
 type Experiment struct {
-	ID   string
-	Name string
-	Run  func() *Result
+	// ID is the DESIGN.md index key (unique, upper-case by convention).
+	ID string
+	// Title describes the reproduced artefact.
+	Title string
+	// Tags classify the experiment for engine-level selection
+	// ("figure", "theorem", "application", "extension", "training" for
+	// the slow ones that fit networks, ...).
+	Tags []string
+	// Run regenerates the experiment. It must be safe to call
+	// concurrently with other experiments' Run functions (all
+	// randomness through explicit rng streams, no shared state).
+	Run func() *Result
 }
 
-// All lists every experiment in DESIGN.md index order.
-func All() []Experiment {
-	return []Experiment{
-		{"F2", "Figure 2: sigmoid profiles vs K", Fig2SigmoidProfiles},
-		{"F3", "Figure 3: output error vs Lipschitz constant (Nets 1-8)", Fig3ErrorVsLipschitz},
-		{"T1", "Theorem 1: single-layer crash bound and tightness", Thm1CrashBound},
-		{"T2", "Theorem 2/3: depth propagation of faults", Thm2DepthPropagation},
-		{"T4", "Theorem 4: Byzantine synapse bound", Thm4SynapseBound},
-		{"T5", "Theorem 5 / App. A: precision reduction (Proteus)", Thm5Quantisation},
-		{"B1", "Corollary 2 / App. B: boosting computations", Boosting},
-		{"L1", "Lemma 1: unbounded transmission", Lemma1UnboundedByzantine},
-		{"TR", "App. C: robustness vs ease of learning", TradeoffRobustnessLearning},
-		{"CV", "Section VI: convolutional receptive fields", ConvReceptiveField},
-		{"CX", "Section I: combinatorial explosion vs Fep", CombinatorialVsFep},
-		{"OP", "Section II-C / Cor. 1: over-provisioning", OverProvisioning},
-		{"FR", "Section VI future work: Fep-regularised learning", FepRegularisedTraining},
-		{"MX", "Extension: mixed fault distributions and run-time degradation", MixedFaults},
-	}
-}
-
-// RunAll executes every experiment and renders it to w.
-func RunAll(w io.Writer) ([]*Result, error) {
-	var out []*Result
-	for _, e := range All() {
-		res := e.Run()
-		out = append(out, res)
-		if err := res.Render(w); err != nil {
-			return out, err
+// HasTag reports whether the experiment carries the tag
+// (case-insensitive).
+func (e Experiment) HasTag(tag string) bool {
+	for _, t := range e.Tags {
+		if strings.EqualFold(t, tag) {
+			return true
 		}
 	}
-	return out, nil
+	return false
+}
+
+var (
+	expMu  sync.RWMutex
+	expReg = map[string]Experiment{}
+)
+
+// Register adds an experiment to the engine. It panics on an empty or
+// duplicate ID or a nil Run — registration happens at init time, where
+// a panic is a programming error caught by the first test run.
+func Register(e Experiment) {
+	if e.ID == "" {
+		panic("experiments: Register with empty ID")
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("experiments: %s registered without a Run function", e.ID))
+	}
+	expMu.Lock()
+	defer expMu.Unlock()
+	if _, dup := expReg[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: %s registered twice", e.ID))
+	}
+	expReg[e.ID] = e
+}
+
+// All lists every registered experiment in DESIGN.md index order
+// (sorted by ID).
+func All() []Experiment {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	out := make([]Experiment, 0, len(expReg))
+	for _, e := range expReg {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	e, ok := expReg[strings.ToUpper(id)]
+	return e, ok
+}
+
+// Options selects and sizes an engine run.
+type Options struct {
+	// IDs restricts the run to these experiment IDs (case-insensitive);
+	// empty selects all.
+	IDs []string
+	// Tags restricts the run to experiments carrying at least one of
+	// these tags (case-insensitive); empty applies no tag filter.
+	Tags []string
+	// Workers sizes the worker pool; <= 0 selects the default degree of
+	// parallelism.
+	Workers int
+}
+
+// Select resolves the options against the registry, erroring on unknown
+// IDs (and naming them).
+func Select(opts Options) ([]Experiment, error) {
+	selected := All()
+	if len(opts.IDs) > 0 {
+		want := map[string]bool{}
+		for _, id := range opts.IDs {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		var byID []Experiment
+		for _, e := range selected {
+			if want[e.ID] {
+				byID = append(byID, e)
+				delete(want, e.ID)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for id := range want {
+				unknown = append(unknown, id)
+			}
+			sort.Strings(unknown)
+			return nil, fmt.Errorf("experiments: unknown experiment ids %v", unknown)
+		}
+		selected = byID
+	}
+	if len(opts.Tags) > 0 {
+		var byTag []Experiment
+		for _, e := range selected {
+			for _, tag := range opts.Tags {
+				if e.HasTag(strings.TrimSpace(tag)) {
+					byTag = append(byTag, e)
+					break
+				}
+			}
+		}
+		selected = byTag
+	}
+	return selected, nil
+}
+
+// Outcome is one executed experiment with its wall-clock cost.
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Elapsed    time.Duration
+}
+
+// Run executes the experiments on a worker pool of the given size,
+// timing each, and returns outcomes in input order. Experiments are
+// independent and deterministic, so parallel execution regenerates
+// exactly what a sequential sweep would.
+func Run(exps []Experiment, workers int) []Outcome {
+	out := make([]Outcome, len(exps))
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	for i, e := range exps {
+		i, e := i, e
+		pool.Submit(func() {
+			t0 := time.Now()
+			res := e.Run()
+			out[i] = Outcome{Experiment: e, Result: res, Elapsed: time.Since(t0)}
+		})
+	}
+	pool.Wait()
+	return out
+}
+
+// RunAll executes every registered experiment (on the default pool) and
+// renders each to w in index order.
+func RunAll(w io.Writer) ([]*Result, error) {
+	outs := Run(All(), 0)
+	results := make([]*Result, 0, len(outs))
+	for _, o := range outs {
+		results = append(results, o.Result)
+		if err := o.Result.Render(w); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// outcomeJSON is the serialised form of one outcome.
+type outcomeJSON struct {
+	ID             string           `json:"id"`
+	Title          string           `json:"title"`
+	Tags           []string         `json:"tags,omitempty"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Tables         []*metrics.Table `json:"tables"`
+	Notes          []string         `json:"notes,omitempty"`
+}
+
+// WriteJSON serialises the outcomes as an indented JSON array — the
+// machine-readable form behind `paperrepro -json`.
+func WriteJSON(w io.Writer, outs []Outcome) error {
+	payload := make([]outcomeJSON, 0, len(outs))
+	for _, o := range outs {
+		// The registry entry is authoritative for ID and title: -json
+		// must agree with -list and with the -only/-tags selection keys
+		// even when a Result carries its own phrasing.
+		payload = append(payload, outcomeJSON{
+			ID:             o.Experiment.ID,
+			Title:          o.Experiment.Title,
+			Tags:           o.Experiment.Tags,
+			ElapsedSeconds: o.Elapsed.Seconds(),
+			Tables:         o.Result.Tables,
+			Notes:          o.Result.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
 }
 
 // fitted trains a sigmoid network on a target and reports the achieved

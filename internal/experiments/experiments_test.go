@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -297,9 +299,143 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(seen))
+	if len(seen) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(seen))
 	}
+}
+
+func TestAllSortedWithTitlesAndTags(t *testing.T) {
+	all := All()
+	for i, e := range all {
+		if i > 0 && all[i-1].ID >= e.ID {
+			t.Fatalf("All() not sorted by ID at %s", e.ID)
+		}
+		if e.Title == "" {
+			t.Fatalf("%s has no title", e.ID)
+		}
+		if len(e.Tags) == 0 {
+			t.Fatalf("%s has no tags", e.ID)
+		}
+	}
+}
+
+func TestSelectByIDAndTag(t *testing.T) {
+	exps, err := Select(Options{IDs: []string{"f2", " t2 "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "F2" || exps[1].ID != "T2" {
+		t.Fatalf("ID selection = %v", exps)
+	}
+	if _, err := Select(Options{IDs: []string{"F2", "ZZ"}}); err == nil || !strings.Contains(err.Error(), "ZZ") {
+		t.Fatalf("unknown id not reported: %v", err)
+	}
+	figs, err := Select(Options{Tags: []string{"figure"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("figure tag selected %d experiments, want 2", len(figs))
+	}
+	none, err := Select(Options{Tags: []string{"no-such-tag"}})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("bogus tag selected %d experiments (err %v)", len(none), err)
+	}
+}
+
+func TestEngineRunTimesAndOrders(t *testing.T) {
+	exps, err := Select(Options{IDs: []string{"F2", "T2", "T4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := Run(exps, 2)
+	if len(outs) != 3 {
+		t.Fatalf("ran %d of 3", len(outs))
+	}
+	for i, o := range outs {
+		if o.Result == nil {
+			t.Fatalf("outcome %d has no result", i)
+		}
+		if o.Result.ID != exps[i].ID {
+			t.Fatalf("outcome %d out of order: %s != %s", i, o.Result.ID, exps[i].ID)
+		}
+		if o.Elapsed <= 0 {
+			t.Fatalf("outcome %s not timed", o.Result.ID)
+		}
+		noViolations(t, o.Result)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	exps, err := Select(Options{IDs: []string{"F2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, Run(exps, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		ID             string   `json:"id"`
+		Title          string   `json:"title"`
+		Tags           []string `json:"tags"`
+		ElapsedSeconds float64  `json:"elapsed_seconds"`
+		Tables         []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 || decoded[0].ID != "F2" {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if len(decoded[0].Tables) == 0 || len(decoded[0].Tables[0].Rows) == 0 {
+		t.Fatal("tables did not serialise")
+	}
+	if decoded[0].Tags[0] != "figure" {
+		t.Fatalf("tags = %v", decoded[0].Tags)
+	}
+}
+
+func TestFaultModelSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := FaultModelSweep()
+	noViolations(t, res)
+	if len(res.Tables) != 2 {
+		t.Fatalf("expected neuron + synapse tables, have %d", len(res.Tables))
+	}
+	for ti, tb := range res.Tables {
+		if got, want := len(tb.Rows), len(faultModelNames(t)); got != want {
+			t.Fatalf("table %d has %d rows for %d models", ti, got, want)
+		}
+	}
+	// measured (col 3) <= bound (col 4) on the neuron table.
+	nt := res.Tables[0]
+	for i := range nt.Rows {
+		if cell(t, nt, i, 3) > cell(t, nt, i, 4)*(1+1e-9) {
+			t.Fatalf("row %d (%s): measured above bound", i, nt.Rows[i][0])
+		}
+	}
+	// Every registered model appears by name.
+	for i, name := range faultModelNames(t) {
+		if nt.Rows[i][0] != name {
+			t.Fatalf("row %d: model %q, want %q", i, nt.Rows[i][0], name)
+		}
+	}
+}
+
+func faultModelNames(t *testing.T) []string {
+	t.Helper()
+	names := fault.ModelNames()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d models", len(names))
+	}
+	return names
 }
 
 func TestRunAllRenders(t *testing.T) {

@@ -15,6 +15,13 @@ import (
 // Fig2SigmoidProfiles regenerates Figure 2: the profile of the K-tuned
 // sigmoid for several K, showing that larger K is steeper ("more
 // discriminating").
+func init() {
+	Register(Experiment{ID: "F2", Title: "Figure 2: sigmoid profiles vs K",
+		Tags: []string{"figure"}, Run: Fig2SigmoidProfiles})
+	Register(Experiment{ID: "F3", Title: "Figure 3: output error vs Lipschitz constant (Nets 1-8)",
+		Tags: []string{"figure", "training"}, Run: Fig3ErrorVsLipschitz})
+}
+
 func Fig2SigmoidProfiles() *Result {
 	res := &Result{ID: "F2", Title: "Profile of the K-tuned sigmoid (Figure 2)"}
 	ks := []float64{0.25, 0.5, 1, 2, 4}

@@ -11,6 +11,11 @@ import (
 	"repro/internal/rng"
 )
 
+func init() {
+	Register(Experiment{ID: "MX", Title: "Extension: mixed fault distributions and run-time degradation",
+		Tags: []string{"extension"}, Run: MixedFaults})
+}
+
 // MixedFaults exercises the joint certificate beyond the paper's
 // one-kind-at-a-time theorems: simultaneous crashed neurons, Byzantine
 // neurons and Byzantine synapses, bounded by the shared recursion of
@@ -72,7 +77,11 @@ func MixedFaults() *Result {
 	const rounds = 12
 	epsPrime := 0.05
 	eps := epsPrime + 2.5*core.CrashFep(shape, []int{1, 0})
-	forecast := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+	forecast, err := dist.DegradationPoint(net, rounds, schedule, 1, eps, epsPrime)
+	if err != nil {
+		res.note("degradation forecast failed: %v", err)
+		return res
+	}
 
 	xs := metrics.RandomPoints(r, 2, rounds)
 	stream, err := dist.Stream(net, xs, schedule, 1)

@@ -14,6 +14,17 @@ import (
 	"repro/internal/tensor"
 )
 
+func init() {
+	Register(Experiment{ID: "T1", Title: "Theorem 1: single-layer crash bound and tightness",
+		Tags: []string{"theorem", "training"}, Run: Thm1CrashBound})
+	Register(Experiment{ID: "T2", Title: "Theorem 2/3: depth propagation of faults",
+		Tags: []string{"theorem"}, Run: Thm2DepthPropagation})
+	Register(Experiment{ID: "T4", Title: "Theorem 4: Byzantine synapse bound",
+		Tags: []string{"theorem"}, Run: Thm4SynapseBound})
+	Register(Experiment{ID: "T5", Title: "Theorem 5 / App. A: precision reduction (Proteus)",
+		Tags: []string{"theorem", "application", "training"}, Run: Thm5Quantisation})
+}
+
 // Thm1CrashBound regenerates the Theorem 1 experiment: a single-layer
 // ε'-approximation, an adversary crashing the heaviest neurons, and the
 // sweep of Nfail against the guaranteed error ε' + Nfail·wm. A second

@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// testParams builds one parameter set exercising every model's knobs.
+func testParams(n *nn.Network, r *rng.Rand) Params {
+	return Params{
+		C:     0.7,
+		Sem:   core.DeviationCap,
+		Value: 0.85,
+		Prob:  0.6,
+		Bits:  8,
+		Bit:   6,
+		Net:   n,
+		R:     r,
+	}
+}
+
+func TestRegistryCatalogue(t *testing.T) {
+	names := ModelNames()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d models, want >= 7: %v", len(names), names)
+	}
+	for _, want := range []string{"crash", "byzantine", "byzantine-random", "stuck", "intermittent", "noise", "signflip", "bitflip"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("model %q not registered", want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("ModelNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestNewInjectorUnknownListsNames(t *testing.T) {
+	_, err := NewInjector("no-such-model", Params{})
+	if err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if !strings.Contains(err.Error(), "crash") || !strings.Contains(err.Error(), "bitflip") {
+		t.Fatalf("error %q does not list registered names", err)
+	}
+}
+
+func TestStochasticModelsRequireRand(t *testing.T) {
+	for _, m := range Models() {
+		p := testParams(nn.NewRandom(rng.New(1), nn.Config{InputDim: 2, Widths: []int{4}, Act: activation.NewSigmoid(1)}, 0.5), nil)
+		inj, err := m.New(p)
+		if m.Deterministic {
+			if err != nil {
+				t.Errorf("%s: deterministic model failed without rng: %v", m.Name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: stochastic model accepted nil rng (injector %T)", m.Name, inj)
+		}
+	}
+}
+
+// TestModelNeuronDeviationSoundness is the registry's core contract:
+// for every model, the measured output error under neuron faults stays
+// within the Fep bound fed by the model's NeuronDeviation cap.
+func TestModelNeuronDeviationSoundness(t *testing.T) {
+	r := rng.New(77)
+	nets := []*nn.Network{
+		nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{7, 5}, Act: activation.NewSigmoid(1)}, 0.7),
+		nn.NewRandom(r, nn.Config{InputDim: 3, Widths: []int{6}, Act: activation.NewTanh(0.8), Bias: true}, 0.9),
+	}
+	for _, net := range nets {
+		s := core.ShapeOf(net)
+		inputs := metrics.RandomPoints(r, net.InputDim, 25)
+		faults := make([]int, net.Layers())
+		for l := range faults {
+			faults[l] = 2
+		}
+		plan := AdversarialNeuronPlan(net, faults)
+		for _, m := range Models() {
+			p := testParams(net, r.Split())
+			inj, err := m.New(p)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			dev := m.NeuronDeviation(p, s)
+			if dev < 0 || math.IsNaN(dev) {
+				t.Fatalf("%s: neuron deviation %v", m.Name, dev)
+			}
+			bound := core.Fep(s, faults, dev)
+			// Stochastic injectors redraw per evaluation: repeat the
+			// sweep so several realisations face the bound.
+			trials := 1
+			if !m.Deterministic {
+				trials = 20
+			}
+			for trial := 0; trial < trials; trial++ {
+				if measured := MaxErrorSeq(net, plan, inj, inputs); measured > bound*(1+1e-9) {
+					t.Fatalf("%s on %s: measured %v above bound %v (dev %v)",
+						m.Name, net.Act.Name(), measured, bound, dev)
+				}
+			}
+		}
+	}
+}
+
+// TestModelSynapseDeviationSoundness is the synapse-side contract:
+// measured error under synapse-only faults stays within SynapseFep fed
+// by the model's SynapseDeviation cap. (The caps assume correct
+// upstream senders, hence synapse-only plans.)
+func TestModelSynapseDeviationSoundness(t *testing.T) {
+	r := rng.New(79)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{6, 5}, Act: activation.NewSigmoid(1)}, 0.8)
+	s := core.ShapeOf(net)
+	inputs := metrics.RandomPoints(r, 2, 25)
+	synFaults := []int{1, 1, 1}
+	plan := AdversarialSynapsePlan(net, synFaults)
+	for _, m := range Models() {
+		p := testParams(net, r.Split())
+		inj, err := m.New(p)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		dev := m.SynapseDeviation(p, s)
+		if dev < 0 || math.IsNaN(dev) {
+			t.Fatalf("%s: synapse deviation %v", m.Name, dev)
+		}
+		bound := core.SynapseFep(s, synFaults, dev)
+		trials := 1
+		if !m.Deterministic {
+			trials = 20
+		}
+		for trial := 0; trial < trials; trial++ {
+			if measured := MaxErrorSeq(net, plan, inj, inputs); measured > bound*(1+1e-9) {
+				t.Fatalf("%s: measured %v above synapse bound %v (dev %v)", m.Name, measured, bound, dev)
+			}
+		}
+	}
+}
+
+// TestStuckAtZeroMatchesCrash pins the catalogue's overlap point:
+// stuck-at-0 and crash are the same failure.
+func TestStuckAtZeroMatchesCrash(t *testing.T) {
+	r := rng.New(83)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{6, 4}, Act: activation.NewSigmoid(1)}, 0.6)
+	plan := RandomNeuronPlan(r, net, []int{2, 1})
+	plan.Synapses = RandomSynapsePlan(r, net, []int{1, 1, 1}).Synapses
+	for _, x := range metrics.RandomPoints(r, 2, 10) {
+		if got, want := Forward(net, plan, StuckAt{V: 0}, x), Forward(net, plan, Crash{}, x); got != want {
+			t.Fatalf("stuck-at-0 %v != crash %v", got, want)
+		}
+	}
+}
+
+// TestBitFlipGeometry checks the code-level semantics: a sign-bit flip
+// negates grid values exactly; a magnitude-bit flip moves the value by
+// exactly 2^bit grid steps; zero weights are inert.
+func TestBitFlipGeometry(t *testing.T) {
+	r := rng.New(89)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{4}, Act: activation.NewSigmoid(1)}, 0.5)
+	const bits = 8
+	levels := float64(int64(1)<<(bits-1) - 1)
+	sign, err := NewBitFlip(net, bits, bits-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actCap := 1.0 // sigmoid
+	q := actCap / levels
+	onGrid := 57 * q
+	if got := sign.NeuronValue(NeuronFault{Layer: 1}, onGrid); got != -onGrid {
+		t.Fatalf("sign flip of grid value: got %v want %v", got, -onGrid)
+	}
+	mag, err := NewBitFlip(net, bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mag.NeuronValue(NeuronFault{Layer: 1}, onGrid)
+	// 57 has bit 3 set: flipping clears it, moving down 8 steps.
+	if want := 49 * q; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("magnitude flip: got %v want %v", got, want)
+	}
+	// Zero weight: synapse delta must be exactly 0.
+	net.Hidden[0].Set(0, 0, 0)
+	flip, err := NewBitFlip(net, bits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := flip.SynapseDelta(SynapseFault{Layer: 1, To: 0, From: 0}, 0); d != 0 {
+		t.Fatalf("zero-weight flip delta %v, want 0", d)
+	}
+}
+
+func TestBitFlipRejectsBadGeometry(t *testing.T) {
+	net := nn.NewRandom(rng.New(1), nn.Config{InputDim: 1, Widths: []int{3}, Act: activation.NewSigmoid(1)}, 0.5)
+	if _, err := NewBitFlip(nil, 8, 0); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewBitFlip(net, 1, 0); err == nil {
+		t.Error("1-bit width accepted")
+	}
+	if _, err := NewBitFlip(net, 8, 8); err == nil {
+		t.Error("bit index == width accepted")
+	}
+}
+
+// TestDispatchRoutes checks per-fault routing and the fallback.
+func TestDispatchRoutes(t *testing.T) {
+	r := rng.New(91)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{5, 5}, Act: activation.NewSigmoid(1)}, 0.6)
+	a := NeuronFault{Layer: 1, Index: 0}
+	b := NeuronFault{Layer: 2, Index: 3}
+	c := NeuronFault{Layer: 2, Index: 1}
+	plan := Plan{Neurons: []NeuronFault{a, b, c}}
+	d := Dispatch{Neurons: map[NeuronFault]Injector{
+		a: StuckAt{V: 0.4},
+		b: SignFlip{},
+	}}
+	if d.NeuronValue(a, 0.9) != 0.4 {
+		t.Fatal("routed stuck value lost")
+	}
+	if d.NeuronValue(b, 0.9) != -0.9 {
+		t.Fatal("routed signflip lost")
+	}
+	if d.NeuronValue(c, 0.9) != 0 {
+		t.Fatal("fallback should crash")
+	}
+	if d.NominalFree() {
+		t.Fatal("dispatch with signflip must not be nominal-free")
+	}
+	nf := Dispatch{Neurons: map[NeuronFault]Injector{a: StuckAt{V: 0.4}}}
+	if !nf.NominalFree() {
+		t.Fatal("stuck+crash dispatch should be nominal-free")
+	}
+	// End to end through the engine vs a hand-built expectation: replace
+	// the routed models by their standalone counterparts one at a time.
+	x := []float64{0.3, 0.7}
+	got := Forward(net, plan, d, x)
+	if math.IsNaN(got) {
+		t.Fatal("dispatch forward NaN")
+	}
+	// The same plan under pure crash must differ (sanity that routing
+	// actually changed behaviour).
+	if got == Forward(net, plan, Crash{}, x) {
+		t.Fatal("dispatch indistinguishable from crash")
+	}
+}

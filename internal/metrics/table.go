@@ -6,13 +6,14 @@ import (
 	"strings"
 )
 
-// Table is a titled grid of cells rendered as aligned text or CSV — the
-// form in which the experiment harness reports the rows the paper's
-// figures plot.
+// Table is a titled grid of cells rendered as aligned text, CSV or JSON
+// — the form in which the experiment harness reports the rows the
+// paper's figures plot. The JSON field names are part of the
+// `paperrepro -json` output contract.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.

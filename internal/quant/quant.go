@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 )
@@ -222,4 +223,23 @@ func (q *Quantized) MemoryBits() int {
 // FullPrecisionBits reports the float64 baseline memory in bits.
 func FullPrecisionBits(n *nn.Network) int {
 	return n.Parameters() * 64
+}
+
+// BitFlipParams returns the fault-model registry parameters that
+// instantiate the "bitflip" model against this fixed-point
+// implementation: single-event upsets flip bit `bit` of the stored
+// weight codes (bit = WeightBits-1 is the sign bit, the worst upset).
+// The model's SynapseDeviation then feeds core.SynapseFep, certifying
+// the upset exactly like any other registered fault model.
+func (q *Quantized) BitFlipParams(bit int) fault.Params {
+	return fault.Params{Net: q.Net, Bits: q.Opts.WeightBits, Bit: bit}
+}
+
+// BitFlipInjector instantiates the registry's bit-flip model on the
+// quantised network (see BitFlipParams).
+func (q *Quantized) BitFlipInjector(bit int) (fault.Injector, error) {
+	if q.Opts.PerLayerBits != nil {
+		return nil, fmt.Errorf("quant: bit-flip injection with per-layer widths is not supported")
+	}
+	return fault.NewInjector("bitflip", q.BitFlipParams(bit))
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -264,5 +266,55 @@ func TestOriginalNetworkUntouched(t *testing.T) {
 	x := []float64{0.2, 0.9}
 	if n.Forward(x) != before.Forward(x) {
 		t.Fatal("Quantize mutated the original network")
+	}
+}
+
+// TestBitFlipInjectorCertified wires the quantised implementation into
+// the fault-model registry: single-event weight upsets on the
+// fixed-point network stay within the SynapseFep bound fed by the
+// bit-flip model's deviation cap.
+func TestBitFlipInjectorCertified(t *testing.T) {
+	r := rng.New(61)
+	net := testNet(r, []int{6, 5})
+	q, err := Quantize(net, Options{WeightBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := metrics.RandomPoints(r, 2, 20)
+	s := core.ShapeOf(q.Net)
+	synFaults := []int{1, 1, 1}
+	plan := fault.AdversarialSynapsePlan(q.Net, synFaults)
+	for _, bit := range []int{0, 3, 6, 7} {
+		inj, err := q.BitFlipInjector(bit)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		m, ok := fault.Lookup("bitflip")
+		if !ok {
+			t.Fatal("bitflip model missing")
+		}
+		dev := m.SynapseDeviation(q.BitFlipParams(bit), s)
+		bound := core.SynapseFep(s, synFaults, dev)
+		measured := fault.MaxError(q.Net, plan, inj, inputs)
+		if measured > bound*(1+1e-9) {
+			t.Fatalf("bit %d: measured %v above bound %v (dev %v)", bit, measured, bound, dev)
+		}
+		// The sign bit is the worst upset: it must actually damage the
+		// output (sanity that the injector does something).
+		if bit == 7 && measured == 0 {
+			t.Fatal("sign-bit flips on adversarial synapses produced zero error")
+		}
+	}
+}
+
+// TestBitFlipInjectorRejectsPerLayer pins the unsupported combination.
+func TestBitFlipInjectorRejectsPerLayer(t *testing.T) {
+	net := testNet(rng.New(67), []int{4})
+	q, err := Quantize(net, Options{PerLayerBits: []int{6, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.BitFlipInjector(5); err == nil {
+		t.Fatal("per-layer widths accepted")
 	}
 }

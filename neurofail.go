@@ -153,6 +153,41 @@ func Byzantine(c float64, sem CapSemantics) fault.Injector {
 	return fault.Byzantine{C: c, Sem: sem}
 }
 
+// FaultModel is one entry of the fault-model registry: an injector
+// factory plus the worst-case deviation caps that admit the model to
+// the paper's Fep machinery (see DESIGN.md for the catalogue).
+type FaultModel = fault.Model
+
+// FaultParams configures a fault-model instantiation.
+type FaultParams = fault.Params
+
+// FaultModels lists every registered fault model, sorted by name
+// (crash, byzantine, stuck, intermittent, noise, signflip, bitflip,
+// ...).
+func FaultModels() []FaultModel { return fault.Models() }
+
+// LookupFaultModel returns the named fault model.
+func LookupFaultModel(name string) (FaultModel, bool) { return fault.Lookup(name) }
+
+// NewFaultInjector instantiates a registered fault model by name,
+// erroring with the list of valid names for unknown models.
+func NewFaultInjector(name string, p FaultParams) (fault.Injector, error) {
+	return fault.NewInjector(name, p)
+}
+
+// RegisterFaultModel adds a custom model to the registry (panics on
+// duplicate names — registration belongs in init functions).
+func RegisterFaultModel(m FaultModel) { fault.Register(m) }
+
+// DeviationFep generalises Theorem 2 to heterogeneous per-fault
+// deviation caps: devs[l-1] holds one cap per faulty neuron of layer l.
+// It is how mixed fault-model configurations (one neuron crashed, a
+// neighbour stuck, another noisy) are certified by a single O(total
+// faults) formula.
+func DeviationFep(s Shape, devs [][]float64) float64 {
+	return core.DeviationFep(s, devs)
+}
+
 // FaultedForward evaluates the damaged network Ffail on x. For repeated
 // evaluation of one plan, use CompilePlan once and call the compiled
 // plan's methods — the steady state then allocates nothing.

@@ -191,3 +191,43 @@ func TestFacadeRandomPlan(t *testing.T) {
 		t.Fatal("facade byzantine injection exceeded Fep")
 	}
 }
+
+func TestFacadeFaultModelRegistry(t *testing.T) {
+	models := neurofail.FaultModels()
+	if len(models) < 7 {
+		t.Fatalf("registry exposes %d models, want >= 7", len(models))
+	}
+	net := neurofail.NewRandomNetwork(neurofail.NewRand(6), neurofail.NetworkConfig{
+		InputDim: 2,
+		Widths:   []int{6, 4},
+		Act:      neurofail.NewSigmoid(1),
+	}, 0.6)
+	shape := neurofail.ShapeOf(net)
+	faults := []int{1, 1}
+	plan := neurofail.AdversarialPlan(net, faults)
+	inputs := metrics.Grid(2, 9)
+	for _, name := range []string{"stuck", "signflip", "bitflip"} {
+		m, ok := neurofail.LookupFaultModel(name)
+		if !ok {
+			t.Fatalf("model %s missing", name)
+		}
+		p := neurofail.FaultParams{Value: 0.7, Bits: 8, Bit: 7, Net: net}
+		inj, err := neurofail.NewFaultInjector(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		measured := neurofail.MaxFaultError(net, plan, inj, inputs)
+		bound := neurofail.Fep(shape, faults, m.NeuronDeviation(p, shape))
+		if measured > bound*(1+1e-9) {
+			t.Fatalf("%s: measured %v above bound %v", name, measured, bound)
+		}
+	}
+	// Heterogeneous caps through the facade.
+	devs := [][]float64{{shape.ActCap}, {2 * shape.ActCap}}
+	if b := neurofail.DeviationFep(shape, devs); b <= 0 {
+		t.Fatalf("DeviationFep = %v", b)
+	}
+	if _, err := neurofail.NewFaultInjector("bogus", neurofail.FaultParams{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
