@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench serve-smoke
 
-ci: fmt vet build test bench
+ci: fmt vet build test bench serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -25,3 +25,10 @@ race:
 # it stays fast on slow runners). Full runs: go test -bench . -benchtime=2s
 bench:
 	$(GO) test -run '^$$' -bench 'Forward|Faulted' -benchtime=100x -benchmem .
+
+# End-to-end smoke of the query service: build the CLI, boot `neurofail
+# serve` against a fresh store, hit /healthz and one /v1/bounds query,
+# and verify a clean SIGTERM shutdown.
+serve-smoke:
+	$(GO) build -o /tmp/neurofail-smoke ./cmd/neurofail
+	sh scripts/serve_smoke.sh /tmp/neurofail-smoke

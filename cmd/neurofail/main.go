@@ -11,18 +11,29 @@
 //	neurofail models
 //	neurofail quantize -net net.json -bits 8
 //	neurofail boost    -net net.json -faults 1 -eps 0.4 -epsprime 0.1
+//	neurofail store    add -dir artifacts -net net.json
+//	neurofail serve    -addr :7077 -store artifacts
 //
 // inject's -mode accepts any model registered in the fault-model
 // registry (crash, byzantine, stuck, intermittent, noise, signflip,
 // bitflip, ...); `neurofail models` prints the catalogue.
+//
+// store manages the content-addressed artifact store (networks,
+// quantised-model recipes, experiment outcomes) and serve exposes the
+// engine as a long-running HTTP JSON API over that store (see
+// DESIGN.md §5).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/activation"
 	"repro/internal/approx"
@@ -33,6 +44,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quant"
 	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/train"
 )
 
@@ -59,6 +72,10 @@ func main() {
 		err = cmdMonteCarlo(os.Args[2:])
 	case "stream":
 		err = cmdStream(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -83,6 +100,8 @@ commands:
   boost      simulate the Corollary 2 boosting scheme in virtual time
   montecarlo sample random failure configurations: error profile vs the bound
   stream     process a stream while failures accumulate on a schedule
+  store      manage the content-addressed artifact store (add, list, show)
+  serve      run the long-running robustness-query HTTP service
 
 run 'neurofail <command> -h' for per-command flags`)
 }
@@ -116,6 +135,7 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 400, "training epochs")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "net.json", "output file")
+	storeDir := fs.String("store", "", "also save the network into the artifact store at this directory")
 	fs.Parse(args)
 
 	target, ok := targets()[*targetName]
@@ -134,7 +154,134 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("trained %s on %s: MSE %.5f, sup-norm ε' = %.4f -> %s\n",
 		*widthsArg, target.Name(), rep.FinalLoss, sup, *out)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		entry, err := st.PutNetwork(net, map[string]string{
+			"target": target.Name(),
+			"widths": *widthsArg,
+			"source": "train",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored as %s\n", entry.ID)
+	}
 	return nil
+}
+
+// cmdStore manages the content-addressed artifact store: `add` ingests
+// a network file (printing only the content address, script-friendly),
+// `list` renders the manifest, `show` exports an artifact's bytes,
+// `rebuild` reconstructs a lost manifest from the object tree.
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: neurofail store <add|list|show|rebuild> [flags]")
+	}
+	switch args[0] {
+	case "add":
+		fs := flag.NewFlagSet("store add", flag.ExitOnError)
+		dir := fs.String("dir", "neurofail-store", "store directory")
+		netPath := fs.String("net", "net.json", "network file to ingest")
+		fs.Parse(args[1:])
+		st, err := store.Open(*dir)
+		if err != nil {
+			return err
+		}
+		net, err := cliutil.LoadNetwork(*netPath)
+		if err != nil {
+			return err
+		}
+		entry, err := st.PutNetwork(net, map[string]string{"source": *netPath})
+		if err != nil {
+			return err
+		}
+		fmt.Println(entry.ID)
+		return nil
+	case "list":
+		fs := flag.NewFlagSet("store list", flag.ExitOnError)
+		dir := fs.String("dir", "neurofail-store", "store directory")
+		kind := fs.String("kind", "", "filter by artifact kind (network, quantized, outcomes; empty = all)")
+		fs.Parse(args[1:])
+		st, err := store.Open(*dir)
+		if err != nil {
+			return err
+		}
+		tb := metrics.NewTable("", "ID", "KIND", "CREATED", "BYTES", "META")
+		for _, e := range st.List(*kind) {
+			meta := make([]string, 0, len(e.Meta))
+			for k, v := range e.Meta {
+				meta = append(meta, k+"="+v)
+			}
+			sort.Strings(meta)
+			tb.AddRow(store.ShortID(e.ID), e.Kind, e.Created.Format("2006-01-02 15:04:05"),
+				fmt.Sprint(e.Bytes), strings.Join(meta, " "))
+		}
+		return tb.Render(os.Stdout)
+	case "show":
+		fs := flag.NewFlagSet("store show", flag.ExitOnError)
+		dir := fs.String("dir", "neurofail-store", "store directory")
+		id := fs.String("id", "", "artifact ID or unique prefix")
+		out := fs.String("out", "", "write the artifact to this file (default stdout)")
+		fs.Parse(args[1:])
+		if *id == "" {
+			return fmt.Errorf("store show: -id is required")
+		}
+		st, err := store.Open(*dir)
+		if err != nil {
+			return err
+		}
+		data, entry, err := st.Raw(*id)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			fmt.Printf("%s\n", data)
+			return nil
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("exported %s (%s, %d bytes) -> %s\n", store.ShortID(entry.ID), entry.Kind, entry.Bytes, *out)
+		return nil
+	case "rebuild":
+		fs := flag.NewFlagSet("store rebuild", flag.ExitOnError)
+		dir := fs.String("dir", "neurofail-store", "store directory")
+		fs.Parse(args[1:])
+		st, err := store.Open(*dir)
+		if err != nil {
+			return err
+		}
+		n, err := st.Rebuild()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebuilt manifest: %d artifacts\n", n)
+		return nil
+	default:
+		return fmt.Errorf("store: unknown subcommand %q (want add, list, show or rebuild)", args[0])
+	}
+}
+
+// cmdServe runs the robustness-query service until SIGINT/SIGTERM, then
+// shuts down gracefully.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+	storeDir := fs.String("store", "neurofail-store", "artifact store directory backing /v1/networks")
+	workers := fs.Int("workers", 0, "Monte Carlo worker pool size (0 = number of CPUs)")
+	fs.Parse(args)
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve.Run(ctx, *addr, serve.Config{Store: st, Workers: *workers}, func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "neurofail: "+format+"\n", a...)
+	})
 }
 
 func cmdBounds(args []string) error {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/fault"
+	"repro/internal/store"
 )
 
 // trainTestNet trains a tiny network into dir and returns its path.
@@ -76,6 +77,79 @@ func TestTrainInjectBoundsRoundTrip(t *testing.T) {
 		"-net", netPath, "-rounds", "6", "-every", "2", "-eps", "0.9", "-epsprime", "0.05",
 	}); err != nil {
 		t.Errorf("stream: %v", err)
+	}
+}
+
+// TestStoreAddListShowRoundTrip drives the store subcommands through a
+// temp dir: ingest a trained network, list it, export it, reload the
+// export as a network.
+func TestStoreAddListShowRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	dir := t.TempDir()
+	netPath := trainTestNet(t, dir)
+	storeDir := filepath.Join(dir, "artifacts")
+
+	if err := cmdStore([]string{"add", "-dir", storeDir, "-net", netPath}); err != nil {
+		t.Fatalf("store add: %v", err)
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := st.List(store.KindNetwork)
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d networks, want 1", len(entries))
+	}
+	if err := cmdStore([]string{"list", "-dir", storeDir}); err != nil {
+		t.Fatalf("store list: %v", err)
+	}
+	exported := filepath.Join(dir, "exported.json")
+	if err := cmdStore([]string{"show", "-dir", storeDir, "-id", entries[0].ID[:12], "-out", exported}); err != nil {
+		t.Fatalf("store show: %v", err)
+	}
+	orig, err := cliutil.LoadNetwork(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cliutil.LoadNetwork(exported)
+	if err != nil {
+		t.Fatalf("exported artifact is not a loadable network: %v", err)
+	}
+	x := []float64{0.3}
+	if got.Forward(x) != orig.Forward(x) {
+		t.Fatal("exported network is not bit-identical to the original")
+	}
+
+	if err := cmdStore([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown store subcommand accepted")
+	}
+	if err := cmdStore(nil); err == nil {
+		t.Fatal("store with no subcommand accepted")
+	}
+}
+
+// TestTrainStoreFlag: train -store ingests the trained network.
+func TestTrainStoreFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a network")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "artifacts")
+	if err := cmdTrain([]string{
+		"-target", "sine", "-widths", "8", "-epochs", "40", "-seed", "3",
+		"-out", filepath.Join(dir, "net.json"), "-store", storeDir,
+	}); err != nil {
+		t.Fatalf("train -store: %v", err)
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := st.List(store.KindNetwork)
+	if len(entries) != 1 || entries[0].Meta["source"] != "train" {
+		t.Fatalf("store entries = %+v", entries)
 	}
 }
 

@@ -7,11 +7,12 @@
 // Usage:
 //
 //	paperrepro                  # run everything to stdout
-//	paperrepro -only F3,T1      # run a subset by ID
+//	paperrepro -only F3,T1      # run a subset, in the requested order
 //	paperrepro -tags figure     # run a subset by tag
 //	paperrepro -json            # machine-readable report
 //	paperrepro -out data.txt
-//	paperrepro -list            # experiment index
+//	paperrepro -store artifacts # persist the outcome set to a store
+//	paperrepro -list            # experiment index (respects -only/-tags)
 package main
 
 import (
@@ -23,22 +24,28 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
-	tags := flag.String("tags", "", "comma-separated tags: run experiments carrying any of them")
-	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
-	workers := flag.Int("workers", 0, "worker pool size (0 = number of CPUs)")
-	out := flag.String("out", "", "also write the report to this file")
-	list := flag.Bool("list", false, "list experiment IDs, tags and titles, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-3s %-35s %s\n", e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Title)
-		}
-		return
+// run is the whole program behind the exit code: keeping os.Exit out of
+// the work path guarantees the -out file is closed (and its close error
+// reported) on every return, and makes the command unit-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated experiment IDs (default: all), run in the given order")
+	tags := fs.String("tags", "", "comma-separated tags: run experiments carrying any of them")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	workers := fs.Int("workers", 0, "worker pool size (0 = number of CPUs)")
+	out := fs.String("out", "", "also write the report to this file")
+	storeDir := fs.String("store", "", "persist the outcome set to the artifact store at this directory")
+	list := fs.Bool("list", false, "list the selected experiment IDs, tags and titles, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
 	selected, err := experiments.Select(experiments.Options{
@@ -46,45 +53,92 @@ func main() {
 		Tags: splitList(*tags),
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paperrepro:", err)
+		return 2
 	}
 	if len(selected) == 0 {
-		fmt.Fprintln(os.Stderr, "paperrepro: no experiments selected")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paperrepro: no experiments selected")
+		return 2
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+	if *list {
+		for _, e := range selected {
+			fmt.Fprintf(stdout, "%-3s %-35s %s\n", e.ID, "["+strings.Join(e.Tags, ",")+"]", e.Title)
 		}
-		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		return 0
 	}
+
+	w := stdout
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			return 1
+		}
+		w = io.MultiWriter(stdout, f)
+	}
+	// closeOut reports the file's close error exactly once: a failed
+	// flush of the report is a failed run, not a silent success.
+	closeOut := func() bool {
+		if f == nil {
+			return true
+		}
+		err := f.Close()
+		f = nil
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			return false
+		}
+		return true
+	}
+	defer closeOut()
 
 	start := time.Now()
 	outcomes := experiments.Run(selected, *workers)
 
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			return 1
+		}
+		entry, err := experiments.PersistOutcomes(st, outcomes, map[string]string{
+			"only": *only, "tags": *tags,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "paperrepro: outcomes stored as %s\n", store.ShortID(entry.ID))
+	}
+
 	if *jsonOut {
 		if err := experiments.WriteJSON(w, outcomes); err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			closeOut()
+			return 1
 		}
-		return
+		if !closeOut() {
+			return 1
+		}
+		return 0
 	}
 
 	fmt.Fprintf(w, "When Neurons Fail — experiment reproduction (%d experiments)\n", len(outcomes))
 	for _, o := range outcomes {
 		if err := o.Result.Render(w); err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			closeOut()
+			return 1
 		}
 		fmt.Fprintf(w, "(%.1fs)\n", o.Elapsed.Seconds())
 	}
 	fmt.Fprintf(w, "\ntotal: %.1fs wall clock\n", time.Since(start).Seconds())
+	if !closeOut() {
+		return 1
+	}
+	return 0
 }
 
 // splitList parses a comma-separated flag into trimmed entries.

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/store"
+)
+
+// TestListRespectsSelection is the regression test for `-list` ignoring
+// -only/-tags: the index must show exactly the selected experiments, in
+// the requested order.
+func TestListRespectsSelection(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list", "-only", "T2,F2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("-list -only T2,F2 printed %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "T2") || !strings.HasPrefix(lines[1], "F2") {
+		t.Fatalf("listing lost the requested order:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-list", "-tags", "figure"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if n := len(strings.Split(strings.TrimRight(out.String(), "\n"), "\n")); n != 2 {
+		t.Fatalf("-list -tags figure printed %d lines, want 2", n)
+	}
+
+	// An unknown ID fails the listing like it fails a run.
+	if code := run([]string{"-list", "-only", "ZZ"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown id exit %d, want 2", code)
+	}
+}
+
+// TestRunRendersInRequestedOrder runs two fast experiments and checks
+// the report renders them in -only order (the ordering bug end to end).
+func TestRunRendersInRequestedOrder(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "T2,F2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	s := out.String()
+	t2, f2 := strings.Index(s, "[T2]"), strings.Index(s, "[F2]")
+	if t2 < 0 || f2 < 0 {
+		t.Fatalf("report missing experiments:\n%s", s)
+	}
+	if t2 > f2 {
+		t.Fatalf("report rendered F2 before the requested T2:\n%s", s)
+	}
+}
+
+// TestOutFileMatchesStdout: -out duplicates the report and the file is
+// flushed/closed before exit.
+func TestOutFileMatchesStdout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "F2", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out.String() {
+		t.Fatalf("-out file (%d bytes) differs from stdout (%d bytes)", len(data), out.Len())
+	}
+	if !strings.Contains(string(data), "[F2]") {
+		t.Fatal("-out file missing the report body")
+	}
+}
+
+// TestOutCreateFailure: an uncreatable -out path is a clean exit 1 on
+// the error path (no partial work, no panic).
+func TestOutCreateFailure(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-only", "F2", "-out", t.TempDir()}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("no error reported")
+	}
+}
+
+// TestStoreFlagPersistsOutcomes: -store writes a loadable outcome set.
+func TestStoreFlagPersistsOutcomes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "F2", "-store", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := st.List(store.KindOutcomes)
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d outcome sets, want 1", len(entries))
+	}
+	recs, err := experiments.LoadOutcomes(st, entries[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "F2" {
+		t.Fatalf("persisted records = %+v", recs)
+	}
+}
+
+func TestNoExperimentsSelected(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-tags", "no-such-tag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

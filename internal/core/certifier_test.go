@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+func certShape() Shape {
+	return Shape{
+		Widths: []int{8, 6, 4},
+		MaxW:   []float64{1.3, 0.9, 1.1, 0.7},
+		K:      1.25,
+		ActCap: 1,
+	}
+}
+
+// TestCertifierMatchesFreeFunctions pins bit-identical agreement with
+// the one-shot API across fault distributions and capacities.
+func TestCertifierMatchesFreeFunctions(t *testing.T) {
+	s := certShape()
+	c, err := NewCertifier(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultSets := [][]int{{0, 0, 0}, {1, 0, 0}, {0, 2, 1}, {3, 2, 4}, {8, 6, 4}}
+	for _, faults := range faultSets {
+		for _, cap := range []float64{0, 0.5, 1, 2.25} {
+			if got, want := c.Fep(faults, cap), Fep(s, faults, cap); got != want {
+				t.Fatalf("Certifier.Fep(%v, %v) = %v, want %v", faults, cap, got, want)
+			}
+			if got, want := c.Tolerates(faults, cap, 0.5, 0.1), Tolerates(s, faults, cap, 0.5, 0.1); got != want {
+				t.Fatalf("Certifier.Tolerates(%v, %v) = %v, want %v", faults, cap, got, want)
+			}
+		}
+		if got, want := c.CrashFep(faults), CrashFep(s, faults); got != want {
+			t.Fatalf("Certifier.CrashFep(%v) = %v, want %v", faults, got, want)
+		}
+		if got, want := c.CrashTolerates(faults, 9, 0.1), CrashTolerates(s, faults, 9, 0.1); got != want {
+			t.Fatalf("Certifier.CrashTolerates(%v) = %v, want %v", faults, got, want)
+		}
+		sig := c.RequiredSignals(faults)
+		want := RequiredSignals(s, faults)
+		for l := range want {
+			if sig[l] != want[l] {
+				t.Fatalf("Certifier.RequiredSignals(%v) = %v, want %v", faults, sig, want)
+			}
+		}
+		synFaults := append(append([]int{}, faults...), 2)
+		if got, want := c.SynapseFep(synFaults, 0.8), SynapseFep(s, synFaults, 0.8); got != want {
+			t.Fatalf("Certifier.SynapseFep(%v) = %v, want %v", synFaults, got, want)
+		}
+	}
+}
+
+func TestCertifierRejectsInvalidShape(t *testing.T) {
+	if _, err := NewCertifier(Shape{}); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+}
+
+// TestCertifierSteadyStateAllocs is the contract a query service relies
+// on: repeated certificate queries allocate nothing.
+func TestCertifierSteadyStateAllocs(t *testing.T) {
+	c, err := NewCertifier(certShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{2, 1, 1}
+	synFaults := []int{2, 1, 1, 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = c.Fep(faults, 1)
+		_ = c.CrashFep(faults)
+		_ = c.SynapseFep(synFaults, 1)
+		_ = c.Tolerates(faults, 1, 0.5, 0.1)
+		_ = c.RequiredSignals(faults)
+	})
+	if allocs != 0 {
+		t.Fatalf("certificate queries allocate %v per run, want 0", allocs)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/train"
 )
 
@@ -154,26 +155,30 @@ type Options struct {
 }
 
 // Select resolves the options against the registry, erroring on unknown
-// IDs (and naming them).
+// IDs (and naming them). Explicit IDs are returned in the order they
+// were requested (duplicates collapse onto the first occurrence): a
+// user asking for T1,F3 gets T1 before F3, not the registry's sorted
+// order.
 func Select(opts Options) ([]Experiment, error) {
 	selected := All()
 	if len(opts.IDs) > 0 {
-		want := map[string]bool{}
-		for _, id := range opts.IDs {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
 		var byID []Experiment
-		for _, e := range selected {
-			if want[e.ID] {
-				byID = append(byID, e)
-				delete(want, e.ID)
+		var unknown []string
+		seen := map[string]bool{}
+		for _, raw := range opts.IDs {
+			id := strings.ToUpper(strings.TrimSpace(raw))
+			if id == "" || seen[id] {
+				continue
 			}
-		}
-		if len(want) > 0 {
-			unknown := make([]string, 0, len(want))
-			for id := range want {
+			seen[id] = true
+			e, ok := Get(id)
+			if !ok {
 				unknown = append(unknown, id)
+				continue
 			}
+			byID = append(byID, e)
+		}
+		if len(unknown) > 0 {
 			sort.Strings(unknown)
 			return nil, fmt.Errorf("experiments: unknown experiment ids %v", unknown)
 		}
@@ -235,8 +240,9 @@ func RunAll(w io.Writer) ([]*Result, error) {
 	return results, nil
 }
 
-// outcomeJSON is the serialised form of one outcome.
-type outcomeJSON struct {
+// Record is the serialised form of one outcome: what `paperrepro
+// -json` emits and what the artifact store persists (kind "outcomes").
+type Record struct {
 	ID             string           `json:"id"`
 	Title          string           `json:"title"`
 	Tags           []string         `json:"tags,omitempty"`
@@ -245,15 +251,14 @@ type outcomeJSON struct {
 	Notes          []string         `json:"notes,omitempty"`
 }
 
-// WriteJSON serialises the outcomes as an indented JSON array — the
-// machine-readable form behind `paperrepro -json`.
-func WriteJSON(w io.Writer, outs []Outcome) error {
-	payload := make([]outcomeJSON, 0, len(outs))
+// Records converts executed outcomes to their serialised form.
+func Records(outs []Outcome) []Record {
+	payload := make([]Record, 0, len(outs))
 	for _, o := range outs {
 		// The registry entry is authoritative for ID and title: -json
 		// must agree with -list and with the -only/-tags selection keys
 		// even when a Result carries its own phrasing.
-		payload = append(payload, outcomeJSON{
+		payload = append(payload, Record{
 			ID:             o.Experiment.ID,
 			Title:          o.Experiment.Title,
 			Tags:           o.Experiment.Tags,
@@ -262,9 +267,38 @@ func WriteJSON(w io.Writer, outs []Outcome) error {
 			Notes:          o.Result.Notes,
 		})
 	}
+	return payload
+}
+
+// WriteJSON serialises the outcomes as an indented JSON array — the
+// machine-readable form behind `paperrepro -json`.
+func WriteJSON(w io.Writer, outs []Outcome) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(payload)
+	return enc.Encode(Records(outs))
+}
+
+// PersistOutcomes saves the outcome set as one content-addressed
+// artifact, making campaigns resumable and comparable across runs.
+func PersistOutcomes(st *store.Store, outs []Outcome, meta map[string]string) (store.Entry, error) {
+	return st.Put(store.KindOutcomes, Records(outs), meta)
+}
+
+// LoadOutcomes reads a persisted outcome set back by ID or unique
+// prefix.
+func LoadOutcomes(st *store.Store, ref string) ([]Record, error) {
+	e, err := st.Resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind != store.KindOutcomes {
+		return nil, fmt.Errorf("experiments: artifact %s is a %q, not an outcome set", store.ShortID(e.ID), e.Kind)
+	}
+	var recs []Record
+	if _, err := st.Get(e.ID, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // fitted trains a sigmoid network on a target and reports the achieved

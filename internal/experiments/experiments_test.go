@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // cell reads a numeric cell back out of a rendered table.
@@ -343,6 +344,31 @@ func TestSelectByIDAndTag(t *testing.T) {
 	}
 }
 
+// TestSelectPreservesRequestedOrder is the regression test for the
+// -only ordering bug: `paperrepro -only T1,F3` must run and render T1
+// before F3, not registry-sorted F3 first.
+func TestSelectPreservesRequestedOrder(t *testing.T) {
+	exps, err := Select(Options{IDs: []string{"T2", "F2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "T2" || exps[1].ID != "F2" {
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		t.Fatalf("Select(T2,F2) returned %v, want [T2 F2]", ids)
+	}
+	// Duplicates collapse onto the first occurrence, keeping its slot.
+	exps, err = Select(Options{IDs: []string{"t4", "F2", "T4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "T4" || exps[1].ID != "F2" {
+		t.Fatalf("duplicate selection = %v", exps)
+	}
+}
+
 func TestEngineRunTimesAndOrders(t *testing.T) {
 	exps, err := Select(Options{IDs: []string{"F2", "T2", "T4"}})
 	if err != nil {
@@ -397,6 +423,37 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	}
 	if decoded[0].Tags[0] != "figure" {
 		t.Fatalf("tags = %v", decoded[0].Tags)
+	}
+}
+
+// TestPersistOutcomesRoundTrip: a campaign saved to the artifact store
+// loads back with its tables intact.
+func TestPersistOutcomesRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := Select(Options{IDs: []string{"F2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := Run(exps, 1)
+	entry, err := PersistOutcomes(st, outs, map[string]string{"only": "F2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Kind != store.KindOutcomes {
+		t.Fatalf("persisted kind %q", entry.Kind)
+	}
+	recs, err := LoadOutcomes(st, entry.ID[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "F2" || len(recs[0].Tables) == 0 {
+		t.Fatalf("loaded records = %+v", recs)
+	}
+	if len(recs[0].Tables[0].Rows) != len(outs[0].Result.Tables[0].Rows) {
+		t.Fatal("table rows did not round-trip")
 	}
 }
 

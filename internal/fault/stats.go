@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -47,13 +48,20 @@ func MonteCarlo(n *nn.Network, perLayer []int, c float64, sem core.CapSemantics,
 		}
 		errs[t] = worst
 	}
+	return ProfileOf(errs)
+}
+
+// ProfileOf summarises per-trial max errors into a Profile — the shared
+// tail of MonteCarlo and of executors that produce the per-trial errors
+// themselves (e.g. a sharded parallel sweep).
+func ProfileOf(errs []float64) Profile {
 	sorted := append([]float64(nil), errs...)
-	insertionSort(sorted)
+	sort.Float64s(sorted)
 	return Profile{
 		Stats:  metrics.Summarize(errs),
 		Q90:    quantile(sorted, 0.90),
 		Q99:    quantile(sorted, 0.99),
-		Trials: trials,
+		Trials: len(errs),
 	}
 }
 
@@ -67,14 +75,6 @@ type inputCand struct {
 func insertionSortCands(xs []inputCand) {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j].e > xs[j-1].e; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func insertionSort(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}

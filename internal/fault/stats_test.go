@@ -70,16 +70,6 @@ func TestQuantileHelper(t *testing.T) {
 	}
 }
 
-func TestInsertionSort(t *testing.T) {
-	xs := []float64{3, 1, 2, 5, 4}
-	insertionSort(xs)
-	for i := 1; i < len(xs); i++ {
-		if xs[i] < xs[i-1] {
-			t.Fatalf("not sorted: %v", xs)
-		}
-	}
-}
-
 func TestWorstInputBeatsRandomSampling(t *testing.T) {
 	r := rng.New(37)
 	for trial := 0; trial < 10; trial++ {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/rng"
 )
@@ -162,6 +163,40 @@ func TestTableRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTableRenderAlignsMultiByteCells is the regression test for the
+// byte-counted width bug: ε' is two runes but four UTF-8 bytes, which
+// used to widen its column and shift every subsequent cell.
+func TestTableRenderAlignsMultiByteCells(t *testing.T) {
+	tb := NewTable("", "ε'", "measured×", "note")
+	tb.AddRow("0.1", "12.5", "αβγ")
+	tb.AddRow("10000", "3", "plain")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), sb.String())
+	}
+	// Every line must have the same on-screen width (in runes), and the
+	// separator between columns must start at the same rune offset on
+	// every line — byte-based padding breaks both for ε', ×, and αβγ.
+	width := utf8.RuneCountInString(lines[0])
+	for i, line := range lines {
+		if got := utf8.RuneCountInString(line); got != width {
+			t.Fatalf("line %d is %d runes wide, want %d:\n%s", i, got, width, sb.String())
+		}
+	}
+	// The rule row's dashes measure each column's width in runes.
+	rule := strings.Split(lines[1], "  ")
+	if len(rule[0]) != 5 { // "10000" is the widest first-column cell
+		t.Fatalf("first rule segment %q, want 5 dashes", rule[0])
+	}
+	if len(rule[1]) != 9 { // "measured×" is 9 runes
+		t.Fatalf("second rule segment %q, want 9 dashes", rule[1])
 	}
 }
 

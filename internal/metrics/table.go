@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled grid of cells rendered as aligned text, CSV or JSON
@@ -38,16 +39,17 @@ func (t *Table) AddNumericRow(cells ...float64) {
 	t.AddRow(row...)
 }
 
-// Render writes the table as aligned text.
+// Render writes the table as aligned text. Column widths and padding
+// count runes, not bytes, so multi-byte cells (ε', Σ, ×) line up.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -60,7 +62,11 @@ func (t *Table) Render(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			b.WriteString(cell)
+			// fmt's %-*s pads by byte count; pad by runes instead.
+			for pad := widths[i] - utf8.RuneCountInString(cell); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -13,6 +13,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -344,10 +345,15 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 	return json.Marshal(j)
 }
 
-// UnmarshalJSON restores a network serialised by MarshalJSON.
+// UnmarshalJSON restores a network serialised by MarshalJSON. Unknown
+// fields are errors: every network document is produced by MarshalJSON,
+// so an unrecognised key is a typo (e.g. "output_bais") that would
+// otherwise silently zero the intended parameter.
 func (n *Network) UnmarshalJSON(data []byte) error {
 	var j jsonNetwork
-	if err := json.Unmarshal(data, &j); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
 		return err
 	}
 	act, err := activation.FromName(j.Activation)

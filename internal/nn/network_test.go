@@ -3,6 +3,7 @@ package nn
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -223,6 +224,17 @@ func TestJSONRejectsUnknownActivation(t *testing.T) {
 	err := json.Unmarshal([]byte(`{"input_dim":1,"activation":"mystery","hidden":[[[1]]],"output":[1]}`), &n)
 	if err == nil {
 		t.Fatal("unknown activation accepted")
+	}
+}
+
+// TestJSONRejectsUnknownFields: a typo'd key ("output_bais") must be an
+// error, not a silently zeroed parameter — network documents only ever
+// come from MarshalJSON, so unknown keys are always mistakes.
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	var n Network
+	err := json.Unmarshal([]byte(`{"input_dim":1,"activation":"sigmoid(k=1)","hidden":[[[1]]],"output":[1],"output_bais":5}`), &n)
+	if err == nil || !strings.Contains(err.Error(), "output_bais") {
+		t.Fatalf("typo'd field error = %v, want unknown-field rejection", err)
 	}
 }
 

@@ -1,0 +1,540 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// httpError carries a status code with a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(msg string) *httpError { return &httpError{status: http.StatusBadRequest, msg: msg} }
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// writeError writes the service's uniform error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// fail maps an error to its HTTP response.
+func fail(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		writeError(w, he.status, he.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// decode parses the request body strictly: unknown fields, trailing
+// data and type mismatches are client errors.
+func decode(r *http.Request, v any) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return badRequest(fmt.Sprintf("reading body: %v", err))
+	}
+	if err := strictUnmarshal(data, v); err != nil {
+		return badRequest(err.Error())
+	}
+	return nil
+}
+
+// strictUnmarshal rejects unknown fields and trailing garbage.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// netRef selects the network a query runs against: a store ID (cached
+// across requests) or an inline network document.
+type netRef struct {
+	NetworkID string          `json:"network_id,omitempty"`
+	Network   json.RawMessage `json:"network,omitempty"`
+}
+
+// faultSpec accepts a per-layer fault distribution as either a single
+// integer (broadcast uniformly, the CLI convention) or an explicit
+// array.
+type faultSpec struct {
+	perLayer []int
+	uniform  int
+	isUnif   bool
+	set      bool
+}
+
+func (f *faultSpec) UnmarshalJSON(b []byte) error {
+	f.set = true
+	var u int
+	if err := json.Unmarshal(b, &u); err == nil {
+		f.uniform, f.isUnif = u, true
+		return nil
+	}
+	var arr []int
+	if err := json.Unmarshal(b, &arr); err == nil {
+		f.perLayer = arr
+		return nil
+	}
+	return fmt.Errorf("faults must be an integer or an array of per-layer integers")
+}
+
+// resolve validates the spec against the layer widths. Defaults to one
+// fault per layer when the field was omitted.
+func (f *faultSpec) resolve(widths []int) ([]int, error) {
+	out := make([]int, len(widths))
+	switch {
+	case !f.set:
+		for i := range out {
+			out[i] = 1
+		}
+	case f.isUnif:
+		for i := range out {
+			out[i] = f.uniform
+		}
+	default:
+		if len(f.perLayer) != len(widths) {
+			return nil, badRequest(fmt.Sprintf("faults has %d entries for %d layers", len(f.perLayer), len(widths)))
+		}
+		copy(out, f.perLayer)
+	}
+	for l, v := range out {
+		if v < 0 {
+			return nil, badRequest(fmt.Sprintf("faults[%d] = %d is negative", l, v))
+		}
+		if v > widths[l] {
+			return nil, badRequest(fmt.Sprintf("faults[%d] = %d exceeds layer width %d", l, v, widths[l]))
+		}
+	}
+	return out, nil
+}
+
+// ---- GET /healthz ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stored := -1
+	if s.st != nil {
+		stored = len(s.st.List(store.KindNetwork))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"cached_networks": s.cachedNetworks(),
+		"stored_networks": stored,
+		"workers":         s.pool.Size(),
+	})
+}
+
+// ---- GET /v1/networks ----
+
+type networkInfo struct {
+	ID      string            `json:"id"`
+	ShortID string            `json:"short_id"`
+	Created time.Time         `json:"created"`
+	Bytes   int               `json:"bytes"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no artifact store configured")
+		return
+	}
+	entries := s.st.List(store.KindNetwork)
+	infos := make([]networkInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, networkInfo{
+			ID: e.ID, ShortID: store.ShortID(e.ID), Created: e.Created, Bytes: e.Bytes, Meta: e.Meta,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"networks": infos})
+}
+
+// ---- POST /v1/networks ----
+
+func (s *Server) handleUploadNetwork(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no artifact store configured")
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	var net nn.Network
+	if err := strictUnmarshal(data, &net); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("network document: %v", err))
+		return
+	}
+	entry, err := s.st.PutNetwork(&net, map[string]string{"source": "upload"})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":       entry.ID,
+		"short_id": store.ShortID(entry.ID),
+		"layers":   net.Layers(),
+		"widths":   net.Widths(),
+	})
+}
+
+// ---- POST /v1/eval ----
+
+type evalRequest struct {
+	netRef
+	Inputs [][]float64 `json:"inputs"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req evalRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if len(req.Inputs) == 0 {
+		fail(w, badRequest("inputs is empty"))
+		return
+	}
+	for i, x := range req.Inputs {
+		if len(x) != cn.net.InputDim {
+			fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.net.InputDim)))
+			return
+		}
+	}
+	outputs := cn.net.ForwardBatch(req.Inputs)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"network_id": cn.id,
+		"count":      len(outputs),
+		"outputs":    outputs,
+	})
+}
+
+// ---- POST /v1/bounds ----
+
+type boundsRequest struct {
+	netRef
+	Faults   faultSpec `json:"faults,omitempty"`
+	C        *float64  `json:"c,omitempty"`
+	Eps      float64   `json:"eps,omitempty"`
+	EpsPrime float64   `json:"eps_prime,omitempty"`
+}
+
+type boundsResponse struct {
+	NetworkID  string    `json:"network_id,omitempty"`
+	Widths     []int     `json:"widths"`
+	MaxWeights []float64 `json:"max_weights"`
+	K          float64   `json:"k"`
+	Faults     []int     `json:"faults"`
+	C          float64   `json:"c"`
+	Fep        float64   `json:"fep"`
+	CrashFep   float64   `json:"crash_fep"`
+	SynapseFep float64   `json:"synapse_fep"`
+	// Tolerance certificates, present when eps > 0.
+	Tolerated       *bool `json:"tolerated,omitempty"`
+	CrashTolerated  *bool `json:"crash_tolerated,omitempty"`
+	RequiredSignals []int `json:"required_signals,omitempty"`
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	var req boundsRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	faults, err := req.Faults.resolve(cn.shape.Widths)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	c := 1.0
+	if req.C != nil {
+		c = *req.C
+	}
+	if c < 0 {
+		fail(w, badRequest("c is negative"))
+		return
+	}
+	// The certificate computations run on pooled per-network scratch:
+	// zero allocations in the steady state (see BenchmarkBoundsCompute).
+	b := cn.getBounds()
+	resp := boundsResponse{
+		NetworkID:  cn.id,
+		Widths:     cn.shape.Widths,
+		MaxWeights: cn.shape.MaxW,
+		K:          cn.shape.K,
+		Faults:     faults,
+		C:          c,
+		Fep:        b.cert.Fep(faults, c),
+		CrashFep:   b.cert.CrashFep(faults),
+	}
+	copy(b.synFaults, faults)
+	b.synFaults[len(b.synFaults)-1] = 0
+	resp.SynapseFep = b.cert.SynapseFep(b.synFaults, c)
+	if req.Eps > 0 {
+		tol := b.cert.Tolerates(faults, c, req.Eps, req.EpsPrime)
+		crashTol := b.cert.CrashTolerates(faults, req.Eps, req.EpsPrime)
+		resp.Tolerated = &tol
+		resp.CrashTolerated = &crashTol
+		resp.RequiredSignals = append([]int(nil), b.cert.RequiredSignals(faults)...)
+	}
+	cn.putBounds(b)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v1/inject ----
+
+type injectRequest struct {
+	netRef
+	Faults      faultSpec `json:"faults,omitempty"`
+	Model       string    `json:"model,omitempty"`
+	Adversarial *bool     `json:"adversarial,omitempty"`
+	Seed        uint64    `json:"seed,omitempty"`
+	C           *float64  `json:"c,omitempty"`
+	Value       *float64  `json:"value,omitempty"`
+	Prob        *float64  `json:"prob,omitempty"`
+	Bits        *int      `json:"bits,omitempty"`
+	Bit         *int      `json:"bit,omitempty"`
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	modelName := req.Model
+	if modelName == "" {
+		modelName = "crash"
+	}
+	model, ok := fault.Lookup(modelName)
+	if !ok {
+		fail(w, badRequest(fmt.Sprintf("unknown fault model %q; registered models: %s",
+			modelName, strings.Join(fault.ModelNames(), ", "))))
+		return
+	}
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	faults, err := req.Faults.resolve(cn.shape.Widths)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	params := fault.Params{
+		C:     orDefault(req.C, 1),
+		Sem:   core.DeviationCap,
+		Value: orDefault(req.Value, 0.8),
+		Prob:  orDefault(req.Prob, 0.5),
+		Bits:  orDefaultInt(req.Bits, 8),
+		Bit:   orDefaultInt(req.Bit, 7),
+		Net:   cn.net,
+		R:     rng.New(seed ^ 0xfa0175),
+	}
+	inj, err := model.New(params)
+	if err != nil {
+		fail(w, badRequest(err.Error()))
+		return
+	}
+	adversarial := req.Adversarial == nil || *req.Adversarial
+	var cp *fault.CompiledPlan
+	if adversarial {
+		cp = cn.adversarialPlan(faults)
+	} else {
+		cp = fault.Compile(cn.net, fault.RandomNeuronPlan(rng.New(seed), cn.net, faults))
+	}
+	inputs, traces := cn.standardInputs()
+	var measured float64
+	if model.Deterministic {
+		measured = parallel.MaxFloat64(len(traces), func(i int) float64 {
+			return cp.ErrorOnTrace(inj, traces[i])
+		})
+	} else {
+		for _, tr := range traces {
+			if e := cp.ErrorOnTrace(inj, tr); e > measured {
+				measured = e
+			}
+		}
+	}
+	dev := model.NeuronDeviation(params, cn.shape)
+	b := cn.getBounds()
+	bound := b.cert.Fep(faults, dev)
+	cn.putBounds(b)
+	resp := map[string]any{
+		"network_id":    cn.id,
+		"model":         model.Name,
+		"deterministic": model.Deterministic,
+		"adversarial":   adversarial,
+		"faults":        faults,
+		"deviation_cap": dev,
+		"inputs":        len(inputs),
+		"measured":      measured,
+		"bound":         bound,
+	}
+	if bound > 0 {
+		resp["utilization"] = measured / bound
+	}
+	if measured > bound*(1+1e-9) {
+		// A violated bound is a bug in the engine, never a valid answer.
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("bound violated: measured %g > bound %g", measured, bound))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func orDefault(p *float64, def float64) float64 {
+	if p != nil {
+		return *p
+	}
+	return def
+}
+
+func orDefaultInt(p *int, def int) int {
+	if p != nil {
+		return *p
+	}
+	return def
+}
+
+// ---- POST /v1/montecarlo ----
+
+type monteCarloRequest struct {
+	netRef
+	Faults faultSpec   `json:"faults,omitempty"`
+	C      float64     `json:"c,omitempty"`
+	Trials int         `json:"trials,omitempty"`
+	Seed   uint64      `json:"seed,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// maxTrials bounds one Monte Carlo request; larger campaigns should be
+// split (and their seeds varied) by the client.
+const maxTrials = 200000
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response"; no standard library constant exists.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	var req monteCarloRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	faults, err := req.Faults.resolve(cn.shape.Widths)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if req.C < 0 {
+		fail(w, badRequest("c is negative"))
+		return
+	}
+	trials := req.Trials
+	if trials == 0 {
+		trials = 500
+	}
+	if trials < 1 || trials > maxTrials {
+		fail(w, badRequest(fmt.Sprintf("trials %d outside [1, %d]", trials, maxTrials)))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 9
+	}
+	var traces []*nn.Trace
+	if len(req.Inputs) > 0 {
+		for i, x := range req.Inputs {
+			if len(x) != cn.net.InputDim {
+				fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.net.InputDim)))
+				return
+			}
+		}
+		traces = fault.CleanTraces(cn.net, req.Inputs)
+	} else {
+		_, traces = cn.standardInputs()
+	}
+	prof, err := s.shardedMonteCarlo(r.Context(), cn.net, faults, req.C, traces, trials, seed)
+	if err != nil {
+		// The client is gone or the server is draining: there is nobody
+		// to answer, and the partial profile would be wrong anyway.
+		writeError(w, statusClientClosedRequest, err.Error())
+		return
+	}
+	b := cn.getBounds()
+	var bound float64
+	if req.C == 0 {
+		bound = b.cert.CrashFep(faults)
+	} else {
+		bound = b.cert.Fep(faults, req.C)
+	}
+	cn.putBounds(b)
+	resp := map[string]any{
+		"network_id": cn.id,
+		"faults":     faults,
+		"c":          req.C,
+		"trials":     prof.Trials,
+		"mean":       prof.Stats.Mean,
+		"median":     prof.Stats.Median,
+		"q90":        prof.Q90,
+		"q99":        prof.Q99,
+		"max":        prof.Stats.Max,
+		"bound":      bound,
+	}
+	if bound > 0 {
+		resp["max_vs_bound"] = prof.Stats.Max / bound
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,131 @@
+// Package serve is the long-running robustness-query service: an HTTP
+// JSON API over the store and the evaluation engine that answers
+// Fep-bound, fault-injection and Monte Carlo queries on demand — the
+// paper's core promise (cheap topology-only robustness certificates)
+// operationalised as a service instead of a one-shot CLI run.
+//
+// Endpoints (see DESIGN.md §5 for request/response schemas):
+//
+//	GET  /healthz        — liveness + cache statistics
+//	GET  /v1/networks    — list stored networks
+//	POST /v1/networks    — upload a network into the store
+//	POST /v1/eval        — batched forward evaluation
+//	POST /v1/bounds      — Fep / tolerance certificates
+//	POST /v1/inject      — fault injection: measured error vs bound
+//	POST /v1/montecarlo  — sharded random-failure profile
+//
+// Steady-state hot paths allocate nothing beyond the HTTP/JSON shell:
+// per-network state (shape, certifier scratch, compiled fault plans,
+// clean traces of the standard input set) is cached on first use, eval
+// runs on pooled nn.Scratch buffers, and Monte Carlo trials are sharded
+// over a persistent parallel.Pool.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/store"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Store backs upload/list and network_id resolution. When nil, only
+	// inline-network queries work and uploads are rejected.
+	Store *store.Store
+	// Workers sizes the Monte Carlo worker pool (<= 0 selects the
+	// default degree of parallelism).
+	Workers int
+}
+
+// Server answers robustness queries over HTTP. Create with New, expose
+// with Handler (or let Run manage the listener), release the worker
+// pool with Close.
+type Server struct {
+	st    *store.Store
+	pool  *parallel.Pool
+	mux   *http.ServeMux
+	start time.Time
+
+	mu   sync.RWMutex
+	nets map[string]*cachedNet // by full store ID
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{
+		st:    cfg.Store,
+		pool:  parallel.NewPool(cfg.Workers),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		nets:  map[string]*cachedNet{},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
+	s.mux.HandleFunc("POST /v1/networks", s.handleUploadNetwork)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
+	s.mux.HandleFunc("POST /v1/inject", s.handleInject)
+	s.mux.HandleFunc("POST /v1/montecarlo", s.handleMonteCarlo)
+	return s
+}
+
+// Handler returns the service's HTTP handler with the panic-recovery
+// and body-limit middleware applied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// maxBodyBytes bounds request bodies (networks with millions of
+// parameters fit comfortably; unbounded uploads do not).
+const maxBodyBytes = 64 << 20
+
+// Close releases the worker pool. The Server must not serve requests
+// afterwards.
+func (s *Server) Close() { s.pool.Close() }
+
+// Run listens on addr and serves until ctx is cancelled, then shuts
+// down gracefully (in-flight requests drain, bounded by a timeout).
+// logf, when non-nil, receives one "listening on <addr>" line once the
+// listener is bound — with addr ":0" this is how callers learn the
+// port.
+func Run(ctx context.Context, addr string, cfg Config, logf func(format string, args ...any)) error {
+	s := New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if logf != nil {
+		logf("listening on %s", ln.Addr())
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	case err := <-errc:
+		return err
+	}
+}

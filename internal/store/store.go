@@ -1,0 +1,382 @@
+// Package store is a content-addressed JSON artifact store: every
+// artifact (trained network, quantised model recipe, experiment outcome
+// set) is serialised to canonical JSON, addressed by the sha256 of those
+// bytes, and indexed in a human-readable manifest. Content addressing
+// makes campaigns resumable and comparable — saving the same network
+// twice yields the same ID, and an ID retrieved from a report always
+// names exactly the bytes that produced it.
+//
+// Layout under the root directory:
+//
+//	<root>/manifest.json                — the index: one Entry per artifact
+//	<root>/objects/<aa>/<id>.json       — the artifact bytes (aa = id[:2])
+//	<root>/objects/<aa>/<id>.entry.json — the artifact's Entry (sidecar)
+//
+// Object files are immutable once written (writes go through a
+// temp-file + rename, so readers never observe partial objects) and are
+// plain JSON, inspectable with jq. The manifest is rewritten atomically
+// on every Put after merging the on-disk index, and Resolve falls back
+// to re-reading it on a miss, so artifacts added by another process
+// (a CLI ingest next to a running server) become visible without a
+// restart. Each object also carries its Entry as a sidecar — the
+// manifest is a derived index, and Rebuild reconstructs it from the
+// object tree if it is ever lost or clobbered.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kinds used by the typed helpers. Put accepts any non-empty kind.
+const (
+	KindNetwork   = "network"
+	KindQuantized = "quantized"
+	KindOutcomes  = "outcomes"
+)
+
+// Entry is one manifest record: the addressable identity of an artifact.
+type Entry struct {
+	// ID is the lowercase hex sha256 of the artifact bytes.
+	ID string `json:"id"`
+	// Kind classifies the artifact (network, quantized, outcomes, ...).
+	Kind string `json:"kind"`
+	// Created is the wall-clock time of the first Put.
+	Created time.Time `json:"created"`
+	// Bytes is the serialised size.
+	Bytes int `json:"bytes"`
+	// Meta carries free-form labels (target, widths, campaign name, ...).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// manifest is the serialised index.
+type manifest struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Store is an artifact store rooted at one directory. Methods are safe
+// for concurrent use by multiple goroutines.
+type Store struct {
+	root string
+
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty root directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: dir, entries: map[string]Entry{}}
+	data, err := os.ReadFile(s.manifestPath())
+	switch {
+	case os.IsNotExist(err):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("store: %w", err)
+	default:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("store: parsing %s: %w", s.manifestPath(), err)
+		}
+		for _, e := range m.Entries {
+			s.entries[e.ID] = e
+		}
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) manifestPath() string { return filepath.Join(s.root, "manifest.json") }
+
+func (s *Store) objectPath(id string) string {
+	return filepath.Join(s.root, "objects", id[:2], id+".json")
+}
+
+func (s *Store) entryPath(id string) string {
+	return filepath.Join(s.root, "objects", id[:2], id+".entry.json")
+}
+
+// ID returns the content address of the given artifact bytes.
+func ID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put serialises v as JSON and stores it under its content address.
+// Storing identical content twice is a no-op returning the original
+// entry (the first meta wins — the ID names the bytes, not the labels).
+func (s *Store) Put(kind string, v any, meta map[string]string) (Entry, error) {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: %w", err)
+	}
+	return s.PutRaw(kind, data, meta)
+}
+
+// PutRaw stores pre-serialised JSON bytes under their content address.
+func (s *Store) PutRaw(kind string, data []byte, meta map[string]string) (Entry, error) {
+	if kind == "" {
+		return Entry{}, fmt.Errorf("store: empty artifact kind")
+	}
+	if !json.Valid(data) {
+		return Entry{}, fmt.Errorf("store: artifact is not valid JSON")
+	}
+	id := ID(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		return e, nil
+	}
+	// Another process may have both stored this artifact and extended
+	// the manifest since we last read it: merge before deciding and
+	// before rewriting, so concurrent stores do not drop each other's
+	// entries.
+	if err := s.mergeManifestLocked(); err != nil {
+		return Entry{}, err
+	}
+	if e, ok := s.entries[id]; ok {
+		return e, nil
+	}
+	path := s.objectPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return Entry{}, fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return Entry{}, fmt.Errorf("store: %w", err)
+	}
+	e := Entry{ID: id, Kind: kind, Created: time.Now().UTC().Truncate(time.Second), Bytes: len(data), Meta: meta}
+	sidecar, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(s.entryPath(id), sidecar); err != nil {
+		return Entry{}, fmt.Errorf("store: %w", err)
+	}
+	s.entries[id] = e
+	if err := s.writeManifestLocked(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// Resolve returns the entry for an ID or a unique ID prefix (at least 6
+// hex characters). Unknown and ambiguous references are errors. A miss
+// re-reads the on-disk manifest first, so artifacts stored by another
+// process resolve without reopening the store.
+func (s *Store) Resolve(ref string) (Entry, error) {
+	ref = strings.ToLower(strings.TrimSpace(ref))
+	if len(ref) < 6 {
+		return Entry{}, fmt.Errorf("store: id %q too short (need >= 6 hex chars)", ref)
+	}
+	s.mu.RLock()
+	e, err := s.resolveLocked(ref)
+	s.mu.RUnlock()
+	if err == nil {
+		return e, nil
+	}
+	// The miss may just be staleness: merge the on-disk manifest and
+	// retry once.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mergeErr := s.mergeManifestLocked(); mergeErr != nil {
+		return Entry{}, mergeErr
+	}
+	return s.resolveLocked(ref)
+}
+
+// resolveLocked resolves an exact ID or unique prefix; s.mu must be
+// held (read or write).
+func (s *Store) resolveLocked(ref string) (Entry, error) {
+	if e, ok := s.entries[ref]; ok {
+		return e, nil
+	}
+	var found []Entry
+	for id, e := range s.entries {
+		if strings.HasPrefix(id, ref) {
+			found = append(found, e)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Entry{}, fmt.Errorf("store: no artifact with id %q", ref)
+	case 1:
+		return found[0], nil
+	default:
+		return Entry{}, fmt.Errorf("store: id prefix %q is ambiguous (%d matches)", ref, len(found))
+	}
+}
+
+// mergeManifestLocked folds the on-disk manifest into the in-memory
+// index (in-memory entries win on conflict — both name the same
+// immutable bytes); s.mu must be held for writing.
+func (s *Store) mergeManifestLocked() error {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: parsing %s: %w", s.manifestPath(), err)
+	}
+	for _, e := range m.Entries {
+		if _, ok := s.entries[e.ID]; !ok {
+			s.entries[e.ID] = e
+		}
+	}
+	return nil
+}
+
+// Rebuild reconstructs the index from the object tree's entry sidecars
+// and rewrites the manifest — the recovery path for a lost or damaged
+// manifest.json. It returns the number of artifacts indexed.
+func (s *Store) Rebuild() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sidecars, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*.entry.json"))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	entries := map[string]Entry{}
+	for _, path := range sidecars {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return 0, fmt.Errorf("store: parsing %s: %w", path, err)
+		}
+		if e.ID == "" || e.Kind == "" {
+			return 0, fmt.Errorf("store: sidecar %s has no id/kind", path)
+		}
+		if _, err := os.Stat(s.objectPath(e.ID)); err != nil {
+			return 0, fmt.Errorf("store: sidecar %s without object: %w", path, err)
+		}
+		entries[e.ID] = e
+	}
+	s.entries = entries
+	if err := s.writeManifestLocked(); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// Raw returns the stored bytes and entry for an ID or unique prefix.
+func (s *Store) Raw(ref string) ([]byte, Entry, error) {
+	e, err := s.Resolve(ref)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	data, err := os.ReadFile(s.objectPath(e.ID))
+	if err != nil {
+		return nil, Entry{}, fmt.Errorf("store: %w", err)
+	}
+	if got := ID(data); got != e.ID {
+		return nil, Entry{}, fmt.Errorf("store: object %s corrupted (content hashes to %s)", e.ID, got)
+	}
+	return data, e, nil
+}
+
+// Get unmarshals the artifact for an ID or unique prefix into v.
+func (s *Store) Get(ref string, v any) (Entry, error) {
+	data, e, err := s.Raw(ref)
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return Entry{}, fmt.Errorf("store: parsing artifact %s: %w", e.ID, err)
+	}
+	return e, nil
+}
+
+// List returns the entries of the given kind ("" lists everything),
+// oldest first with ID as the tiebreak. The on-disk manifest is merged
+// first so other processes' artifacts are listed too.
+func (s *Store) List(kind string) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Best effort: a damaged manifest should not take listing down with
+	// it — the in-memory index still serves.
+	_ = s.mergeManifestLocked()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		if kind == "" || e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// writeManifestLocked rewrites the manifest atomically; s.mu must be
+// held for writing.
+func (s *Store) writeManifestLocked() error {
+	m := manifest{Entries: make([]Entry, 0, len(s.entries))}
+	for _, e := range s.entries {
+		m.Entries = append(m.Entries, e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		if !m.Entries[i].Created.Equal(m.Entries[j].Created) {
+			return m.Entries[i].Created.Before(m.Entries[j].Created)
+		}
+		return m.Entries[i].ID < m.Entries[j].ID
+	})
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(s.manifestPath(), data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file + rename so readers
+// never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/rng"
+)
+
+func testNet(seed uint64) *nn.Network {
+	return nn.NewRandom(rng.New(seed), nn.Config{
+		InputDim: 2,
+		Widths:   []int{12, 8},
+		Act:      activation.NewSigmoid(1),
+		Bias:     true,
+	}, 1.5)
+}
+
+// TestNetworkRoundTripBitIdentical is the store's core contract: a
+// loaded network computes bit-for-bit what the saved one computes.
+func TestNetworkRoundTripBitIdentical(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := testNet(1)
+	e, err := s.PutNetwork(net, map[string]string{"target": "random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ID) != 64 {
+		t.Fatalf("id %q is not a sha256 hex digest", e.ID)
+	}
+	loaded, _, err := s.Network(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range metrics.Grid(2, 17) {
+		if got, want := loaded.Forward(x), net.Forward(x); got != want {
+			t.Fatalf("Forward(%v) = %v after round trip, want exactly %v", x, got, want)
+		}
+	}
+}
+
+// TestContentAddressing pins dedup and determinism: the same content
+// stores to the same ID, different content to a different one.
+func TestContentAddressing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.PutNetwork(testNet(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.PutNetwork(testNet(1), map[string]string{"label": "dup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != a.ID {
+		t.Fatalf("identical networks stored under %s and %s", a.ID, again.ID)
+	}
+	b, err := s.PutNetwork(testNet(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == a.ID {
+		t.Fatal("different networks collided")
+	}
+	if n := len(s.List(KindNetwork)); n != 2 {
+		t.Fatalf("listed %d networks, want 2", n)
+	}
+}
+
+func TestResolvePrefix(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.PutNetwork(testNet(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve(e.ID[:12])
+	if err != nil || got.ID != e.ID {
+		t.Fatalf("Resolve(prefix) = %v, %v", got.ID, err)
+	}
+	if _, err := s.Resolve("abcd"); err == nil || !strings.Contains(err.Error(), "too short") {
+		t.Fatalf("short ref error = %v", err)
+	}
+	if _, err := s.Resolve("ffffffffffff"); err == nil {
+		t.Fatal("unknown ref did not error")
+	}
+}
+
+// TestReopenSeesManifest checks persistence across Store instances.
+func TestReopenSeesManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.PutNetwork(testNet(4), map[string]string{"target": "sine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Resolve(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindNetwork || got.Meta["target"] != "sine" {
+		t.Fatalf("reopened entry = %+v", got)
+	}
+}
+
+// TestQuantizedRecipeRoundTrip: a stored recipe reconstructs the
+// quantised model exactly (deterministic quantisation), including its
+// certificate.
+func TestQuantizedRecipeRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := testNet(5)
+	ne, err := s.PutNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := s.PutQuantized(ne.ID, quant.Options{WeightBits: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := s.Quantized(qe.ID[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := quant.Quantize(net, quant.Options{WeightBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Bound() != want.Bound() {
+		t.Fatalf("reconstructed certificate %v != %v", q.Bound(), want.Bound())
+	}
+	for _, x := range metrics.Grid(2, 9) {
+		if q.Forward(x) != want.Forward(x) {
+			t.Fatalf("reconstructed quantised forward differs at %v", x)
+		}
+	}
+	// Kind confusion is an error, not a silent mis-parse.
+	if _, _, err := s.Network(qe.ID); err == nil {
+		t.Fatal("loading a quantized recipe as a network did not error")
+	}
+	if _, _, err := s.Quantized(ne.ID); err == nil {
+		t.Fatal("loading a network as a quantized model did not error")
+	}
+}
+
+// TestCrossProcessVisibility models a CLI ingest next to a running
+// server: two Store instances on one root see each other's artifacts
+// without reopening, and neither clobbers the other's manifest entries.
+func TestCrossProcessVisibility(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.PutNetwork(testNet(10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b was opened before a's Put: Resolve must fall back to disk.
+	if _, err := b.Resolve(ea.ID); err != nil {
+		t.Fatalf("b cannot see a's artifact: %v", err)
+	}
+	// b's own Put must not drop a's entry from the manifest.
+	eb, err := b.PutNetwork(testNet(11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{ea.ID, eb.ID} {
+		if _, err := fresh.Resolve(id); err != nil {
+			t.Fatalf("manifest lost %s: %v", id[:12], err)
+		}
+	}
+	if n := len(fresh.List(KindNetwork)); n != 2 {
+		t.Fatalf("manifest lists %d networks, want 2", n)
+	}
+	// And a's List picks up b's artifact without reopening.
+	if n := len(a.List(KindNetwork)); n != 2 {
+		t.Fatalf("a lists %d networks after b's Put, want 2", n)
+	}
+}
+
+// TestRebuildRecoversManifest deletes manifest.json and reconstructs it
+// from the entry sidecars.
+func TestRebuildRecoversManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := s.PutNetwork(testNet(12), map[string]string{"target": "sine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutNetwork(testNet(13), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := recovered.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("rebuilt %d artifacts, want 2", n)
+	}
+	got, err := recovered.Resolve(e1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindNetwork || got.Meta["target"] != "sine" {
+		t.Fatalf("rebuilt entry = %+v", got)
+	}
+	if _, _, err := recovered.Network(e1.ID); err != nil {
+		t.Fatalf("rebuilt store cannot load network: %v", err)
+	}
+}
+
+func TestCorruptObjectDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.PutNetwork(testNet(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", e.ID[:2], e.ID+".json")
+	if err := os.WriteFile(path, []byte(`{"tampered":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Raw(e.ID); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("tampered object error = %v", err)
+	}
+}
+
+func TestPutRejectsBadInput(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutRaw("", []byte(`{}`), nil); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+	if _, err := s.PutRaw("blob", []byte(`{not json`), nil); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if _, err := s.PutNetwork(&nn.Network{}, nil); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}

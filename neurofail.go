@@ -18,7 +18,11 @@
 //     goroutine processes, faulty channels, and the boosting scheme of
 //     Corollary 2 in virtual time;
 //   - internal/experiments — regeneration of every figure and claim in
-//     the paper's evaluation.
+//     the paper's evaluation;
+//   - internal/store — content-addressed persistence for networks,
+//     quantised models and experiment outcomes;
+//   - internal/serve — the long-running robustness-query HTTP service
+//     over the store and the evaluation engine.
 //
 // Quickstart:
 //
@@ -31,6 +35,8 @@
 package neurofail
 
 import (
+	"context"
+
 	"repro/internal/activation"
 	"repro/internal/approx"
 	"repro/internal/core"
@@ -39,6 +45,8 @@ import (
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/train"
 )
 
@@ -322,4 +330,45 @@ func Stream(n *Network, inputs [][]float64, schedule []dist.FailureEvent, capaci
 // accuracy eps — Corollary 1 as a constructor.
 func BuildRobust(target Target, faults int, eps float64, maxWidth int) (*Network, approx.Certificate, error) {
 	return approx.BuildRobust(target, faults, eps, maxWidth)
+}
+
+// Store is the content-addressed JSON artifact store: trained networks,
+// quantised-model recipes and experiment outcome sets saved under
+// sha256-derived IDs with a human-readable manifest (see
+// internal/store).
+type Store = store.Store
+
+// StoreEntry is one manifest record of a Store.
+type StoreEntry = store.Entry
+
+// OpenStore opens (creating if needed) the artifact store rooted at
+// dir.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// Certifier amortises repeated certificate queries against one shape:
+// steady-state Fep/tolerance computations allocate nothing. Not safe
+// for concurrent use — pool per goroutine.
+type Certifier = core.Certifier
+
+// NewCertifier validates the shape and returns a Certifier for it.
+func NewCertifier(s Shape) (*Certifier, error) { return core.NewCertifier(s) }
+
+// ServeConfig sizes the robustness-query service.
+type ServeConfig = serve.Config
+
+// Server is the long-running robustness-query HTTP service: bounds,
+// injection, batched evaluation and Monte Carlo profiles over stored
+// networks, with cached compiled fault plans and pooled scratch (see
+// internal/serve).
+type Server = serve.Server
+
+// NewServer builds a query service; expose it with Handler, release it
+// with Close.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Serve listens on addr and answers robustness queries until ctx is
+// cancelled, then shuts down gracefully. logf (optional) receives one
+// "listening on <addr>" line once the listener is bound.
+func Serve(ctx context.Context, addr string, cfg ServeConfig, logf func(format string, args ...any)) error {
+	return serve.Run(ctx, addr, cfg, logf)
 }

@@ -1,8 +1,14 @@
 package neurofail_test
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"math"
+	"net/http"
+	"strings"
 	"testing"
+	"time"
 
 	neurofail "repro"
 	"repro/internal/dist"
@@ -229,5 +235,82 @@ func TestFacadeFaultModelRegistry(t *testing.T) {
 	}
 	if _, err := neurofail.NewFaultInjector("bogus", neurofail.FaultParams{}); err == nil {
 		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestFacadeStoreAndServe exercises the persistence + serving surface
+// through the public facade only: store a network, boot the query
+// service on a real listener, ask it for a certificate, shut down.
+func TestFacadeStoreAndServe(t *testing.T) {
+	st, err := neurofail.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := neurofail.NewRandomNetwork(neurofail.NewRand(2), neurofail.NetworkConfig{
+		InputDim: 2,
+		Widths:   []int{8, 5},
+		Act:      neurofail.NewSigmoid(1),
+	}, 0.8)
+	entry, err := st.PutNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := st.Network(entry.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.25, 0.75}
+	if loaded.Forward(x) != net.Forward(x) {
+		t.Fatal("store round trip is not bit-identical")
+	}
+
+	// Certifier agrees with the one-shot bound.
+	shape := neurofail.ShapeOf(net)
+	cert, err := neurofail.NewCertifier(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{1, 1}
+	if cert.Fep(faults, 1) != neurofail.Fep(shape, faults, 1) {
+		t.Fatal("Certifier disagrees with Fep")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- neurofail.Serve(ctx, "127.0.0.1:0", neurofail.ServeConfig{Store: st}, func(format string, args ...any) {
+			addrCh <- strings.TrimPrefix(fmt.Sprintf(format, args...), "listening on ")
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("service did not start")
+	}
+	body := fmt.Sprintf(`{"network_id": %q, "faults": [1, 1]}`, entry.ID)
+	resp, err := http.Post("http://"+addr+"/v1/bounds", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Fep float64 `json:"fep"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || decoded.Fep != neurofail.Fep(shape, faults, 1) {
+		t.Fatalf("service answered %d fep=%v, want 200 %v", resp.StatusCode, decoded.Fep, neurofail.Fep(shape, faults, 1))
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("service did not shut down")
 	}
 }
