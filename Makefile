@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench serve-smoke
+.PHONY: ci fmt vet build test race bench bench-conv serve-smoke
 
-ci: fmt vet build test bench serve-smoke
+ci: fmt vet build test bench bench-conv serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -13,18 +13,28 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test order so inter-test state dependencies
+# cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race coverage for the worker-pool scenario engine, pooled scratch and
 # the goroutine message-passing runtime.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short smoke of the hot-path microbenchmarks (fixed iteration count so
 # it stays fast on slow runners). Full runs: go test -bench . -benchtime=2s
 bench:
 	$(GO) test -run '^$$' -bench 'Forward|Faulted' -benchtime=100x -benchmem .
+
+# Native-vs-lowered conv smoke (BENCH_4.json workload): keeps the native
+# conv path honest — TestConvNativeSpeedSmoke FAILS if the native and
+# lowered timings converge (i.e. the native path regressed to dense
+# lowering); the benchmark run prints the current columns.
+bench-conv:
+	NEUROFAIL_BENCH_CONV=1 $(GO) test -run 'TestConvNativeSpeedSmoke' -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkConv(Forward|FaultedForward)' -benchtime=20x -benchmem .
 
 # End-to-end smoke of the query service: build the CLI, boot `neurofail
 # serve` against a fresh store, hit /healthz and one /v1/bounds query,

@@ -9,7 +9,9 @@ package neurofail_test
 
 import (
 	"io"
+	"os"
 	"testing"
+	"time"
 
 	neurofail "repro"
 	"repro/internal/core"
@@ -215,6 +217,121 @@ func BenchmarkFaultedForwardPerModel(b *testing.B) {
 			_ = sink
 		})
 	}
+}
+
+// benchConv2D returns the BENCH_4.json reference pair: a 32x32 2-D conv
+// net (5x5 then 3x3 kernels, 4 filters each) and its lowered dense
+// equivalent.
+func benchConv2D(tb testing.TB) (*neurofail.ConvNet2D, *nn.Network) {
+	tb.Helper()
+	n, err := neurofail.NewRandomConv2D(rng.New(1), 32, 32, []int{5, 3}, []int{4, 4}, neurofail.NewSigmoid(1), 0.3, false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d, err := neurofail.LowerConv2D(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return n, d
+}
+
+// TestConvNativeSpeedSmoke is the enforced form of the BENCH_4.json
+// acceptance gate (make bench-conv runs it in CI): if the native conv
+// path ever silently regresses to dense lowering, the native and
+// lowered timings converge and this fails. The >= 3x gate is asserted
+// at 2x to leave headroom for noisy shared CI hosts — the measured gap
+// is >15x. Wall-clock assertions do not belong in the ordinary test
+// steps (parallel package runs make short timing loops flaky), so the
+// test only arms itself under the bench-conv target's env flag.
+func TestConvNativeSpeedSmoke(t *testing.T) {
+	if os.Getenv("NEUROFAIL_BENCH_CONV") == "" {
+		t.Skip("timing smoke; run via make bench-conv (NEUROFAIL_BENCH_CONV=1)")
+	}
+	n, d := benchConv2D(t)
+	x := make([]float64, 1024)
+	rng.New(2).Floats(x, 0, 1)
+	plan := neurofail.AdversarialPlan(n, []int{4, 4})
+	inj := neurofail.Crash()
+	nativeCP := fault.Compile(n, plan)
+	loweredCP := fault.Compile(d, plan)
+	var sink float64
+	time10 := func(cp *neurofail.CompiledPlan) time.Duration {
+		sink += cp.Forward(inj, x) // warm scratch pools and caches
+		start := time.Now()
+		for i := 0; i < 10; i++ {
+			sink += cp.Forward(inj, x)
+		}
+		return time.Since(start)
+	}
+	native := time10(nativeCP)
+	lowered := time10(loweredCP)
+	_ = sink
+	if native*2 >= lowered {
+		t.Fatalf("native conv faulted pass (%v/10 iters) not clearly faster than lowered (%v/10 iters): has the native path regressed to lowering?", native, lowered)
+	}
+}
+
+// BenchmarkConvForward measures the clean forward pass of the 32x32 2-D
+// conv net: native (R(l) multiplies per neuron, zero allocations) vs
+// the lowered dense equivalent (N_{l-1} multiplies per neuron). Outputs
+// are bit-identical; only the arithmetic volume differs.
+func BenchmarkConvForward(b *testing.B) {
+	n, d := benchConv2D(b)
+	x := make([]float64, 1024)
+	rng.New(2).Floats(x, 0, 1)
+	b.Run("native", func(b *testing.B) {
+		sc := neurofail.NewScratch(n)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += n.ForwardInto(sc, x)
+		}
+		_ = sink
+	})
+	b.Run("lowered", func(b *testing.B) {
+		sc := neurofail.NewScratch(d)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += d.ForwardInto(sc, x)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkConvFaultedForward measures the compiled-plan damaged pass
+// (adversarial crashes, 4 per layer) on the same pair — the acceptance
+// gate of the model-layer refactor: native must be >= 3x faster than
+// lowering at zero steady-state allocations, bit-identical outputs.
+func BenchmarkConvFaultedForward(b *testing.B) {
+	n, d := benchConv2D(b)
+	x := make([]float64, 1024)
+	rng.New(2).Floats(x, 0, 1)
+	plan := neurofail.AdversarialPlan(n, []int{4, 4})
+	inj := neurofail.Crash()
+	b.Run("native", func(b *testing.B) {
+		cp := fault.Compile(n, plan)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += cp.Forward(inj, x)
+		}
+		_ = sink
+	})
+	b.Run("lowered", func(b *testing.B) {
+		cp := fault.Compile(d, plan)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += cp.Forward(inj, x)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkConvModelSweep regenerates the CS native-vs-lowered sweep.
+func BenchmarkConvModelSweep(b *testing.B) {
+	runExperiment(b, experiments.ConvModelSweep)
 }
 
 // BenchmarkFaultModelSweep regenerates the S1 scenario sweep end to end.

@@ -72,6 +72,8 @@ func main() {
 		err = cmdMonteCarlo(os.Args[2:])
 	case "stream":
 		err = cmdStream(os.Args[2:])
+	case "conv":
+		err = cmdConv(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
 	case "serve":
@@ -100,6 +102,7 @@ commands:
   boost      simulate the Corollary 2 boosting scheme in virtual time
   montecarlo sample random failure configurations: error profile vs the bound
   stream     process a stream while failures accumulate on a schedule
+  conv       convolutional models: train, bounds (Section VI), native fault injection
   store      manage the content-addressed artifact store (add, list, show)
   serve      run the long-running robustness-query HTTP service
 
@@ -190,11 +193,13 @@ func cmdStore(args []string) error {
 		if err != nil {
 			return err
 		}
-		net, err := cliutil.LoadNetwork(*netPath)
+		// Any model document is accepted: untagged dense networks and
+		// "arch"-tagged conv nets land under their own kinds.
+		net, err := cliutil.LoadModel(*netPath)
 		if err != nil {
 			return err
 		}
-		entry, err := st.PutNetwork(net, map[string]string{"source": *netPath})
+		entry, err := st.PutModel(net, map[string]string{"source": *netPath})
 		if err != nil {
 			return err
 		}

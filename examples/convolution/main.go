@@ -1,0 +1,106 @@
+// Convolutional networks at engine speed (Section VI): train a 2-D conv
+// net natively, inject shared kernel-value faults through the native
+// engine (no dense lowering anywhere on the evaluation path), and
+// quantify the receptive-field advantage — with weight sharing, the
+// w_m^{(l)} of every bound runs over only the R(l) distinct kernel
+// values, so the same Fep formulas certify a larger fault budget than
+// an untied dense net of identical widths.
+package main
+
+import (
+	"fmt"
+
+	neurofail "repro"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// brightestPatch is a shift-invariant target: the mean of the brightest
+// 2x2 patch of an h x w image — exactly the kind of task weight sharing
+// is built for.
+func brightestPatch(x []float64, h, w int) float64 {
+	best := 0.0
+	for r := 0; r+1 < h; r++ {
+		for c := 0; c+1 < w; c++ {
+			v := (x[r*w+c] + x[r*w+c+1] + x[(r+1)*w+c] + x[(r+1)*w+c+1]) / 4
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func main() {
+	const h, w = 8, 8
+	r := neurofail.NewRand(2)
+
+	// 1. Train a 2-D conv net natively (tied kernel gradients).
+	net, err := neurofail.NewRandomConv2D(r, h, w, []int{3, 3}, []int{2, 2},
+		neurofail.NewSigmoid(1), 0.5, true)
+	if err != nil {
+		panic(err)
+	}
+	xs := make([][]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = make([]float64, h*w)
+		r.Floats(xs[i], 0, 1)
+		ys[i] = brightestPatch(xs[i], h, w)
+	}
+	// The structural Section VI comparison below uses the init-time
+	// shape: identical weight distributions, tied vs untied.
+	initShape := neurofail.ShapeOfModel(net)
+	initOutput := append([]float64(nil), net.Output...)
+	mse := neurofail.TrainConv2D(net, xs, ys, neurofail.ConvTrainConfig{Epochs: 120, LR: 0.1, Seed: 2})
+	shape := neurofail.ShapeOfModel(net)
+	fmt.Printf("trained 2-D conv net on the brightest-patch task: MSE %.5f\n", mse)
+	fmt.Printf("widths %v, receptive-field w_m %v\n\n", shape.Widths, shape.MaxW)
+
+	// 2. Inject shared kernel-value faults through the NATIVE engine: a
+	// fault on one kernel value hits every tied synapse instance at once.
+	plan := net.AdversarialKernelPlan([]int{1, 1})
+	inputs := make([][]float64, 60)
+	for i := range inputs {
+		inputs[i] = make([]float64, h*w)
+		r.Floats(inputs[i], 0, 1)
+	}
+	measured := neurofail.MaxFaultError(net, plan, neurofail.Crash(), inputs)
+	synFaults := plan.PerLayerSynapses(net.NumLayers())
+	crash, _ := neurofail.LookupFaultModel("crash")
+	bound := neurofail.SynapseFep(shape, synFaults, crash.SynapseDeviation(neurofail.FaultParams{}, shape))
+	fmt.Printf("crashed the heaviest shared kernel value of each layer (%d tied synapse instances):\n", len(plan.Synapses))
+	fmt.Printf("  measured max |Fneu - Ffail| = %.5f, SynapseFep bound = %.5f (%.1f%% used)\n\n",
+		measured, bound, 100*measured/bound)
+
+	// 3. The lowering exists only as an oracle: same plan, bit-identical
+	// result, at a fraction of the arithmetic.
+	lowered, err := neurofail.LowerConv2D(net)
+	if err != nil {
+		panic(err)
+	}
+	x := inputs[0]
+	native := fault.Forward(net, plan, fault.Crash{}, x)
+	oracle := fault.Forward(lowered, plan, fault.Crash{}, x)
+	fmt.Printf("native faulted forward %.12f == lowered oracle %.12f: %v\n\n", native, oracle, native == oracle)
+
+	// 4. The Section VI advantage (structural claim): the SAME Fep
+	// formula at identical weight distributions — the max over a conv
+	// layer's R(l) shared kernel values is smaller than the max over an
+	// untied dense layer's N_l x N_{l-1} i.i.d. draws. The output node
+	// is untied in both architectures, so it is given the SAME weights:
+	// the comparison isolates exactly the layers weight sharing ties.
+	dense := neurofail.NewRandomNetwork(rng.New(3), neurofail.NetworkConfig{
+		InputDim: h * w,
+		Widths:   initShape.Widths,
+		Act:      neurofail.NewSigmoid(1),
+	}, 0.5)
+	copy(dense.Output, initOutput)
+	denseShape := neurofail.ShapeOf(dense)
+	faults := []int{1, 1}
+	convFep := neurofail.CrashFep(initShape, faults)
+	denseFep := neurofail.CrashFep(denseShape, faults)
+	fmt.Printf("one crash per layer, same init scale: conv CrashFep %.4f vs untied dense CrashFep %.4f\n", convFep, denseFep)
+	fmt.Printf("fault-budget advantage (dense/conv): %.3fx — w_m over R(l)=18 shared values vs %d untied draws\n",
+		denseFep/convFep, initShape.Widths[0]*initShape.Widths[1])
+}

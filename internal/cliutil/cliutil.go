@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/conv"
 	"repro/internal/nn"
 )
 
@@ -81,9 +82,29 @@ func LoadNetwork(path string) (*nn.Network, error) {
 
 // SaveNetwork writes a network as indented JSON.
 func SaveNetwork(path string, net *nn.Network) error {
-	data, err := json.MarshalIndent(net, "", " ")
+	return SaveModel(path, net)
+}
+
+// SaveModel writes any model (dense or conv) as indented JSON through
+// its architecture's codec.
+func SaveModel(path string, m nn.Model) error {
+	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads any architecture-tagged model document from disk:
+// untagged dense networks, "conv1d" and "conv2d" nets.
+func LoadModel(path string) (nn.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := conv.ParseModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: parsing %s: %w", path, err)
+	}
+	return m, nil
 }

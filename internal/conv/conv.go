@@ -40,14 +40,14 @@ func (l Layer) OutWidth(inWidth int) int {
 	return l.Filters() * (inWidth - l.Field() + 1)
 }
 
-// MaxWeight returns the max |w| over the R(l) kernel values (and biases):
-// the receptive-field w_m^{(l)} of Section VI.
+// MaxWeight returns the max |w| over the R(l) kernel values: the
+// receptive-field w_m^{(l)} of Section VI. Biases are excluded, matching
+// the dense convention (nn.Network.MaxWeight): they are weights to
+// constant neurons, which never fail, so they carry no deviation — and
+// excluding them keeps the conv shape exactly equal to the lowered
+// dense network's.
 func (l Layer) MaxWeight() float64 {
-	m := l.Kernels.MaxAbs()
-	if l.Bias != nil {
-		m = math.Max(m, tensor.MaxAbs(l.Bias))
-	}
-	return m
+	return l.Kernels.MaxAbs()
 }
 
 // Net is a 1-D convolutional network with a linear output node, mirroring
@@ -193,20 +193,7 @@ func hasBias(n *Net) bool {
 // over the receptive-field values only. It equals the lowered network's
 // shape (zeros never attain a max), which is Section VI's observation: the
 // constraint runs over R(l) values instead of N_l x N_{l-1}.
-func Shape(n *Net) core.Shape {
-	widths := n.Widths()
-	maxw := make([]float64, len(n.Layers)+1)
-	for i, l := range n.Layers {
-		maxw[i] = l.MaxWeight()
-	}
-	maxw[len(n.Layers)] = tensor.MaxAbs(n.Output)
-	return core.Shape{
-		Widths: widths,
-		MaxW:   maxw,
-		K:      n.Act.Lipschitz(),
-		ActCap: math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max())),
-	}
-}
+func Shape(n *Net) core.Shape { return core.ShapeOfModel(n) }
 
 // NewRandom builds a random conv net: fields[i] and filters[i] configure
 // layer i; weights are uniform in [-scale, scale).

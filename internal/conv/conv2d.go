@@ -2,7 +2,6 @@ package conv
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/activation"
 	"repro/internal/core"
@@ -35,16 +34,12 @@ func (l Layer2D) InChannels() int { return l.Kernels[0].Rows }
 // ReceptiveField returns R(l), the number of distinct weights per filter.
 func (l Layer2D) ReceptiveField() int { return l.InChannels() * l.Field * l.Field }
 
-// MaxWeight returns the max |w| over all kernel values and biases.
+// MaxWeight returns the max |w| over the R(l) kernel values. Biases are
+// excluded (see Layer.MaxWeight).
 func (l Layer2D) MaxWeight() float64 {
 	m := 0.0
 	for _, k := range l.Kernels {
 		if v := k.MaxAbs(); v > m {
-			m = v
-		}
-	}
-	if l.Bias != nil {
-		if v := tensor.MaxAbs(l.Bias); v > m {
 			m = v
 		}
 	}
@@ -215,19 +210,7 @@ func Lower2D(n *Net2D) (*nn.Network, error) {
 }
 
 // Shape2D returns the core.Shape with w_m over receptive-field values.
-func Shape2D(n *Net2D) core.Shape {
-	maxw := make([]float64, len(n.Layers)+1)
-	for i, l := range n.Layers {
-		maxw[i] = l.MaxWeight()
-	}
-	maxw[len(n.Layers)] = tensor.MaxAbs(n.Output)
-	return core.Shape{
-		Widths: n.Widths(),
-		MaxW:   maxw,
-		K:      n.Act.Lipschitz(),
-		ActCap: math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max())),
-	}
-}
+func Shape2D(n *Net2D) core.Shape { return core.ShapeOfModel(n) }
 
 // NewRandom2D builds a random 2-D conv net: layer i has filters[i]
 // kernels with square field fields[i].

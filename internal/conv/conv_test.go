@@ -108,11 +108,25 @@ func TestShapeUsesReceptiveFieldMax(t *testing.T) {
 }
 
 func TestShapeWithSharedBias(t *testing.T) {
+	// Biases are excluded from w_m, matching the dense convention
+	// (nn.Network.MaxWeight): bias synapses feed constant neurons that
+	// never fail, so they carry no deviation — and excluding them keeps
+	// the conv shape exactly equal to the lowered dense network's.
 	n := handConv()
 	n.Layers[0].Bias = []float64{5, 0}
 	s := Shape(n)
-	if s.MaxW[0] != 5 {
-		t.Fatalf("bias should enter w_m: got %v", s.MaxW[0])
+	if s.MaxW[0] != 1 {
+		t.Fatalf("w_m should run over kernel values only: got %v", s.MaxW[0])
+	}
+	dense, err := Lower(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := core.ShapeOf(dense)
+	for i := range s.MaxW {
+		if s.MaxW[i] != ds.MaxW[i] {
+			t.Fatalf("conv MaxW[%d]=%v != lowered %v", i, s.MaxW[i], ds.MaxW[i])
+		}
 	}
 }
 

@@ -1,0 +1,193 @@
+package conv
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Architecture tags of the serialised model documents. Dense networks
+// carry no tag (their codec predates the model layer and stays wire
+// compatible); conv documents are self-describing via "arch".
+const (
+	Arch1D = "conv1d"
+	Arch2D = "conv2d"
+)
+
+// ArchOf returns the architecture tag of a model ("dense" for
+// nn.Network).
+func ArchOf(m nn.Model) string {
+	switch m.(type) {
+	case *Net:
+		return Arch1D
+	case *Net2D:
+		return Arch2D
+	default:
+		return "dense"
+	}
+}
+
+type jsonLayer1D struct {
+	Kernels [][]float64 `json:"kernels"`
+	Bias    []float64   `json:"bias,omitempty"`
+}
+
+type jsonNet1D struct {
+	Arch       string        `json:"arch"`
+	InputWidth int           `json:"input_width"`
+	Activation string        `json:"activation"`
+	Layers     []jsonLayer1D `json:"layers"`
+	Output     []float64     `json:"output"`
+}
+
+// MarshalJSON serialises the net with its architecture tag and the
+// activation by name. Float64 JSON encoding round-trips exactly, so a
+// loaded net's forward outputs are bit-identical to the saved one's.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	j := jsonNet1D{
+		Arch:       Arch1D,
+		InputWidth: n.InputWidth,
+		Activation: n.Act.Name(),
+		Layers:     make([]jsonLayer1D, len(n.Layers)),
+		Output:     n.Output,
+	}
+	for i, l := range n.Layers {
+		rows := make([][]float64, l.Filters())
+		for f := range rows {
+			rows[f] = l.Kernels.Row(f)
+		}
+		j.Layers[i] = jsonLayer1D{Kernels: rows, Bias: l.Bias}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a net serialised by MarshalJSON. Unknown
+// fields are errors (see nn.Network.UnmarshalJSON for the rationale).
+func (n *Net) UnmarshalJSON(data []byte) error {
+	var j jsonNet1D
+	if err := nn.StrictUnmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Arch != Arch1D {
+		return fmt.Errorf("conv: document arch %q, want %q", j.Arch, Arch1D)
+	}
+	act, err := activation.FromName(j.Activation)
+	if err != nil {
+		return err
+	}
+	n.InputWidth = j.InputWidth
+	n.Act = act
+	n.Layers = make([]Layer, len(j.Layers))
+	for i, jl := range j.Layers {
+		n.Layers[i] = Layer{Kernels: tensor.FromRows(jl.Kernels), Bias: jl.Bias}
+	}
+	n.Output = j.Output
+	return n.Validate()
+}
+
+type jsonLayer2D struct {
+	Field   int           `json:"field"`
+	Kernels [][][]float64 `json:"kernels"`
+	Bias    []float64     `json:"bias,omitempty"`
+}
+
+type jsonNet2D struct {
+	Arch       string        `json:"arch"`
+	InputH     int           `json:"input_h"`
+	InputW     int           `json:"input_w"`
+	Activation string        `json:"activation"`
+	Layers     []jsonLayer2D `json:"layers"`
+	Output     []float64     `json:"output"`
+}
+
+// MarshalJSON serialises the net (see Net.MarshalJSON).
+func (n *Net2D) MarshalJSON() ([]byte, error) {
+	j := jsonNet2D{
+		Arch:       Arch2D,
+		InputH:     n.InputH,
+		InputW:     n.InputW,
+		Activation: n.Act.Name(),
+		Layers:     make([]jsonLayer2D, len(n.Layers)),
+		Output:     n.Output,
+	}
+	for i, l := range n.Layers {
+		filters := make([][][]float64, l.Filters())
+		for f, k := range l.Kernels {
+			rows := make([][]float64, k.Rows)
+			for c := range rows {
+				rows[c] = k.Row(c)
+			}
+			filters[f] = rows
+		}
+		j.Layers[i] = jsonLayer2D{Field: l.Field, Kernels: filters, Bias: l.Bias}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a net serialised by MarshalJSON.
+func (n *Net2D) UnmarshalJSON(data []byte) error {
+	var j jsonNet2D
+	if err := nn.StrictUnmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Arch != Arch2D {
+		return fmt.Errorf("conv: document arch %q, want %q", j.Arch, Arch2D)
+	}
+	act, err := activation.FromName(j.Activation)
+	if err != nil {
+		return err
+	}
+	n.InputH, n.InputW = j.InputH, j.InputW
+	n.Act = act
+	n.Layers = make([]Layer2D, len(j.Layers))
+	for i, jl := range j.Layers {
+		l := Layer2D{Field: jl.Field, Bias: jl.Bias}
+		for _, rows := range jl.Kernels {
+			l.Kernels = append(l.Kernels, tensor.FromRows(rows))
+		}
+		n.Layers[i] = l
+	}
+	n.Output = j.Output
+	return n.Validate()
+}
+
+// ParseModel decodes an architecture-tagged model document: "conv1d"
+// and "conv2d" documents load as native conv nets, untagged documents
+// as dense nn.Networks. This is the single entry point the store, the
+// service and the CLI use to accept any model wire format.
+func ParseModel(data []byte) (nn.Model, error) {
+	var probe struct {
+		Arch string `json:"arch"`
+	}
+	// A lenient probe: the strict per-architecture codec re-reads the
+	// full document afterwards.
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("conv: model document: %w", err)
+	}
+	switch probe.Arch {
+	case "":
+		var net nn.Network
+		if err := nn.StrictUnmarshal(data, &net); err != nil {
+			return nil, err
+		}
+		return &net, nil
+	case Arch1D:
+		var net Net
+		if err := json.Unmarshal(data, &net); err != nil {
+			return nil, err
+		}
+		return &net, nil
+	case Arch2D:
+		var net Net2D
+		if err := json.Unmarshal(data, &net); err != nil {
+			return nil, err
+		}
+		return &net, nil
+	default:
+		return nil, fmt.Errorf("conv: unknown model architecture %q (want %q or %q, or an untagged dense network)",
+			probe.Arch, Arch1D, Arch2D)
+	}
+}

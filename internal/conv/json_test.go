@@ -1,0 +1,88 @@
+package conv
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// TestJSONRoundTripBitIdentical saves and reloads both architectures
+// and requires the reloaded model's forward outputs to be bit-identical
+// to the original's — the store contract for typed conv artifacts.
+func TestJSONRoundTripBitIdentical(t *testing.T) {
+	n1, _ := test1D(t, 30)
+	n2, _ := test2D(t, 31)
+	for _, tc := range []struct {
+		name  string
+		model nn.Model
+		dim   int
+	}{
+		{"1d", n1, 14},
+		{"2d", n2, 49},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(tc.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := ParseModel(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ArchOf(loaded) != ArchOf(tc.model) {
+				t.Fatalf("arch %q != %q", ArchOf(loaded), ArchOf(tc.model))
+			}
+			r := rng.New(32)
+			sc := nn.NewScratch(tc.model)
+			lsc := nn.NewScratch(loaded)
+			for trial := 0; trial < 20; trial++ {
+				x := make([]float64, tc.dim)
+				r.Floats(x, 0, 1)
+				a := nn.ForwardModel(tc.model, sc, x)
+				b := nn.ForwardModel(loaded, lsc, x)
+				if a != b {
+					t.Fatalf("trial %d: original %v != reloaded %v", trial, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestParseModelDense loads an untagged document as a dense network.
+func TestParseModelDense(t *testing.T) {
+	_, dense := test1D(t, 33)
+	data, err := json.Marshal(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*nn.Network); !ok {
+		t.Fatalf("untagged document decoded as %T", m)
+	}
+}
+
+// TestParseModelRejections pins the error paths: unknown arch, unknown
+// fields, geometry violations.
+func TestParseModelRejections(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, wantErr string
+	}{
+		{"unknown arch", `{"arch":"conv3d"}`, "unknown model architecture"},
+		{"unknown field", `{"arch":"conv1d","input_width":4,"activation":"sigmoid(K=1)","layerz":[],"output":[]}`, "unknown field"},
+		{"bad geometry", `{"arch":"conv1d","input_width":2,"activation":"sigmoid(K=1)","layers":[{"kernels":[[1,2,3]]}],"output":[1]}`, "field"},
+		{"not json", `]`, "model document"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseModel([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

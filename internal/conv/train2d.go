@@ -1,0 +1,221 @@
+package conv
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Grads2D mirrors a 2-D conv net's parameters: per-layer, per-filter
+// kernel gradients (InChannels x Field² like the kernels), per-filter
+// bias gradients, and the output weights'.
+type Grads2D struct {
+	Kernels [][]*tensor.Matrix
+	Bias    [][]float64
+	Output  []float64
+}
+
+// NewGrads2D allocates zeroed gradients shaped like n.
+func NewGrads2D(n *Net2D) *Grads2D {
+	g := &Grads2D{
+		Kernels: make([][]*tensor.Matrix, len(n.Layers)),
+		Bias:    make([][]float64, len(n.Layers)),
+		Output:  make([]float64, len(n.Output)),
+	}
+	for i, l := range n.Layers {
+		g.Kernels[i] = make([]*tensor.Matrix, l.Filters())
+		for f := range g.Kernels[i] {
+			g.Kernels[i][f] = tensor.NewMatrix(l.InChannels(), l.Field*l.Field)
+		}
+		if l.Bias != nil {
+			g.Bias[i] = make([]float64, l.Filters())
+		}
+	}
+	return g
+}
+
+// Zero clears the gradients in place.
+func (g *Grads2D) Zero() {
+	for _, ks := range g.Kernels {
+		for _, k := range ks {
+			tensor.Fill(k.Data, 0)
+		}
+	}
+	for _, b := range g.Bias {
+		if b != nil {
+			tensor.Fill(b, 0)
+		}
+	}
+	tensor.Fill(g.Output, 0)
+}
+
+// Backprop2D accumulates the gradient of 0.5(out-y)² for one example
+// into g, with weight sharing handled natively: each kernel value
+// receives the summed gradient over every position it is tied to.
+// Returns the squared error.
+func Backprop2D(n *Net2D, x []float64, y float64, g *Grads2D) float64 {
+	L := len(n.Layers)
+	d := n.dims()
+	// Forward with caches.
+	sums := make([][]float64, L)
+	outs := make([][]float64, L)
+	cur := x
+	for li, l := range n.Layers {
+		inC, inH, inW := d[li][0], d[li][1], d[li][2]
+		outH, outW := inH-l.Field+1, inW-l.Field+1
+		s := make([]float64, l.Filters()*outH*outW)
+		for f := 0; f < l.Filters(); f++ {
+			kern := l.Kernels[f]
+			for r := 0; r < outH; r++ {
+				for c := 0; c < outW; c++ {
+					acc := 0.0
+					for ch := 0; ch < inC; ch++ {
+						krow := kern.Row(ch)
+						for kr := 0; kr < l.Field; kr++ {
+							for kc := 0; kc < l.Field; kc++ {
+								acc += krow[kr*l.Field+kc] * cur[ch*inH*inW+(r+kr)*inW+(c+kc)]
+							}
+						}
+					}
+					if l.Bias != nil {
+						acc += l.Bias[f]
+					}
+					s[f*outH*outW+r*outW+c] = acc
+				}
+			}
+		}
+		sums[li] = s
+		o := make([]float64, len(s))
+		for j := range s {
+			o[j] = n.Act.Eval(s[j])
+		}
+		outs[li] = o
+		cur = o
+	}
+	out := 0.0
+	for i, w := range n.Output {
+		out += w * cur[i]
+	}
+	diff := out - y
+
+	// Output gradient and last-layer delta (w.r.t. sums).
+	tensor.Axpy(diff, cur, g.Output)
+	delta := make([]float64, len(cur))
+	for j := range delta {
+		delta[j] = diff * n.Output[j] * n.Act.Deriv(sums[L-1][j])
+	}
+
+	for li := L - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		inC, inH, inW := d[li][0], d[li][1], d[li][2]
+		outH, outW := inH-l.Field+1, inW-l.Field+1
+		prev := x
+		if li > 0 {
+			prev = outs[li-1]
+		}
+		// Tied kernel gradients: sum over positions.
+		for f := 0; f < l.Filters(); f++ {
+			gk := g.Kernels[li][f]
+			for r := 0; r < outH; r++ {
+				for c := 0; c < outW; c++ {
+					dl := delta[f*outH*outW+r*outW+c]
+					if dl == 0 {
+						continue
+					}
+					for ch := 0; ch < inC; ch++ {
+						gRow := gk.Row(ch)
+						for kr := 0; kr < l.Field; kr++ {
+							for kc := 0; kc < l.Field; kc++ {
+								gRow[kr*l.Field+kc] += dl * prev[ch*inH*inW+(r+kr)*inW+(c+kc)]
+							}
+						}
+					}
+					if g.Bias[li] != nil {
+						g.Bias[li][f] += dl
+					}
+				}
+			}
+		}
+		if li == 0 {
+			break
+		}
+		// Delta for the previous layer's outputs, then through ϕ'.
+		prevDelta := make([]float64, len(prev))
+		for f := 0; f < l.Filters(); f++ {
+			kern := l.Kernels[f]
+			for r := 0; r < outH; r++ {
+				for c := 0; c < outW; c++ {
+					dl := delta[f*outH*outW+r*outW+c]
+					if dl == 0 {
+						continue
+					}
+					for ch := 0; ch < inC; ch++ {
+						krow := kern.Row(ch)
+						for kr := 0; kr < l.Field; kr++ {
+							for kc := 0; kc < l.Field; kc++ {
+								prevDelta[ch*inH*inW+(r+kr)*inW+(c+kc)] += krow[kr*l.Field+kc] * dl
+							}
+						}
+					}
+				}
+			}
+		}
+		for j := range prevDelta {
+			prevDelta[j] *= n.Act.Deriv(sums[li-1][j])
+		}
+		delta = prevDelta
+	}
+	return diff * diff
+}
+
+// Train2D runs minibatch SGD on the 2-D conv net (mutated in place)
+// against a supervised sample and returns the final MSE. Weight sharing
+// is preserved exactly: kernels move by their tied gradients.
+func Train2D(n *Net2D, xs [][]float64, ys []float64, cfg TrainConfig) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("conv: bad dataset")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	r := rng.New(cfg.Seed + 0x2dc0ffee)
+	g := NewGrads2D(n)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			g.Zero()
+			for _, idx := range order[start:end] {
+				Backprop2D(n, xs[idx], ys[idx], g)
+			}
+			scale := cfg.LR / float64(end-start)
+			for li := range n.Layers {
+				for f := range n.Layers[li].Kernels {
+					tensor.Axpy(-scale, g.Kernels[li][f].Data, n.Layers[li].Kernels[f].Data)
+				}
+				if n.Layers[li].Bias != nil && g.Bias[li] != nil {
+					tensor.Axpy(-scale, g.Bias[li], n.Layers[li].Bias)
+				}
+			}
+			tensor.Axpy(-scale, g.Output, n.Output)
+		}
+	}
+	mse := 0.0
+	for i, x := range xs {
+		d := n.Forward(x) - ys[i]
+		mse += d * d
+	}
+	return mse / float64(len(xs))
+}

@@ -36,14 +36,29 @@ type Shape struct {
 	ActCap float64
 }
 
-// ShapeOf extracts the Shape of a network.
-func ShapeOf(n *nn.Network) Shape {
-	actCap := math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max()))
+// ShapeOf extracts the Shape of a dense network.
+func ShapeOf(n *nn.Network) Shape { return ShapeOfModel(n) }
+
+// ShapeOfModel extracts the Shape of any Model. Because Model.MaxWeight
+// runs over the layer's DISTINCT weights, a convolutional model yields
+// w_m^{(l)} over only its R(l) receptive-field values — Section VI's
+// less restrictive bounds fall out of the same Fep formulas with no
+// dense lowering: the certifier consumes this shape directly.
+func ShapeOfModel(m nn.Model) Shape {
+	act := m.Activation()
+	L := m.NumLayers()
+	widths := make([]int, L)
+	maxw := make([]float64, L+1)
+	for l := 1; l <= L; l++ {
+		widths[l-1] = m.Width(l)
+		maxw[l-1] = m.MaxWeight(l)
+	}
+	maxw[L] = m.MaxWeight(L + 1)
 	return Shape{
-		Widths: n.Widths(),
-		MaxW:   n.MaxWeights(),
-		K:      n.Act.Lipschitz(),
-		ActCap: actCap,
+		Widths: widths,
+		MaxW:   maxw,
+		K:      act.Lipschitz(),
+		ActCap: math.Max(math.Abs(act.Min()), math.Abs(act.Max())),
 	}
 }
 

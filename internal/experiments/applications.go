@@ -28,7 +28,7 @@ func init() {
 	Register(Experiment{ID: "TR", Title: "App. C: robustness vs ease of learning",
 		Tags: []string{"application", "training"}, Run: TradeoffRobustnessLearning})
 	Register(Experiment{ID: "CV", Title: "Section VI: convolutional receptive fields",
-		Tags: []string{"analysis"}, Run: ConvReceptiveField})
+		Tags: []string{"analysis", "conv"}, Run: ConvReceptiveField})
 	Register(Experiment{ID: "CX", Title: "Section I: combinatorial explosion vs Fep",
 		Tags: []string{"analysis"}, Run: CombinatorialVsFep})
 	Register(Experiment{ID: "OP", Title: "Section II-C / Cor. 1: over-provisioning",
@@ -251,6 +251,48 @@ func ConvReceptiveField() *Result {
 	}
 	res.Tables = append(res.Tables, ft)
 	res.note("the max over N_l x N_{l-1} i.i.d. weights dominates the max over R(l) shared values: less restrictive conv bounds, as Section VI argues")
+
+	// Measured tightness through the NATIVE conv engine: adversarial
+	// crashes injected directly into the conv model (no lowering on the
+	// evaluation path), validated bit-for-bit against the lowered
+	// oracle and against the receptive-field CrashFep.
+	lowered, err := conv.Lower(convNet)
+	if err != nil {
+		res.note("lowering failed: %v", err)
+		return res
+	}
+	engineInputs := metrics.RandomPoints(r.Split(), width, 40)
+	et := metrics.NewTable("native engine: adversarial crashes on the conv model vs the receptive-field bound",
+		"faults_per_layer", "measured_native", "crash_fep", "utilisation_%", "bit_identical_to_lowered")
+	for _, f := range []int{1, 2, 3} {
+		faults := make([]int, len(cs.Widths))
+		for i := range faults {
+			faults[i] = f
+		}
+		plan := fault.AdversarialNeuronPlan(convNet, faults)
+		nativeCP := fault.Compile(convNet, plan)
+		loweredCP := fault.Compile(lowered, plan)
+		measured := 0.0
+		identical := true
+		for _, x := range engineInputs {
+			ne := nativeCP.ErrorOn(fault.Crash{}, x)
+			if ne != loweredCP.ErrorOn(fault.Crash{}, x) {
+				identical = false
+			}
+			if ne > measured {
+				measured = ne
+			}
+		}
+		bound := core.CrashFep(cs, faults)
+		et.AddRow(fmtF(float64(f)), fmtF(measured), fmtF(bound), fmtF(100*measured/bound), fmtBool(identical))
+		if !identical {
+			res.note("VIOLATION: native conv evaluation diverged from the lowered oracle at f=%d", f)
+		}
+		if measured > bound*(1+1e-9) {
+			res.note("VIOLATION: native measured %v above receptive-field CrashFep %v at f=%d", measured, bound, f)
+		}
+	}
+	res.Tables = append(res.Tables, et)
 
 	// Trained comparison on a shift-invariant task.
 	trainedConv, err := conv.NewRandom(r.Split(), width, []int{3, 3}, []int{2, 2}, activation.NewSigmoid(1), 0.5, true)

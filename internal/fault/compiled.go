@@ -10,7 +10,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/parallel"
-	"repro/internal/tensor"
 )
 
 // NominalFree is implemented by injectors whose NeuronValue ignores its
@@ -43,10 +42,17 @@ func needsNominal(inj Injector) bool {
 	return !(ok && nf.NominalFree())
 }
 
-// CompiledPlan is a Plan indexed once for repeated evaluation: per-layer
-// fault lists, the first divergent layer (everything before it is shared
-// between the clean and damaged sweeps), and per-layer skip segments for
-// neurons whose received sums are overridden anyway.
+// CompiledPlan is a Plan indexed once for repeated evaluation against
+// any nn.Model — dense or convolutional: per-layer fault lists, the
+// first divergent layer (everything before it is shared between the
+// clean and damaged sweeps), and per-layer skip segments for neurons
+// whose received sums are overridden anyway. For conv models the plan's
+// neuron indices address flattened feature-map positions and its
+// synapse (to, from) pairs address the virtual dense connectivity the
+// lowering would materialise — shared kernel-value faults expand to
+// their tied instances via conv's KernelPlan — so evaluation is native:
+// no lowered matrix exists on any path, yet every result is
+// bit-identical to evaluating the lowered network.
 //
 // A CompiledPlan is immutable after Compile and safe for concurrent use
 // by multiple goroutines (evaluation scratch comes from an internal
@@ -54,7 +60,7 @@ func needsNominal(inj Injector) bool {
 // concurrent use. Reset re-indexes a new plan in place and must not race
 // with concurrent evaluations.
 type CompiledPlan struct {
-	net  *nn.Network
+	net  nn.Model
 	plan Plan
 
 	// neuronsAt[l] / synapsesAt[l] hold the faults acting on layer l
@@ -73,11 +79,11 @@ type CompiledPlan struct {
 	lastNominal int
 }
 
-// Compile indexes p against n for repeated evaluation. It panics if the
-// plan addresses layers outside the network (use Plan.Validate for full
+// Compile indexes p against m for repeated evaluation. It panics if the
+// plan addresses layers outside the model (use Plan.Validate for full
 // validation with errors).
-func Compile(n *nn.Network, p Plan) *CompiledPlan {
-	cp := &CompiledPlan{net: n}
+func Compile(m nn.Model, p Plan) *CompiledPlan {
+	cp := &CompiledPlan{net: m}
 	cp.Reset(p)
 	return cp
 }
@@ -90,12 +96,12 @@ func Compile(n *nn.Network, p Plan) *CompiledPlan {
 func (cp *CompiledPlan) Plan() Plan { return cp.plan }
 
 // Reset re-indexes cp for a new plan, reusing the index buffers — the
-// allocation-free way to sweep many plans over one network (the plan's
+// allocation-free way to sweep many plans over one model (the plan's
 // slices are read during Reset and retained only for Plan; evaluation
 // never touches them again). Not safe to call while other goroutines
 // evaluate cp.
 func (cp *CompiledPlan) Reset(p Plan) {
-	L := cp.net.Layers()
+	L := cp.net.NumLayers()
 	if cap(cp.neuronsAt) < L+2 {
 		cp.neuronsAt = make([][]NeuronFault, L+2)
 		cp.synapsesAt = make([][]SynapseFault, L+2)
@@ -151,37 +157,38 @@ func (cp *CompiledPlan) Reset(p Plan) {
 // planEval is the reusable scratch of one evaluation: per-layer buffers
 // for the damaged sweep and (when needed) the clean reference sweep.
 type planEval struct {
-	// sizedFor tags the network the buffers currently fit, skipping the
+	// sizedFor tags the model the buffers currently fit, skipping the
 	// per-layer size walk on the hot path.
-	sizedFor *nn.Network
+	sizedFor nn.Model
 	fault    [][]float64
 	clean    [][]float64
 }
 
-func (e *planEval) ensure(n *nn.Network) {
-	if e.sizedFor == n {
+func (e *planEval) ensure(m nn.Model) {
+	if e.sizedFor == m {
 		return
 	}
-	L := n.Layers()
+	L := m.NumLayers()
 	if cap(e.fault) < L {
 		e.fault = make([][]float64, L)
 		e.clean = make([][]float64, L)
 	}
 	e.fault = e.fault[:L]
 	e.clean = e.clean[:L]
-	for l, m := range n.Hidden {
-		if cap(e.fault[l]) < m.Rows {
-			e.fault[l] = make([]float64, m.Rows)
-			e.clean[l] = make([]float64, m.Rows)
+	for l := 1; l <= L; l++ {
+		w := m.Width(l)
+		if cap(e.fault[l-1]) < w {
+			e.fault[l-1] = make([]float64, w)
+			e.clean[l-1] = make([]float64, w)
 		}
-		e.fault[l] = e.fault[l][:m.Rows]
-		e.clean[l] = e.clean[l][:m.Rows]
+		e.fault[l-1] = e.fault[l-1][:w]
+		e.clean[l-1] = e.clean[l-1][:w]
 	}
-	e.sizedFor = n
+	e.sizedFor = m
 }
 
 // evalPool recycles evaluation scratch across plans, goroutines and
-// networks (buffers are grow-only).
+// models (buffers are grow-only).
 var evalPool = sync.Pool{New: func() any { return new(planEval) }}
 
 // Forward evaluates the damaged neural function Ffail on x. Identical in
@@ -198,7 +205,7 @@ func (cp *CompiledPlan) Forward(inj Injector, x []float64) float64 {
 
 // ErrorOn returns |Fneu(x) - Ffail(x)| with the clean and damaged sweeps
 // fused: layers before the first fault are computed once and shared, and
-// from there each weight row is read once for both sweeps.
+// from there each weight is read once for both sweeps.
 func (cp *CompiledPlan) ErrorOn(inj Injector, x []float64) float64 {
 	e := evalPool.Get().(*planEval)
 	f, c := cp.eval(e, inj, x, nil, true)
@@ -222,9 +229,10 @@ func (cp *CompiledPlan) ErrorOnTrace(inj Injector, tr *nn.Trace) float64 {
 // output even without a trace. Returns the damaged output and, when
 // available, the clean output.
 func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trace, needClean bool) (faulted, clean float64) {
-	n := cp.net
-	L := n.Layers()
-	e.ensure(n)
+	m := cp.net
+	L := m.NumLayers()
+	act := m.Activation()
+	e.ensure(m)
 
 	// How deep the clean sweep must run: to the end for the fused error,
 	// to the deepest neuron fault when the injector consumes nominal
@@ -254,39 +262,37 @@ func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trac
 		}
 	}
 	for ; l <= L; l++ {
-		m := n.Hidden[l-1]
-		b := biasOf(n, l)
 		sF := e.fault[l-1]
 		switch {
 		case l < cp.diverge:
 			// Shared prefix: one sweep serves both paths.
-			m.MulVecAddTo(sF, yF, b)
-			activation.Eval(n.Act, sF, sF)
+			m.LayerSums(l, sF, yF, nil)
+			activation.Eval(act, sF, sF)
 			yF, yC = sF, sF
 			continue
 		case tr == nil && l <= cleanUpTo && !sameSlice(yF, yC):
 			// Diverged and clean still needed: one fused sweep computes
 			// both sums.
 			sC := e.clean[l-1]
-			m.MulVec2AddTo(sF, yF, sC, yC, b)
-			activation.Eval(n.Act, sC, sC)
+			m.LayerSums2(l, sF, yF, sC, yC)
+			activation.Eval(act, sC, sC)
 			yC = sC
 		case tr == nil && l <= cleanUpTo:
 			// First divergent layer: received sums are still identical,
 			// so compute them once and branch the activations.
-			m.MulVecAddTo(sF, yF, b)
+			m.LayerSums(l, sF, yF, nil)
 			sC := e.clean[l-1]
 			copy(sC, sF)
-			activation.Eval(n.Act, sC, sC)
+			activation.Eval(act, sC, sC)
 			yC = sC
 		default:
-			mulVecAddSkip(m, sF, yF, b, cp.overridden[l])
+			m.LayerSums(l, sF, yF, cp.overridden[l])
 		}
 		for _, f := range cp.synapsesAt[l] {
-			transmitted := m.At(f.To, f.From) * yF[f.From]
+			transmitted := m.Weight(l, f.To, f.From) * yF[f.From]
 			sF[f.To] += inj.SynapseDelta(f, transmitted)
 		}
-		evalSkip(n.Act, sF, cp.overridden[l])
+		evalSkip(act, sF, cp.overridden[l])
 		if isCrash {
 			for _, f := range cp.neuronsAt[l] {
 				sF[f.Index] = 0
@@ -308,51 +314,23 @@ func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trac
 		yF = sF
 	}
 
-	faulted = tensor.Dot(n.Output, yF) + n.OutputBias
+	faulted = m.OutputSum(yF)
 	for _, f := range cp.synapsesAt[L+1] {
-		transmitted := n.Output[f.From] * yF[f.From]
+		transmitted := m.Weight(L+1, f.To, f.From) * yF[f.From]
 		faulted += inj.SynapseDelta(f, transmitted)
 	}
 	switch {
 	case tr != nil:
 		clean = tr.Output
 	case needClean:
-		clean = tensor.Dot(n.Output, yC) + n.OutputBias
+		clean = m.OutputSum(yC)
 	}
 	return faulted, clean
-}
-
-// biasOf returns the bias vector into layer l (1-based), or nil.
-func biasOf(n *nn.Network, l int) []float64 {
-	if n.Biases == nil {
-		return nil
-	}
-	return n.Biases[l-1]
 }
 
 // sameSlice reports whether a and b share the same backing view.
 func sameSlice(a, b []float64) bool {
 	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
-}
-
-// mulVecAddSkip is MulVecAddTo for a sweep whose skip-listed rows
-// (sorted, deduplicated) are about to be overridden by the injector:
-// their received sums are never observed, so neither the dot products
-// nor the activations (see evalSkip) are spent on them. Layers large
-// enough for the parallel matvec compute the doomed rows anyway — the
-// waste is negligible there and the row range stays contiguous for the
-// goroutine dispatch.
-func mulVecAddSkip(m *tensor.Matrix, y, x, b []float64, skip []int) {
-	if len(skip) == 0 || m.Rows*m.Cols >= 1<<15 {
-		m.MulVecAddTo(y, x, b)
-		return
-	}
-	lo := 0
-	for _, idx := range skip {
-		m.MulVecAddRange(y, x, b, lo, idx)
-		lo = idx + 1
-	}
-	m.MulVecAddRange(y, x, b, lo, m.Rows)
 }
 
 // evalSkip applies the activation in place to every entry of s except
@@ -378,8 +356,8 @@ func evalSkip(f activation.Func, s []float64, skip []int) {
 // parallel — the shared reference for sweeping many plans over a fixed
 // input set (Monte Carlo profiles, sign searches, exhaustive
 // configuration searches).
-func CleanTraces(n *nn.Network, inputs [][]float64) []*nn.Trace {
+func CleanTraces(m nn.Model, inputs [][]float64) []*nn.Trace {
 	out := make([]*nn.Trace, len(inputs))
-	parallel.For(len(inputs), func(i int) { out[i] = n.ForwardTrace(inputs[i]) })
+	parallel.For(len(inputs), func(i int) { out[i] = nn.TraceModel(m, inputs[i]) })
 	return out
 }

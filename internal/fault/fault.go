@@ -60,10 +60,12 @@ func (p Plan) PerLayerSynapses(L int) []int {
 	return out
 }
 
-// Validate checks a plan against a network: indices in range, no neuron
-// failed twice.
-func (p Plan) Validate(n *nn.Network) error {
-	L := n.Layers()
+// Validate checks a plan against a model (dense or convolutional):
+// indices in range, no neuron failed twice. For conv models the indices
+// address flattened feature-map positions and virtual dense synapses
+// (see CompiledPlan).
+func (p Plan) Validate(n nn.Model) error {
+	L := n.NumLayers()
 	seen := map[NeuronFault]bool{}
 	for _, f := range p.Neurons {
 		if f.Layer < 1 || f.Layer > L {
@@ -218,13 +220,13 @@ func (b RandomByzantine) SynapseDelta(_ SynapseFault, nominal float64) float64 {
 // nominal values (see Injector), so Forward also runs the fault-free
 // sweep as deep as the injector needs it. For repeated evaluation of one
 // plan, Compile once and reuse the CompiledPlan.
-func Forward(n *nn.Network, p Plan, inj Injector, x []float64) float64 {
+func Forward(n nn.Model, p Plan, inj Injector, x []float64) float64 {
 	return Compile(n, p).Forward(inj, x)
 }
 
 // ErrorOn returns |Fneu(x) - Ffail(x)| for one input. For repeated
 // evaluation, Compile the plan once and use CompiledPlan.ErrorOn (or
 // ErrorOnTrace over a fixed input set).
-func ErrorOn(n *nn.Network, p Plan, inj Injector, x []float64) float64 {
+func ErrorOn(n nn.Model, p Plan, inj Injector, x []float64) float64 {
 	return Compile(n, p).ErrorOn(inj, x)
 }

@@ -12,7 +12,7 @@ import (
 // evaluated in parallel on a plan compiled once. The injector must be
 // safe for concurrent use (Crash and Byzantine are; RandomByzantine is
 // not — use MaxErrorSeq).
-func MaxError(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+func MaxError(n nn.Model, p Plan, inj Injector, inputs [][]float64) float64 {
 	cp := Compile(n, p)
 	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
 		return cp.ErrorOn(inj, inputs[i])
@@ -20,7 +20,7 @@ func MaxError(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
 }
 
 // MaxErrorSeq is the sequential variant for stateful injectors.
-func MaxErrorSeq(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float64 {
+func MaxErrorSeq(n nn.Model, p Plan, inj Injector, inputs [][]float64) float64 {
 	cp := Compile(n, p)
 	worst := 0.0
 	for _, x := range inputs {
@@ -36,7 +36,7 @@ func MaxErrorSeq(n *nn.Network, p Plan, inj Injector, inputs [][]float64) float6
 // largest error over the inputs. It refuses plans with more than
 // maxSignBits faults to avoid accidental exponential blow-ups; use
 // MaxError with heuristic signs beyond that.
-func WorstSignError(n *nn.Network, p Plan, base Byzantine, inputs [][]float64) float64 {
+func WorstSignError(n nn.Model, p Plan, base Byzantine, inputs [][]float64) float64 {
 	const maxSignBits = 16
 	k := len(p.Neurons) + len(p.Synapses)
 	if k > maxSignBits {
@@ -166,12 +166,16 @@ type ExhaustiveResult struct {
 // on all inputs, and returns the worst case. Configurations are
 // distributed over a worker pool. It refuses searches above maxConfigs to
 // keep runtimes sane — that refusal is the paper's point.
-func ExhaustiveWorstCrash(n *nn.Network, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
-	L := n.Layers()
+func ExhaustiveWorstCrash(n nn.Model, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
+	L := n.NumLayers()
 	if len(perLayer) != L {
 		panic("fault: perLayer length must equal layer count")
 	}
-	total := CountConfigurations(n.Widths(), perLayer)
+	widths := make([]int, L)
+	for l := 1; l <= L; l++ {
+		widths[l-1] = n.Width(l)
+	}
+	total := CountConfigurations(widths, perLayer)
 	if total > maxConfigs {
 		return ExhaustiveResult{}, fmt.Errorf("fault: %d configurations exceed limit %d", total, maxConfigs)
 	}

@@ -137,7 +137,7 @@ func (g ClippedNoise) SynapseDelta(SynapseFault, float64) float64 { return g.dra
 // Deterministic and safe for concurrent use. Construct via the registry
 // ("bitflip", Params{Net, Bits, Bit}) or quant.BitFlipInjector.
 type BitFlip struct {
-	net    *nn.Network
+	net    nn.Model
 	bits   int
 	bit    int
 	actCap float64
@@ -145,9 +145,11 @@ type BitFlip struct {
 	steps []float64
 }
 
-// NewBitFlip builds the injector against n's weights. bits is the total
-// code width (>= 2); bit indexes the flipped bit in [0, bits-1].
-func NewBitFlip(n *nn.Network, bits, bit int) (BitFlip, error) {
+// NewBitFlip builds the injector against n's weights (any nn.Model:
+// for conv models the flipped weight is the shared kernel value of the
+// faulty synapse's virtual dense connection). bits is the total code
+// width (>= 2); bit indexes the flipped bit in [0, bits-1].
+func NewBitFlip(n nn.Model, bits, bit int) (BitFlip, error) {
 	if n == nil {
 		return BitFlip{}, fmt.Errorf("fault: bitflip requires a network (Params.Net)")
 	}
@@ -157,13 +159,14 @@ func NewBitFlip(n *nn.Network, bits, bit int) (BitFlip, error) {
 	if bit < 0 || bit >= bits {
 		return BitFlip{}, fmt.Errorf("fault: bit index %d outside [0, %d]", bit, bits-1)
 	}
-	L := n.Layers()
+	L := n.NumLayers()
 	levels := float64(int64(1)<<(bits-1)) - 1
 	steps := make([]float64, L+1)
 	for l := 1; l <= L+1; l++ {
 		steps[l-1] = n.MaxWeight(l) / levels
 	}
-	actCap := math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max()))
+	act := n.Activation()
+	actCap := math.Max(math.Abs(act.Min()), math.Abs(act.Max()))
 	return BitFlip{net: n, bits: bits, bit: bit, actCap: actCap, steps: steps}, nil
 }
 
@@ -194,12 +197,9 @@ func (b BitFlip) NeuronValue(_ NeuronFault, nominal float64) float64 {
 	return b.flip(nominal, b.actCap/levels)
 }
 
-// weightAt looks the faulty synapse's weight up in the network.
+// weightAt looks the faulty synapse's weight up in the model.
 func (b BitFlip) weightAt(f SynapseFault) float64 {
-	if f.Layer == b.net.Layers()+1 {
-		return b.net.Output[f.From]
-	}
-	return b.net.Hidden[f.Layer-1].At(f.To, f.From)
+	return b.net.Weight(f.Layer, f.To, f.From)
 }
 
 func (b BitFlip) SynapseDelta(f SynapseFault, transmitted float64) float64 {

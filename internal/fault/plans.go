@@ -10,12 +10,12 @@ import (
 
 // RandomNeuronPlan fails perLayer[l-1] uniformly chosen neurons in each
 // layer l.
-func RandomNeuronPlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
-	if len(perLayer) != n.Layers() {
+func RandomNeuronPlan(r *rng.Rand, n nn.Model, perLayer []int) Plan {
+	if len(perLayer) != n.NumLayers() {
 		panic("fault: perLayer length must equal the number of layers")
 	}
 	var p Plan
-	for l := 1; l <= n.Layers(); l++ {
+	for l := 1; l <= n.NumLayers(); l++ {
 		k := perLayer[l-1]
 		for _, idx := range r.Sample(n.Width(l), k) {
 			p.Neurons = append(p.Neurons, NeuronFault{Layer: l, Index: idx})
@@ -24,17 +24,33 @@ func RandomNeuronPlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
 	return p
 }
 
+// OutgoingScorer is an optional Model refinement: models with weight
+// structure (conv receptive fields) report the largest absolute weight
+// a neuron feeds forward through in O(R) instead of the generic scan
+// over the full virtual dense connectivity.
+type OutgoingScorer interface {
+	// OutgoingWeight returns max_j |Weight(l+1, j, idx)| for neuron idx
+	// of layer l (1..L; l = L scores against the output synapses).
+	OutgoingWeight(l, idx int) float64
+}
+
 // outgoingWeight scores neuron idx of layer l by the largest absolute
 // weight it feeds forward through — the paper's adversary targets the
-// neurons "with highest weights".
-func outgoingWeight(n *nn.Network, l, idx int) float64 {
-	if l == n.Layers() {
-		return math.Abs(n.Output[idx])
+// neurons "with highest weights". For conv models the weights are the
+// virtual dense connectivity's (shared kernel values inside the
+// receptive field, zeros outside); their OutgoingScorer fast path must
+// return exactly the generic scan's value, so plans agree with the
+// lowered network's.
+func outgoingWeight(n nn.Model, l, idx int) float64 {
+	if s, ok := n.(OutgoingScorer); ok {
+		return s.OutgoingWeight(l, idx)
 	}
-	next := n.Hidden[l] // weights into layer l+1
+	if l == n.NumLayers() {
+		return math.Abs(n.Weight(l+1, 0, idx))
+	}
 	best := 0.0
-	for j := 0; j < next.Rows; j++ {
-		if w := math.Abs(next.At(j, idx)); w > best {
+	for j := 0; j < n.Width(l+1); j++ {
+		if w := math.Abs(n.Weight(l+1, j, idx)); w > best {
 			best = w
 		}
 	}
@@ -44,12 +60,12 @@ func outgoingWeight(n *nn.Network, l, idx int) float64 {
 // AdversarialNeuronPlan fails, in each layer, the neurons with the
 // largest outgoing weights — the worst-case choice used in the tightness
 // arguments of Theorems 1 and 2.
-func AdversarialNeuronPlan(n *nn.Network, perLayer []int) Plan {
-	if len(perLayer) != n.Layers() {
+func AdversarialNeuronPlan(n nn.Model, perLayer []int) Plan {
+	if len(perLayer) != n.NumLayers() {
 		panic("fault: perLayer length must equal the number of layers")
 	}
 	var p Plan
-	for l := 1; l <= n.Layers(); l++ {
+	for l := 1; l <= n.NumLayers(); l++ {
 		k := perLayer[l-1]
 		if k == 0 {
 			continue
@@ -75,8 +91,8 @@ func AdversarialNeuronPlan(n *nn.Network, perLayer []int) Plan {
 // RandomSynapsePlan fails perLayer[l-1] uniformly chosen distinct
 // synapses into each layer l (perLayer has length L+1; the last entry
 // addresses the output synapses).
-func RandomSynapsePlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
-	L := n.Layers()
+func RandomSynapsePlan(r *rng.Rand, n nn.Model, perLayer []int) Plan {
+	L := n.NumLayers()
 	if len(perLayer) != L+1 {
 		panic("fault: synapse perLayer length must be L+1")
 	}
@@ -101,8 +117,8 @@ func RandomSynapsePlan(r *rng.Rand, n *nn.Network, perLayer []int) Plan {
 
 // AdversarialSynapsePlan fails the largest-magnitude synapses into each
 // layer.
-func AdversarialSynapsePlan(n *nn.Network, perLayer []int) Plan {
-	L := n.Layers()
+func AdversarialSynapsePlan(n nn.Model, perLayer []int) Plan {
+	L := n.NumLayers()
 	if len(perLayer) != L+1 {
 		panic("fault: synapse perLayer length must be L+1")
 	}
@@ -115,10 +131,7 @@ func AdversarialSynapsePlan(n *nn.Network, perLayer []int) Plan {
 		rows := n.Width(l)
 		cols := n.Width(l - 1)
 		weightAt := func(to, from int) float64 {
-			if l == L+1 {
-				return math.Abs(n.Output[from])
-			}
-			return math.Abs(n.Hidden[l-1].At(to, from))
+			return math.Abs(n.Weight(l, to, from))
 		}
 		type scored struct {
 			to, from int

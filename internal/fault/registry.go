@@ -32,9 +32,10 @@ type Params struct {
 	// Bit is the 0-based index of the flipped bit; Bits-1 is the sign
 	// bit, lower indices are magnitude bits (0 = least significant).
 	Bit int
-	// Net is the network whose weights the bit-flip model corrupts
+	// Net is the model whose weights the bit-flip model corrupts
 	// (required by models that inspect parameters, ignored elsewhere).
-	Net *nn.Network
+	// Any nn.Model — dense or convolutional — is accepted.
+	Net nn.Model
 	// R supplies randomness to stochastic models. Stochastic injectors
 	// hold this stream through compile-time state and draw from it on
 	// every evaluation without allocating; they are NOT safe for

@@ -26,7 +26,7 @@ type Profile struct {
 // distribution, each with random bounded Byzantine values (or crashes
 // when c == 0), measures the max error over the inputs for each, and
 // returns the empirical profile.
-func MonteCarlo(n *nn.Network, perLayer []int, c float64, sem core.CapSemantics, inputs [][]float64, trials int, r *rng.Rand) Profile {
+func MonteCarlo(n nn.Model, perLayer []int, c float64, sem core.CapSemantics, inputs [][]float64, trials int, r *rng.Rand) Profile {
 	// One clean sweep per input serves every sampled configuration; each
 	// trial then costs only damaged sweeps on a re-indexed compiled plan.
 	traces := CleanTraces(n, inputs)
@@ -99,8 +99,8 @@ func quantile(sorted []float64, q float64) float64 {
 // It complements grid sampling: the tightness demonstrations need inputs
 // near the equality cases of the proofs, which climbing localises far
 // more cheaply than a dense grid.
-func WorstInput(n *nn.Network, p Plan, inj Injector, r *rng.Rand, restarts, steps int) ([]float64, float64) {
-	d := n.InputDim
+func WorstInput(n nn.Model, p Plan, inj Injector, r *rng.Rand, restarts, steps int) ([]float64, float64) {
+	d := n.Width(0)
 	cp := Compile(n, p)
 	// Sampling phase: collect starting points, keep the `restarts` best.
 	pool := make([]inputCand, 0, 16*restarts)

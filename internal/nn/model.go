@@ -1,0 +1,166 @@
+// The Model interface abstracts the paper's computation model away from
+// one concrete wiring (Lynch's abstraction argument): any feed-forward
+// ϕ-network with a linear output node — dense nn.Network, the 1-D and
+// 2-D convolutional nets of internal/conv — exposes its per-layer
+// geometry, its distinct-weight maxima (receptive-field values for conv
+// layers, the source of Section VI's less restrictive bounds), and
+// layer-level forward kernels. Every downstream consumer (the fault
+// engine, the bounds, the store, the query service) operates on Model,
+// so convolutional workloads run at engine speed with no dense
+// lowering on any hot path.
+package nn
+
+import (
+	"repro/internal/activation"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Model is a feed-forward network with L hidden layers and a linear
+// output node, exposed at the granularity the evaluation engine and the
+// bounds need. Implementations must keep LayerSums/LayerSums2/OutputSum
+// allocation-free and bit-identical to the equivalent dense network's
+// kernels (zeros outside a conv layer's receptive field contribute
+// exact zeros, so sparse evaluation can and must reproduce the dense
+// accumulation order — see tensor.ConvAcc).
+type Model interface {
+	// NumLayers returns L, the number of hidden layers.
+	NumLayers() int
+	// Width returns N_l for 1 <= l <= L; l = 0 returns the input
+	// dimension and l = L+1 returns 1 (the output node).
+	Width(l int) int
+	// MaxWeight returns w_m^{(l)} for 1 <= l <= L+1: the maximum
+	// absolute value over the layer's DISTINCT weights — all N_l·N_{l-1}
+	// entries for a dense layer, only the R(l) shared kernel values for
+	// a convolutional one (Section VI). Biases are excluded (they are
+	// weights to constant neurons, which never fail).
+	MaxWeight(l int) float64
+	// Activation returns the shared squashing function ϕ.
+	Activation() activation.Func
+	// LayerSums computes the pre-activation sums s^{(l)} of layer l
+	// (1 <= l <= L) into dst (length Width(l)) from the previous
+	// layer's outputs y (length Width(l-1)), including biases. Rows
+	// listed in skip (sorted ascending, deduplicated) may be left
+	// uncomputed — the caller overrides them anyway.
+	LayerSums(l int, dst, y []float64, skip []int)
+	// LayerSums2 computes dst1 from y1 and dst2 from y2 in one fused
+	// sweep over the layer's weights, bit-identical to two LayerSums
+	// calls (the clean+faulted kernel).
+	LayerSums2(l int, dst1, y1, dst2, y2 []float64)
+	// Weight returns the synapse weight into neuron `to` of layer l
+	// (1 <= l <= L+1; the output node ignores `to`) from neuron `from`
+	// of layer l-1 — 0 outside a conv layer's receptive field.
+	Weight(l, to, from int) float64
+	// OutputSum evaluates the linear output node on the last hidden
+	// layer's outputs.
+	OutputSum(y []float64) float64
+	// Validate checks internal consistency.
+	Validate() error
+}
+
+// Network implements Model; the remaining methods live in network.go.
+
+// NumLayers returns L (Model naming; Layers is the historical name).
+func (n *Network) NumLayers() int { return len(n.Hidden) }
+
+// Activation returns ϕ.
+func (n *Network) Activation() activation.Func { return n.Act }
+
+// LayerSums computes s^{(l)} = W^{(l)} y + b^{(l)} into dst. Skip-listed
+// rows are omitted when the layer is small enough for the segmented
+// serial kernel; layers large enough for the parallel matvec compute
+// the doomed rows anyway — the waste is negligible there and the row
+// range stays contiguous for the goroutine dispatch.
+func (n *Network) LayerSums(l int, dst, y []float64, skip []int) {
+	m := n.Hidden[l-1]
+	b := n.bias(l - 1)
+	if len(skip) == 0 || m.Rows*m.Cols >= 1<<15 {
+		m.MulVecAddTo(dst, y, b)
+		return
+	}
+	lo := 0
+	for _, idx := range skip {
+		m.MulVecAddRange(dst, y, b, lo, idx)
+		lo = idx + 1
+	}
+	m.MulVecAddRange(dst, y, b, lo, m.Rows)
+}
+
+// LayerSums2 is the fused two-input sweep (clean+faulted evaluation).
+func (n *Network) LayerSums2(l int, dst1, y1, dst2, y2 []float64) {
+	n.Hidden[l-1].MulVec2AddTo(dst1, y1, dst2, y2, n.bias(l-1))
+}
+
+// Weight returns w^{(l)}_{to,from}; layer L+1 addresses the output
+// synapses (to is ignored — the output node is the only receiver).
+func (n *Network) Weight(l, to, from int) float64 {
+	if l == len(n.Hidden)+1 {
+		return n.Output[from]
+	}
+	return n.Hidden[l-1].At(to, from)
+}
+
+// OutputSum evaluates the linear output node.
+func (n *Network) OutputSum(y []float64) float64 {
+	return tensor.Dot(n.Output, y) + n.OutputBias
+}
+
+// ForwardModel evaluates m on x using sc's buffers: zero steady-state
+// allocations, bit-identical to the equivalent dense network's
+// ForwardInto. This is the generic engine entry — conv nets expose it
+// as their own ForwardInto.
+func ForwardModel(m Model, sc *Scratch, x []float64) float64 {
+	sc.ensure(m)
+	y := x
+	for l := 1; l <= m.NumLayers(); l++ {
+		s := sc.outs[l-1]
+		m.LayerSums(l, s, y, nil)
+		activation.Eval(m.Activation(), s, s)
+		y = s
+	}
+	return m.OutputSum(y)
+}
+
+// TraceModel evaluates m on x and returns a Trace that owns its
+// buffers (the persistent-trace form CleanTraces builds).
+func TraceModel(m Model, x []float64) *Trace {
+	if n, ok := m.(*Network); ok {
+		return n.ForwardTrace(x)
+	}
+	L := m.NumLayers()
+	tr := &Trace{
+		Input:   tensor.Clone(x),
+		Sums:    make([][]float64, L),
+		Outputs: make([][]float64, L),
+	}
+	y := x
+	for l := 1; l <= L; l++ {
+		s := make([]float64, m.Width(l))
+		m.LayerSums(l, s, y, nil)
+		tr.Sums[l-1] = s
+		out := make([]float64, len(s))
+		activation.Eval(m.Activation(), out, s)
+		tr.Outputs[l-1] = out
+		y = out
+	}
+	tr.Output = m.OutputSum(y)
+	return tr
+}
+
+// ForwardBatchModel evaluates m on many inputs in parallel. Dense
+// networks take their GEMM-accelerated batch path; other models run
+// per-input forwards on pooled scratch.
+func ForwardBatchModel(m Model, xs [][]float64) []float64 {
+	if n, ok := m.(*Network); ok {
+		return n.ForwardBatch(xs)
+	}
+	out := make([]float64, len(xs))
+	parallel.ForChunked(len(xs), 1, func(lo, hi int) {
+		sc := GetScratch(m)
+		for i := lo; i < hi; i++ {
+			out[i] = ForwardModel(m, sc, xs[i])
+		}
+		PutScratch(sc)
+	})
+	return out
+}

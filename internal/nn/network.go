@@ -315,6 +315,21 @@ func newShell(cfg Config) *Network {
 	return n
 }
 
+// StrictUnmarshal decodes JSON rejecting unknown fields and trailing
+// garbage — the shared strict codec helper behind every model document
+// (nn.Network, the conv nets, and the service's request bodies).
+func StrictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
 // jsonNetwork is the serialised form.
 type jsonNetwork struct {
 	InputDim   int           `json:"input_dim"`
@@ -351,9 +366,7 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 // otherwise silently zero the intended parameter.
 func (n *Network) UnmarshalJSON(data []byte) error {
 	var j jsonNetwork
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&j); err != nil {
+	if err := StrictUnmarshal(data, &j); err != nil {
 		return err
 	}
 	act, err := activation.FromName(j.Activation)

@@ -23,10 +23,11 @@ type Scratch struct {
 	tr   Trace
 }
 
-// NewScratch returns a Scratch pre-sized for n.
-func NewScratch(n *Network) *Scratch {
+// NewScratch returns a Scratch pre-sized for m (any Model: dense or
+// convolutional).
+func NewScratch(m Model) *Scratch {
 	sc := &Scratch{}
-	sc.ensure(n)
+	sc.ensure(m)
 	return sc
 }
 
@@ -39,20 +40,21 @@ func grow(buf []float64, want int) []float64 {
 	return buf[:want]
 }
 
-// ensure sizes the buffers for n (grow-only; cheap when already sized).
-func (sc *Scratch) ensure(n *Network) {
-	L := n.Layers()
+// ensure sizes the buffers for m (grow-only; cheap when already sized).
+func (sc *Scratch) ensure(m Model) {
+	L := m.NumLayers()
 	if cap(sc.outs) < L {
 		sc.outs = make([][]float64, L)
 		sc.sums = make([][]float64, L)
 	}
 	sc.outs = sc.outs[:L]
 	sc.sums = sc.sums[:L]
-	for l, m := range n.Hidden {
-		sc.outs[l] = grow(sc.outs[l], m.Rows)
-		sc.sums[l] = grow(sc.sums[l], m.Rows)
+	for l := 1; l <= L; l++ {
+		w := m.Width(l)
+		sc.outs[l-1] = grow(sc.outs[l-1], w)
+		sc.sums[l-1] = grow(sc.sums[l-1], w)
 	}
-	sc.in = grow(sc.in, n.InputDim)
+	sc.in = grow(sc.in, m.Width(0))
 }
 
 // bias returns the bias vector of layer l+1 (0-based index into Hidden),
@@ -106,11 +108,11 @@ func (n *Network) ForwardTraceInto(sc *Scratch, x []float64) *Trace {
 // pooled Scratch adapts to whichever network uses it next.
 var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
 
-// GetScratch borrows a pooled Scratch sized for n; return it with
+// GetScratch borrows a pooled Scratch sized for m; return it with
 // PutScratch when done.
-func GetScratch(n *Network) *Scratch {
+func GetScratch(m Model) *Scratch {
 	sc := scratchPool.Get().(*Scratch)
-	sc.ensure(n)
+	sc.ensure(m)
 	return sc
 }
 

@@ -167,7 +167,7 @@ func BenchmarkMonteCarloSharded(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.shardedMonteCarlo(context.Background(), cn.net, faults, 0, traces, 256, 9); err != nil {
+		if _, err := s.shardedMonteCarlo(context.Background(), cn.model, faults, 0, traces, 256, 9); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,6 +185,6 @@ func BenchmarkMonteCarloSequential(b *testing.B) {
 	faults := []int{1, 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fault.MonteCarlo(cn.net, faults, 0, core.DeviationCap, inputs, 256, rng.New(9))
+		fault.MonteCarlo(cn.model, faults, 0, core.DeviationCap, inputs, 256, rng.New(9))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -14,14 +15,16 @@ import (
 	"repro/internal/store"
 )
 
-// cachedNet is the per-network serving state: the immutable network,
-// its shape, pooled certifier scratch, compiled adversarial fault
-// plans, and the clean traces of the standard evaluation inputs. All of
-// it is computed at most once per network and shared by every request
-// — steady-state queries hit only caches.
+// cachedNet is the per-model serving state: the immutable model (dense
+// or convolutional — each stored artifact gets its own entry keyed by
+// content address, so architectures never collide), its shape, pooled
+// certifier scratch, compiled adversarial fault plans, and the clean
+// traces of the standard evaluation inputs. All of it is computed at
+// most once per model and shared by every request — steady-state
+// queries hit only caches.
 type cachedNet struct {
-	id  string // store ID; "" for inline (unstored) networks
-	net *nn.Network
+	id    string // store ID; "" for inline (unstored) models
+	model nn.Model
 
 	shape core.Shape
 	// certs pools bounds scratch: Certifiers are not concurrent-safe,
@@ -40,14 +43,17 @@ type cachedNet struct {
 	plans   map[string]*fault.CompiledPlan
 }
 
-func newCachedNet(id string, net *nn.Network) (*cachedNet, error) {
-	shape := core.ShapeOf(net)
+func newCachedNet(id string, m nn.Model) (*cachedNet, error) {
+	// ShapeOfModel runs w_m over the model's distinct weights: conv
+	// models get their Section VI receptive-field bounds with no dense
+	// lowering anywhere in the service.
+	shape := core.ShapeOfModel(m)
 	if _, err := core.NewCertifier(shape); err != nil {
 		return nil, err
 	}
 	cn := &cachedNet{
 		id:    id,
-		net:   net,
+		model: m,
 		shape: shape,
 		plans: map[string]*fault.CompiledPlan{},
 	}
@@ -79,13 +85,13 @@ func (cn *cachedNet) putBounds(b *boundsScratch) { cn.certs.Put(b) }
 // and experiment conventions).
 func (cn *cachedNet) standardInputs() ([][]float64, []*nn.Trace) {
 	cn.inputsOnce.Do(func() {
-		d := cn.net.InputDim
+		d := cn.model.Width(0)
 		if d <= 2 {
 			cn.inputs = metrics.Grid(d, 41)
 		} else {
 			cn.inputs = metrics.RandomPoints(rng.New(12345), d, 500)
 		}
-		cn.traces = fault.CleanTraces(cn.net, cn.inputs)
+		cn.traces = fault.CleanTraces(cn.model, cn.inputs)
 	})
 	return cn.inputs, cn.traces
 }
@@ -105,7 +111,7 @@ func (cn *cachedNet) adversarialPlan(faults []int) *fault.CompiledPlan {
 	if cp = cn.plans[key]; cp != nil {
 		return cp
 	}
-	cp = fault.Compile(cn.net, fault.AdversarialNeuronPlan(cn.net, faults))
+	cp = fault.Compile(cn.model, fault.AdversarialNeuronPlan(cn.model, faults))
 	cn.plans[key] = cp
 	return cp
 }
@@ -128,8 +134,10 @@ func faultsKey(faults []int) string {
 	return b.String()
 }
 
-// network resolves a request's network reference: a store ID (cached
-// across requests) or an inline network payload (served uncached).
+// network resolves a request's model reference: a store ID (cached
+// across requests) or an inline model payload (served uncached). Both
+// accept any architecture: untagged dense documents and "arch"-tagged
+// conv1d/conv2d documents.
 func (s *Server) network(ref netRef) (*cachedNet, error) {
 	switch {
 	case ref.NetworkID != "" && len(ref.Network) > 0:
@@ -137,11 +145,11 @@ func (s *Server) network(ref netRef) (*cachedNet, error) {
 	case ref.NetworkID != "":
 		return s.storedNetwork(ref.NetworkID)
 	case len(ref.Network) > 0:
-		var net nn.Network
-		if err := strictUnmarshal(ref.Network, &net); err != nil {
+		m, err := conv.ParseModel(ref.Network)
+		if err != nil {
 			return nil, badRequest(fmt.Sprintf("inline network: %v", err))
 		}
-		cn, err := newCachedNet("", &net)
+		cn, err := newCachedNet("", m)
 		if err != nil {
 			return nil, badRequest(err.Error())
 		}
@@ -151,8 +159,8 @@ func (s *Server) network(ref netRef) (*cachedNet, error) {
 	}
 }
 
-// storedNetwork returns the cached serving state for a stored network,
-// loading and indexing it on first use.
+// storedNetwork returns the cached serving state for a stored model
+// (dense or conv), loading and indexing it on first use.
 func (s *Server) storedNetwork(ref string) (*cachedNet, error) {
 	if s.st == nil {
 		return nil, &httpError{status: 503, msg: "no artifact store configured"}
@@ -167,7 +175,7 @@ func (s *Server) storedNetwork(ref string) (*cachedNet, error) {
 	if cn != nil {
 		return cn, nil
 	}
-	net, entry, err := s.st.Network(entry.ID)
+	m, entry, err := s.st.Model(entry.ID)
 	if err != nil {
 		return nil, &httpError{status: 404, msg: err.Error()}
 	}
@@ -176,7 +184,7 @@ func (s *Server) storedNetwork(ref string) (*cachedNet, error) {
 	if cn = s.nets[entry.ID]; cn != nil {
 		return cn, nil
 	}
-	cn, err = newCachedNet(entry.ID, net)
+	cn, err = newCachedNet(entry.ID, m)
 	if err != nil {
 		return nil, &httpError{status: 422, msg: fmt.Sprintf("stored network %s: %v", store.ShortID(entry.ID), err)}
 	}

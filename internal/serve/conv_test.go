@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/conv"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+func testConv2D(t *testing.T) *conv.Net2D {
+	t.Helper()
+	n, err := conv.NewRandom2D(rng.New(7), 6, 6, []int{3}, []int{2}, activation.NewSigmoid(1), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestConvEndToEnd is the acceptance round trip of the model layer:
+// upload a 2-D conv model, list it, evaluate it, certify it, inject
+// every kind of query against it — all five /v1 endpoints accept the
+// stored conv model and answer from the native engine.
+func TestConvEndToEnd(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	net := testConv2D(t)
+	doc, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload.
+	var up struct {
+		ID     string `json:"id"`
+		Arch   string `json:"arch"`
+		Layers int    `json:"layers"`
+		Widths []int  `json:"widths"`
+	}
+	if code := do(t, s, "POST", "/v1/networks", string(doc), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+	if up.Arch != conv.Arch2D || up.Layers != 1 || len(up.Widths) != 1 || up.Widths[0] != 32 {
+		t.Fatalf("upload response %+v", up)
+	}
+
+	// List includes it, architecture-tagged.
+	var list struct {
+		Networks []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+			Arch string `json:"arch"`
+		} `json:"networks"`
+	}
+	if code := do(t, s, "GET", "/v1/networks", nil, &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	found := false
+	for _, e := range list.Networks {
+		if e.ID == up.ID {
+			found = true
+			if e.Kind != store.KindConv || e.Arch != conv.Arch2D {
+				t.Fatalf("listed as kind=%q arch=%q", e.Kind, e.Arch)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("uploaded conv model not listed")
+	}
+
+	// Eval: outputs bit-identical to the local native forward pass.
+	x := make([]float64, 36)
+	rng.New(8).Floats(x, 0, 1)
+	var ev struct {
+		Outputs []float64 `json:"outputs"`
+	}
+	if code := do(t, s, "POST", "/v1/eval",
+		map[string]any{"network_id": up.ID, "inputs": [][]float64{x}}, &ev); code != http.StatusOK {
+		t.Fatalf("eval status %d", code)
+	}
+	want := nn.ForwardModel(net, nn.NewScratch(net), x)
+	if len(ev.Outputs) != 1 || ev.Outputs[0] != want {
+		t.Fatalf("eval %v, want [%v]", ev.Outputs, want)
+	}
+
+	// Bounds: the shape is the Section VI receptive-field shape — w_m
+	// over the R(l) kernel values, bit-equal to conv.Shape2D.
+	var bd struct {
+		Arch       string    `json:"arch"`
+		MaxWeights []float64 `json:"max_weights"`
+		Fep        float64   `json:"fep"`
+	}
+	if code := do(t, s, "POST", "/v1/bounds",
+		map[string]any{"network_id": up.ID, "faults": 1, "c": 1.0}, &bd); code != http.StatusOK {
+		t.Fatalf("bounds status %d", code)
+	}
+	cs := conv.Shape2D(net)
+	if bd.Arch != conv.Arch2D {
+		t.Fatalf("bounds arch %q", bd.Arch)
+	}
+	for i := range cs.MaxW {
+		if bd.MaxWeights[i] != cs.MaxW[i] {
+			t.Fatalf("bounds MaxW[%d] = %v, want receptive-field %v", i, bd.MaxWeights[i], cs.MaxW[i])
+		}
+	}
+	if bd.Fep <= 0 {
+		t.Fatalf("fep %v", bd.Fep)
+	}
+
+	// Inject: every registered model against the native conv engine.
+	for _, model := range []string{"crash", "byzantine", "stuck", "intermittent", "noise", "signflip", "bitflip", "byzantine-random"} {
+		var inj struct {
+			Measured float64 `json:"measured"`
+			Bound    float64 `json:"bound"`
+		}
+		if code := do(t, s, "POST", "/v1/inject",
+			map[string]any{"network_id": up.ID, "faults": 1, "model": model}, &inj); code != http.StatusOK {
+			t.Fatalf("inject %s status %d", model, code)
+		}
+		if inj.Measured > inj.Bound*(1+1e-9) {
+			t.Fatalf("inject %s: measured %v above bound %v", model, inj.Measured, inj.Bound)
+		}
+	}
+
+	// Monte Carlo.
+	var mc struct {
+		Trials int     `json:"trials"`
+		Max    float64 `json:"max"`
+		Bound  float64 `json:"bound"`
+	}
+	if code := do(t, s, "POST", "/v1/montecarlo",
+		map[string]any{"network_id": up.ID, "faults": 1, "trials": 64, "seed": 3}, &mc); code != http.StatusOK {
+		t.Fatalf("montecarlo status %d", code)
+	}
+	if mc.Trials != 64 || mc.Max > mc.Bound*(1+1e-9) {
+		t.Fatalf("montecarlo %+v", mc)
+	}
+}
+
+// TestConvInlineNetwork serves arch-tagged inline documents without a
+// store round trip.
+func TestConvInlineNetwork(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	net := testConv2D(t)
+	doc, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bd struct {
+		Arch   string `json:"arch"`
+		Widths []int  `json:"widths"`
+	}
+	code := do(t, s, "POST", "/v1/bounds",
+		map[string]any{"network": json.RawMessage(doc), "faults": 2}, &bd)
+	if code != http.StatusOK {
+		t.Fatalf("inline conv bounds status %d", code)
+	}
+	if bd.Arch != conv.Arch2D || bd.Widths[0] != 32 {
+		t.Fatalf("inline conv bounds %+v", bd)
+	}
+}
+
+// TestQuantizeEndpoint pins /v1/quantize: the recipe persists through
+// the store helpers and reconstructs deterministically.
+func TestQuantizeEndpoint(t *testing.T) {
+	s, _, id := newTestServer(t)
+	var q struct {
+		ID        string  `json:"id"`
+		NetworkID string  `json:"network_id"`
+		Bound     float64 `json:"bound"`
+		Memory    int     `json:"memory_bits"`
+		Full      int     `json:"full_precision_bits"`
+	}
+	if code := do(t, s, "POST", "/v1/quantize",
+		map[string]any{"network_id": id, "bits": 6}, &q); code != http.StatusCreated {
+		t.Fatalf("quantize status %d", code)
+	}
+	if q.NetworkID != id || q.Bound <= 0 || q.Memory <= 0 || q.Memory >= q.Full {
+		t.Fatalf("quantize response %+v", q)
+	}
+	// The recipe is a stored artifact reconstructible by the store
+	// helpers alone.
+	loaded, entry, err := s.st.Quantized(q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Kind != store.KindQuantized || loaded.Bound() != q.Bound {
+		t.Fatalf("recipe kind %q bound %v, want %v", entry.Kind, loaded.Bound(), q.Bound)
+	}
+	// Same recipe, same content address: re-quantising is idempotent.
+	var q2 struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, s, "POST", "/v1/quantize",
+		map[string]any{"network_id": id, "bits": 6}, &q2); code != http.StatusCreated {
+		t.Fatalf("repeat quantize status %d", code)
+	}
+	if q2.ID != q.ID {
+		t.Fatalf("repeat quantize gave %s, want %s", q2.ID, q.ID)
+	}
+}
+
+// TestQuantizeRejections pins the endpoint's error paths.
+func TestQuantizeRejections(t *testing.T) {
+	s, _, denseID := newTestServer(t)
+	net := testConv2D(t)
+	doc, _ := json.Marshal(net)
+	var up struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, s, "POST", "/v1/networks", string(doc), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+	for _, tc := range []struct {
+		name string
+		body any
+		code int
+	}{
+		{"missing id", map[string]any{"bits": 8}, http.StatusBadRequest},
+		{"unknown id", map[string]any{"network_id": "feedfeed", "bits": 8}, http.StatusNotFound},
+		{"conv artifact", map[string]any{"network_id": up.ID, "bits": 8}, 422},
+		{"bad bits", map[string]any{"network_id": denseID, "bits": 99}, http.StatusBadRequest},
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := do(t, s, "POST", "/v1/quantize", tc.body, &e); code != tc.code {
+			t.Fatalf("%s: status %d (%s), want %d", tc.name, code, e.Error, tc.code)
+		}
+		if e.Error == "" {
+			t.Fatalf("%s: missing error envelope", tc.name)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,10 +8,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/store"
 )
@@ -65,15 +66,7 @@ func decode(r *http.Request, v any) error {
 
 // strictUnmarshal rejects unknown fields and trailing garbage.
 func strictUnmarshal(data []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return err
-	}
-	if dec.More() {
-		return fmt.Errorf("trailing data after JSON body")
-	}
-	return nil
+	return nn.StrictUnmarshal(data, v)
 }
 
 // netRef selects the network a query runs against: a store ID (cached
@@ -143,7 +136,7 @@ func (f *faultSpec) resolve(widths []int) ([]int, error) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stored := -1
 	if s.st != nil {
-		stored = len(s.st.List(store.KindNetwork))
+		stored = len(s.st.Models())
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
@@ -159,6 +152,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type networkInfo struct {
 	ID      string            `json:"id"`
 	ShortID string            `json:"short_id"`
+	Kind    string            `json:"kind"`
+	Arch    string            `json:"arch"`
 	Created time.Time         `json:"created"`
 	Bytes   int               `json:"bytes"`
 	Meta    map[string]string `json:"meta,omitempty"`
@@ -169,11 +164,16 @@ func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no artifact store configured")
 		return
 	}
-	entries := s.st.List(store.KindNetwork)
+	entries := s.st.Models()
 	infos := make([]networkInfo, 0, len(entries))
 	for _, e := range entries {
+		arch := e.Meta["arch"]
+		if arch == "" {
+			arch = "dense"
+		}
 		infos = append(infos, networkInfo{
-			ID: e.ID, ShortID: store.ShortID(e.ID), Created: e.Created, Bytes: e.Bytes, Meta: e.Meta,
+			ID: e.ID, ShortID: store.ShortID(e.ID), Kind: e.Kind, Arch: arch,
+			Created: e.Created, Bytes: e.Bytes, Meta: e.Meta,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"networks": infos})
@@ -191,21 +191,25 @@ func (s *Server) handleUploadNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
-	var net nn.Network
-	if err := strictUnmarshal(data, &net); err != nil {
+	// Any model document is accepted: untagged dense networks and
+	// "arch"-tagged conv1d/conv2d nets, stored under their own kinds.
+	m, err := conv.ParseModel(data)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("network document: %v", err))
 		return
 	}
-	entry, err := s.st.PutNetwork(&net, map[string]string{"source": "upload"})
+	entry, err := s.st.PutModel(m, map[string]string{"source": "upload"})
 	if err != nil {
 		fail(w, err)
 		return
 	}
+	shape := core.ShapeOfModel(m)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       entry.ID,
 		"short_id": store.ShortID(entry.ID),
-		"layers":   net.Layers(),
-		"widths":   net.Widths(),
+		"arch":     conv.ArchOf(m),
+		"layers":   m.NumLayers(),
+		"widths":   shape.Widths,
 	})
 }
 
@@ -232,12 +236,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, x := range req.Inputs {
-		if len(x) != cn.net.InputDim {
-			fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.net.InputDim)))
+		if len(x) != cn.model.Width(0) {
+			fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0))))
 			return
 		}
 	}
-	outputs := cn.net.ForwardBatch(req.Inputs)
+	outputs := nn.ForwardBatchModel(cn.model, req.Inputs)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"network_id": cn.id,
 		"count":      len(outputs),
@@ -257,6 +261,7 @@ type boundsRequest struct {
 
 type boundsResponse struct {
 	NetworkID  string    `json:"network_id,omitempty"`
+	Arch       string    `json:"arch"`
 	Widths     []int     `json:"widths"`
 	MaxWeights []float64 `json:"max_weights"`
 	K          float64   `json:"k"`
@@ -300,6 +305,7 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 	b := cn.getBounds()
 	resp := boundsResponse{
 		NetworkID:  cn.id,
+		Arch:       conv.ArchOf(cn.model),
 		Widths:     cn.shape.Widths,
 		MaxWeights: cn.shape.MaxW,
 		K:          cn.shape.K,
@@ -374,7 +380,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 		Prob:  orDefault(req.Prob, 0.5),
 		Bits:  orDefaultInt(req.Bits, 8),
 		Bit:   orDefaultInt(req.Bit, 7),
-		Net:   cn.net,
+		Net:   cn.model,
 		R:     rng.New(seed ^ 0xfa0175),
 	}
 	inj, err := model.New(params)
@@ -387,7 +393,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	if adversarial {
 		cp = cn.adversarialPlan(faults)
 	} else {
-		cp = fault.Compile(cn.net, fault.RandomNeuronPlan(rng.New(seed), cn.net, faults))
+		cp = fault.Compile(cn.model, fault.RandomNeuronPlan(rng.New(seed), cn.model, faults))
 	}
 	inputs, traces := cn.standardInputs()
 	var measured float64
@@ -441,6 +447,80 @@ func orDefaultInt(p *int, def int) int {
 		return *p
 	}
 	return def
+}
+
+// ---- POST /v1/quantize ----
+
+type quantizeRequest struct {
+	NetworkID    string `json:"network_id"`
+	Bits         int    `json:"bits,omitempty"`
+	ActBits      int    `json:"act_bits,omitempty"`
+	PerLayerBits []int  `json:"per_layer_bits,omitempty"`
+}
+
+// handleQuantize builds a fixed-point implementation of a stored dense
+// network and persists the {network_id, options} recipe as a content-
+// addressed "quantized" artifact — quantisation is deterministic, so
+// the recipe reconstructs the quantised weights and the Theorem 5
+// certificate exactly without duplicating the parameter payload.
+func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no artifact store configured")
+		return
+	}
+	var req quantizeRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if req.NetworkID == "" {
+		fail(w, badRequest("missing network_id (quantize persists a recipe, so the network must be stored)"))
+		return
+	}
+	entry, err := s.st.Resolve(req.NetworkID)
+	if err != nil {
+		fail(w, &httpError{status: 404, msg: err.Error()})
+		return
+	}
+	if entry.Kind != store.KindNetwork {
+		fail(w, &httpError{status: 422, msg: fmt.Sprintf(
+			"artifact %s is a %q: quantisation certificates (Theorem 5) are defined for dense networks",
+			store.ShortID(entry.ID), entry.Kind)})
+		return
+	}
+	opts := quant.Options{WeightBits: req.Bits, ActBits: req.ActBits, PerLayerBits: req.PerLayerBits}
+	if opts.WeightBits == 0 && opts.PerLayerBits == nil {
+		opts.WeightBits = 8
+	}
+	// One load and one quantisation serve both the validation and the
+	// response; the persisted recipe reconstructs the same Quantized
+	// deterministically. Option errors are the client's (400), store
+	// write failures are ours (500).
+	net, _, err := s.st.Network(entry.ID)
+	if err != nil {
+		fail(w, &httpError{status: 404, msg: err.Error()})
+		return
+	}
+	q, err := quant.Quantize(net, opts)
+	if err != nil {
+		fail(w, badRequest(err.Error()))
+		return
+	}
+	qe, err := s.st.Put(store.KindQuantized, store.QuantRecipe{NetworkID: entry.ID, Options: opts},
+		map[string]string{"source": "quantize"})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":                  qe.ID,
+		"short_id":            store.ShortID(qe.ID),
+		"network_id":          entry.ID,
+		"options":             q.Opts,
+		"bound":               q.Bound(),
+		"memory_bits":         q.MemoryBits(),
+		"full_precision_bits": quant.FullPrecisionBits(q.Original),
+	})
 }
 
 // ---- POST /v1/montecarlo ----
@@ -497,16 +577,16 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	var traces []*nn.Trace
 	if len(req.Inputs) > 0 {
 		for i, x := range req.Inputs {
-			if len(x) != cn.net.InputDim {
-				fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.net.InputDim)))
+			if len(x) != cn.model.Width(0) {
+				fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0))))
 				return
 			}
 		}
-		traces = fault.CleanTraces(cn.net, req.Inputs)
+		traces = fault.CleanTraces(cn.model, req.Inputs)
 	} else {
 		_, traces = cn.standardInputs()
 	}
-	prof, err := s.shardedMonteCarlo(r.Context(), cn.net, faults, req.C, traces, trials, seed)
+	prof, err := s.shardedMonteCarlo(r.Context(), cn.model, faults, req.C, traces, trials, seed)
 	if err != nil {
 		// The client is gone or the server is draining: there is nobody
 		// to answer, and the partial profile would be wrong anyway.

@@ -25,7 +25,7 @@ import (
 // server shutting down) the shards stop between trials and ctx.Err()
 // is returned — a 200,000-trial sweep must not keep burning the pool
 // for a caller that already hung up.
-func (s *Server) shardedMonteCarlo(ctx context.Context, net *nn.Network, perLayer []int, c float64, traces []*nn.Trace, trials int, seed uint64) (fault.Profile, error) {
+func (s *Server) shardedMonteCarlo(ctx context.Context, net nn.Model, perLayer []int, c float64, traces []*nn.Trace, trials int, seed uint64) (fault.Profile, error) {
 	errs := make([]float64, trials)
 	workers := s.pool.Size()
 	shard := (trials + workers - 1) / workers

@@ -13,6 +13,12 @@
 //	POST /v1/bounds      — Fep / tolerance certificates
 //	POST /v1/inject      — fault injection: measured error vs bound
 //	POST /v1/montecarlo  — sharded random-failure profile
+//	POST /v1/quantize    — persist a fixed-point recipe with its Theorem 5 certificate
+//
+// Every model-accepting endpoint serves dense networks and native
+// convolutional models (conv1d/conv2d documents) alike; conv queries
+// run on the native engine and their bounds use the Section VI
+// receptive-field shape.
 //
 // Steady-state hot paths allocate nothing beyond the HTTP/JSON shell:
 // per-network state (shape, certifier scratch, compiled fault plans,
@@ -72,6 +78,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	s.mux.HandleFunc("POST /v1/inject", s.handleInject)
 	s.mux.HandleFunc("POST /v1/montecarlo", s.handleMonteCarlo)
+	s.mux.HandleFunc("POST /v1/quantize", s.handleQuantize)
 	return s
 }
 

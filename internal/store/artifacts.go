@@ -2,7 +2,9 @@ package store
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/conv"
 	"repro/internal/nn"
 	"repro/internal/quant"
 )
@@ -29,6 +31,65 @@ func (s *Store) Network(ref string) (*nn.Network, Entry, error) {
 		return nil, Entry{}, fmt.Errorf("store: artifact %s is a %q, not a network", shortID(e.ID), e.Kind)
 	}
 	return &net, e, nil
+}
+
+// PutModel stores any nn.Model under its architecture's kind: dense
+// networks as "network", conv nets as "conv" with their
+// architecture-tagged JSON documents ("arch": conv1d/conv2d). Every
+// codec round-trips float64 exactly, so a loaded model's forward
+// outputs are bit-identical to the saved one's. The returned entry's
+// meta carries the architecture tag.
+func (s *Store) PutModel(m nn.Model, meta map[string]string) (Entry, error) {
+	if err := m.Validate(); err != nil {
+		return Entry{}, err
+	}
+	if net, ok := m.(*nn.Network); ok {
+		return s.PutNetwork(net, meta)
+	}
+	switch m.(type) {
+	case *conv.Net, *conv.Net2D:
+	default:
+		return Entry{}, fmt.Errorf("store: unsupported model type %T", m)
+	}
+	withArch := make(map[string]string, len(meta)+1)
+	for k, v := range meta {
+		withArch[k] = v
+	}
+	// Written last: the tag must reflect the document, never a
+	// caller-supplied override.
+	withArch["arch"] = conv.ArchOf(m)
+	return s.Put(KindConv, m, withArch)
+}
+
+// Model loads a stored model (kind "network" or "conv") by ID or unique
+// prefix, dispatching on the document's architecture tag.
+func (s *Store) Model(ref string) (nn.Model, Entry, error) {
+	data, e, err := s.Raw(ref)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	if e.Kind != KindNetwork && e.Kind != KindConv {
+		return nil, Entry{}, fmt.Errorf("store: artifact %s is a %q, not a model", shortID(e.ID), e.Kind)
+	}
+	m, err := conv.ParseModel(data)
+	if err != nil {
+		return nil, Entry{}, fmt.Errorf("store: artifact %s: %w", shortID(e.ID), err)
+	}
+	return m, e, nil
+}
+
+// Models lists every stored model entry — dense networks and conv nets
+// — oldest first with ID as the tiebreak (List's order).
+func (s *Store) Models() []Entry {
+	out := s.List(KindNetwork)
+	out = append(out, s.List(KindConv)...)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // QuantRecipe is the stored form of a quantised model: the content

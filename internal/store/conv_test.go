@@ -1,0 +1,143 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/conv"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func testConv1D(t *testing.T) *conv.Net {
+	t.Helper()
+	n, err := conv.NewRandom(rng.New(40), 10, []int{3}, []int{2}, activation.NewSigmoid(1), 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testConv2D(t *testing.T) *conv.Net2D {
+	t.Helper()
+	n, err := conv.NewRandom2D(rng.New(41), 6, 6, []int{3}, []int{2}, activation.NewSigmoid(1), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestConvModelRoundTripBitIdentical stores both conv architectures and
+// requires the reloaded models' forward outputs to be bit-identical.
+func TestConvModelRoundTripBitIdentical(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		model nn.Model
+		dim   int
+		arch  string
+	}{
+		{"1d", testConv1D(t), 10, conv.Arch1D},
+		{"2d", testConv2D(t), 36, conv.Arch2D},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := s.PutModel(tc.model, map[string]string{"source": "test"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Kind != KindConv {
+				t.Fatalf("kind %q, want %q", e.Kind, KindConv)
+			}
+			if e.Meta["arch"] != tc.arch || e.Meta["source"] != "test" {
+				t.Fatalf("meta %v missing arch/source", e.Meta)
+			}
+			loaded, _, err := s.Model(e.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(42)
+			sc := nn.NewScratch(tc.model)
+			lsc := nn.NewScratch(loaded)
+			for trial := 0; trial < 20; trial++ {
+				x := make([]float64, tc.dim)
+				r.Floats(x, 0, 1)
+				a := nn.ForwardModel(tc.model, sc, x)
+				b := nn.ForwardModel(loaded, lsc, x)
+				if a != b {
+					t.Fatalf("trial %d: stored %v != reloaded %v", trial, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestPutModelArchNotOverridable pins the meta contract: the "arch"
+// tag always reflects the document, never a caller-supplied override.
+func TestPutModelArchNotOverridable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.PutModel(testConv2D(t), map[string]string{"arch": "conv1d", "note": "kept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Meta["arch"] != conv.Arch2D {
+		t.Fatalf("arch meta %q, want %q (caller override must lose)", e.Meta["arch"], conv.Arch2D)
+	}
+	if e.Meta["note"] != "kept" {
+		t.Fatalf("other meta lost: %v", e.Meta)
+	}
+}
+
+// TestModelLoadsDenseToo pins the generic loader on dense artifacts and
+// the Models listing across both kinds.
+func TestModelLoadsDenseToo(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := nn.NewRandom(rng.New(43), nn.Config{InputDim: 3, Widths: []int{4}, Act: activation.NewSigmoid(1)}, 0.5)
+	de, err := s.PutModel(dense, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.Kind != KindNetwork {
+		t.Fatalf("dense stored as %q", de.Kind)
+	}
+	ce, err := s.PutModel(testConv1D(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := s.Model(de.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*nn.Network); !ok {
+		t.Fatalf("dense artifact loaded as %T", m)
+	}
+	models := s.Models()
+	if len(models) != 2 {
+		t.Fatalf("Models lists %d entries, want 2", len(models))
+	}
+	ids := map[string]bool{models[0].ID: true, models[1].ID: true}
+	if !ids[de.ID] || !ids[ce.ID] {
+		t.Fatalf("Models %v missing %s or %s", models, de.ID, ce.ID)
+	}
+	// The generic loader refuses non-model kinds.
+	oe, err := s.Put(KindOutcomes, []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Model(oe.ID); err == nil || !strings.Contains(err.Error(), "not a model") {
+		t.Fatalf("outcomes loaded as model: %v", err)
+	}
+	// And the dense-only loader refuses conv artifacts.
+	if _, _, err := s.Network(ce.ID); err == nil {
+		t.Fatal("conv artifact loaded as dense network")
+	}
+}

@@ -39,6 +39,7 @@ import (
 // Kinds used by the typed helpers. Put accepts any non-empty kind.
 const (
 	KindNetwork   = "network"
+	KindConv      = "conv"
 	KindQuantized = "quantized"
 	KindOutcomes  = "outcomes"
 )

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/activation"
 	"repro/internal/approx"
+	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
@@ -52,8 +53,25 @@ import (
 
 // Re-exported model types.
 type (
+	// Model is the unified computation-model abstraction every engine
+	// layer consumes: dense nn.Network, 1-D and 2-D convolutional nets
+	// all implement it, so fault injection, bounds, the store and the
+	// service treat them uniformly — conv models at native engine speed
+	// with Section VI receptive-field bounds, no dense lowering on any
+	// hot path.
+	Model = nn.Model
 	// Network is the paper's feed-forward computation model.
 	Network = nn.Network
+	// ConvNet is the 1-D convolutional network of Section VI.
+	ConvNet = conv.Net
+	// ConvNet2D is the 2-D convolutional network (channel-major maps).
+	ConvNet2D = conv.Net2D
+	// ConvTrainConfig controls conv SGD (Train/Train2D).
+	ConvTrainConfig = conv.TrainConfig
+	// KernelFault addresses one shared kernel value of a 1-D conv layer.
+	KernelFault = conv.KernelFault
+	// KernelFault2D addresses one shared kernel value of a 2-D conv layer.
+	KernelFault2D = conv.KernelFault2D
 	// NetworkConfig describes a network to construct.
 	NetworkConfig = nn.Config
 	// Activation is a squashing function with a known Lipschitz constant.
@@ -100,6 +118,48 @@ func NewRandomNetwork(r *Rand, cfg NetworkConfig, scale float64) *Network {
 
 // ShapeOf extracts the Shape the bounds operate on.
 func ShapeOf(n *Network) Shape { return core.ShapeOf(n) }
+
+// ShapeOfModel extracts the Shape of any Model. Convolutional models
+// yield w_m^{(l)} over their R(l) receptive-field values — Section VI's
+// less restrictive bounds through the same Fep formulas.
+func ShapeOfModel(m Model) Shape { return core.ShapeOfModel(m) }
+
+// NewRandomConv builds a random 1-D conv net: fields[i] and filters[i]
+// configure layer i; weights are uniform in [-scale, scale).
+func NewRandomConv(r *Rand, inputWidth int, fields, filters []int, act Activation, scale float64, bias bool) (*ConvNet, error) {
+	return conv.NewRandom(r, inputWidth, fields, filters, act, scale, bias)
+}
+
+// NewRandomConv2D builds a random 2-D conv net over an h x w input.
+func NewRandomConv2D(r *Rand, h, w int, fields, filters []int, act Activation, scale float64, bias bool) (*ConvNet2D, error) {
+	return conv.NewRandom2D(r, h, w, fields, filters, act, scale, bias)
+}
+
+// LowerConv materialises the dense network equivalent to a 1-D conv net
+// — the test oracle; evaluation and bounds never need it.
+func LowerConv(n *ConvNet) (*Network, error) { return conv.Lower(n) }
+
+// LowerConv2D is the 2-D lowering oracle.
+func LowerConv2D(n *ConvNet2D) (*Network, error) { return conv.Lower2D(n) }
+
+// TrainConv runs minibatch SGD on a 1-D conv net with weight sharing
+// preserved exactly, returning the final MSE.
+func TrainConv(n *ConvNet, xs [][]float64, ys []float64, cfg ConvTrainConfig) float64 {
+	return conv.Train(n, xs, ys, cfg)
+}
+
+// TrainConv2D is the 2-D counterpart of TrainConv.
+func TrainConv2D(n *ConvNet2D, xs [][]float64, ys []float64, cfg ConvTrainConfig) float64 {
+	return conv.Train2D(n, xs, ys, cfg)
+}
+
+// ParseModel decodes an architecture-tagged model document: untagged
+// dense networks, "conv1d" and "conv2d" nets.
+func ParseModel(data []byte) (Model, error) { return conv.ParseModel(data) }
+
+// ForwardModel evaluates any model on scratch buffers: zero steady-state
+// allocations, bit-identical to the equivalent dense network.
+func ForwardModel(m Model, sc *Scratch, x []float64) float64 { return nn.ForwardModel(m, sc, x) }
 
 // Fep computes the Forward Error Propagation of Theorem 2: the worst-case
 // output deviation when faults[l-1] neurons of layer l emit values within
@@ -199,7 +259,7 @@ func DeviationFep(s Shape, devs [][]float64) float64 {
 // FaultedForward evaluates the damaged network Ffail on x. For repeated
 // evaluation of one plan, use CompilePlan once and call the compiled
 // plan's methods — the steady state then allocates nothing.
-func FaultedForward(n *Network, p Plan, inj fault.Injector, x []float64) float64 {
+func FaultedForward(n Model, p Plan, inj fault.Injector, x []float64) float64 {
 	return fault.Forward(n, p, inj, x)
 }
 
@@ -209,28 +269,28 @@ func FaultedForward(n *Network, p Plan, inj fault.Injector, x []float64) float64
 type CompiledPlan = fault.CompiledPlan
 
 // CompilePlan indexes a plan for repeated evaluation.
-func CompilePlan(n *Network, p Plan) *CompiledPlan { return fault.Compile(n, p) }
+func CompilePlan(n Model, p Plan) *CompiledPlan { return fault.Compile(n, p) }
 
 // Scratch holds preallocated buffers for allocation-free forward passes
 // (Network.ForwardInto / ForwardTraceInto). Not safe for concurrent use.
 type Scratch = nn.Scratch
 
-// NewScratch returns evaluation scratch sized for n.
-func NewScratch(n *Network) *Scratch { return nn.NewScratch(n) }
+// NewScratch returns evaluation scratch sized for any model.
+func NewScratch(m Model) *Scratch { return nn.NewScratch(m) }
 
 // MaxFaultError measures the largest |Fneu - Ffail| over the inputs.
-func MaxFaultError(n *Network, p Plan, inj fault.Injector, inputs [][]float64) float64 {
+func MaxFaultError(n Model, p Plan, inj fault.Injector, inputs [][]float64) float64 {
 	return fault.MaxError(n, p, inj, inputs)
 }
 
 // AdversarialPlan fails the heaviest-weight neurons per layer — the
 // worst-case adversary of the tightness proofs.
-func AdversarialPlan(n *Network, perLayer []int) Plan {
+func AdversarialPlan(n Model, perLayer []int) Plan {
 	return fault.AdversarialNeuronPlan(n, perLayer)
 }
 
 // RandomPlan fails uniformly chosen neurons per layer.
-func RandomPlan(r *Rand, n *Network, perLayer []int) Plan {
+func RandomPlan(r *Rand, n Model, perLayer []int) Plan {
 	return fault.RandomNeuronPlan(r, n, perLayer)
 }
 
@@ -309,13 +369,13 @@ func SplitNeurons(n *Network, layer, k int) (*Network, error) {
 // MonteCarlo samples random failure configurations and returns the
 // empirical error profile (mean, quantiles, max) — the probabilistic
 // complement of the worst-case Fep.
-func MonteCarlo(n *Network, perLayer []int, c float64, inputs [][]float64, trials int, r *Rand) fault.Profile {
+func MonteCarlo(n Model, perLayer []int, c float64, inputs [][]float64, trials int, r *Rand) fault.Profile {
 	return fault.MonteCarlo(n, perLayer, c, core.DeviationCap, inputs, trials, r)
 }
 
 // WorstInput hill-climbs for an input maximising the damaged-vs-nominal
 // error.
-func WorstInput(n *Network, p Plan, inj fault.Injector, r *Rand, restarts, steps int) ([]float64, float64) {
+func WorstInput(n Model, p Plan, inj fault.Injector, r *Rand, restarts, steps int) ([]float64, float64) {
 	return fault.WorstInput(n, p, inj, r, restarts, steps)
 }
 
