@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-conv serve-smoke
+.PHONY: ci fmt vet build test race bench bench-conv serve-smoke load load-smoke
 
-ci: fmt vet build test bench bench-conv serve-smoke
+ci: fmt vet build test bench bench-conv serve-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -42,3 +42,21 @@ bench-conv:
 serve-smoke:
 	$(GO) build -o /tmp/neurofail-smoke ./cmd/neurofail
 	sh scripts/serve_smoke.sh /tmp/neurofail-smoke
+
+# Quick load smoke (BENCH_5.json workload, scaled down for CI): boots
+# the server with the async job tier, drives concurrent /v1/bounds
+# clients plus Monte Carlo campaigns, asserts non-zero sustained RPS,
+# every campaign completed, a memo hit on resubmission, and a graceful
+# SIGTERM drain.
+load-smoke:
+	$(GO) build -o /tmp/neurofail-smoke ./cmd/neurofail
+	$(GO) build -o /tmp/neurofail-loadgen ./cmd/loadgen
+	sh scripts/load_smoke.sh /tmp/neurofail-smoke /tmp/neurofail-loadgen
+
+# Full load harness: regenerates BENCH_5.json (p50/p99 latency and
+# sustained RPS under concurrent campaign load).
+load:
+	$(GO) build -o /tmp/neurofail-smoke ./cmd/neurofail
+	$(GO) build -o /tmp/neurofail-loadgen ./cmd/loadgen
+	CLIENTS=8 DURATION=10s JOBS=4 JOB_TRIALS=20000 \
+		sh scripts/load_smoke.sh /tmp/neurofail-smoke /tmp/neurofail-loadgen BENCH_5.json

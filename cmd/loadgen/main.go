@@ -1,0 +1,348 @@
+// Command loadgen drives concurrent clients against a running neurofail
+// server and reports sustained throughput and tail latency.
+//
+// Two workloads run side by side:
+//
+//   - sync: every client loops POST /v1/bounds (the cheap certificate
+//     path) until the duration elapses, recording per-request latency;
+//   - jobs: a driver submits Monte Carlo campaigns to /v1/jobs, honours
+//     429 + Retry-After backpressure, polls each job to completion, and
+//     finally resubmits one duplicate to confirm the memo hit.
+//
+// The report (p50/p90/p99/max latency, sustained RPS, job accounting)
+// is written as the BENCH_5.json document. loadgen exits non-zero if
+// any request errored, throughput was zero, or a job failed to
+// complete, so the load smoke can gate CI on it directly.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7077 -network <id> -clients 8 -duration 10s -out BENCH_5.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type latencyStats struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type syncReport struct {
+	Endpoint  string       `json:"endpoint"`
+	Requests  int          `json:"requests"`
+	Errors    int          `json:"errors"`
+	RPS       float64      `json:"rps"`
+	LatencyMS latencyStats `json:"latency_ms"`
+}
+
+type jobsReport struct {
+	Submitted      int    `json:"submitted"`
+	Completed      int    `json:"completed"`
+	Rejected429    int    `json:"rejected_429"`
+	MemoHit        bool   `json:"memo_hit"`
+	CampaignTrials int    `json:"campaign_trials"`
+	Note           string `json:"note"`
+}
+
+type report struct {
+	PR          int            `json:"pr"`
+	Title       string         `json:"title"`
+	Date        string         `json:"date"`
+	Environment map[string]any `json:"environment"`
+	Clients     int            `json:"clients"`
+	DurationSec float64        `json:"duration_seconds"`
+	Sync        syncReport     `json:"sync"`
+	Jobs        jobsReport     `json:"jobs"`
+	Contract    string         `json:"contract"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "server address")
+	network := flag.String("network", "", "stored network id to query (required)")
+	clients := flag.Int("clients", 8, "concurrent sync clients")
+	duration := flag.Duration("duration", 10*time.Second, "sync measurement window")
+	jobCount := flag.Int("jobs", 4, "async campaigns to submit alongside the sync load")
+	jobTrials := flag.Int("job-trials", 5000, "Monte Carlo trials per campaign")
+	out := flag.String("out", "", "report path (default stdout)")
+	flag.Parse()
+	if *network == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -network is required")
+		os.Exit(2)
+	}
+	if err := run(*addr, *network, *clients, *duration, *jobCount, *jobTrials, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, network string, clients int, duration time.Duration, jobCount, jobTrials int, out string) error {
+	base := "http://" + strings.TrimPrefix(addr, "http://")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        clients + 4,
+			MaxIdleConnsPerHost: clients + 4,
+		},
+	}
+
+	// Async campaigns first: they run concurrently with the sync window
+	// so the latency numbers include worker-pool contention.
+	jr := jobsReport{CampaignTrials: jobTrials}
+	var jobIDs []string
+	for i := 0; i < jobCount; i++ {
+		id, rejected, err := submitCampaign(client, base, network, jobTrials, 20+i)
+		jr.Rejected429 += rejected
+		if err != nil {
+			return fmt.Errorf("submit campaign %d: %w", i, err)
+		}
+		jr.Submitted++
+		jobIDs = append(jobIDs, id)
+	}
+
+	// Sync load: clients hammer /v1/bounds for the duration.
+	boundsBody := []byte(fmt.Sprintf(`{"network_id": %q, "faults": 1, "c": 1}`, network))
+	deadline := time.Now().Add(duration)
+	perClient := make([][]float64, clients)
+	errs := make([]int, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/bounds", "application/json", bytes.NewReader(boundsBody))
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c]++
+					continue
+				}
+				perClient[c] = append(perClient[c], float64(time.Since(t0).Microseconds())/1000)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var lat []float64
+	for _, l := range perClient {
+		lat = append(lat, l...)
+	}
+	sort.Float64s(lat)
+	totalErrs := 0
+	for _, e := range errs {
+		totalErrs += e
+	}
+	sr := syncReport{
+		Endpoint: "/v1/bounds",
+		Requests: len(lat),
+		Errors:   totalErrs,
+		RPS:      round2(float64(len(lat)) / elapsed),
+	}
+	if len(lat) > 0 {
+		sr.LatencyMS = latencyStats{
+			P50: round2(quantile(lat, 0.50)),
+			P90: round2(quantile(lat, 0.90)),
+			P99: round2(quantile(lat, 0.99)),
+			Max: round2(lat[len(lat)-1]),
+		}
+	}
+
+	// Drain the campaigns, then prove the memo: resubmitting the first
+	// campaign must come back completed without recomputation.
+	for _, id := range jobIDs {
+		if err := pollDone(client, base, id); err != nil {
+			return fmt.Errorf("job %s: %w", id, err)
+		}
+		jr.Completed++
+	}
+	if jobCount > 0 {
+		memo, err := checkMemo(client, base, network, jobTrials, 20)
+		if err != nil {
+			return fmt.Errorf("memo check: %w", err)
+		}
+		jr.MemoHit = memo
+	}
+	jr.Note = fmt.Sprintf("%d Monte Carlo campaigns of %d trials ran on the job tier concurrently with the sync window; 429 responses during submission were retried after the server's Retry-After", jr.Submitted, jobTrials)
+
+	rep := report{
+		PR:    5,
+		Title: "Fault-tolerant async job tier: bounded workers, backpressure, retry/backoff, checkpoint/resume, and memoized campaign results",
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Environment: map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"vcpus":  runtime.NumCPU(),
+			"cpu":    cpuModel(),
+			"note":   "loadgen and server on the same host; latency includes loopback HTTP. Regenerate with: make load",
+		},
+		Clients:     clients,
+		DurationSec: round2(elapsed),
+		Sync:        sr,
+		Jobs:        jr,
+		Contract:    "sync /v1/bounds latency is measured WHILE the job tier runs Monte Carlo campaigns on its bounded worker pool, so the tail reflects worker contention; every campaign must reach state=done and a duplicate submission must return the memoized result without recompute, or loadgen exits non-zero",
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	if totalErrs > 0 {
+		return fmt.Errorf("%d sync requests failed", totalErrs)
+	}
+	if sr.RPS == 0 {
+		return fmt.Errorf("zero sustained RPS")
+	}
+	if jr.Completed != jr.Submitted {
+		return fmt.Errorf("only %d/%d campaigns completed", jr.Completed, jr.Submitted)
+	}
+	if jobCount > 0 && !jr.MemoHit {
+		return fmt.Errorf("duplicate campaign was not memoized")
+	}
+	return nil
+}
+
+// submitCampaign posts one Monte Carlo job, retrying on 429 per the
+// server's Retry-After. Returns the job ID and how many rejections it
+// absorbed.
+func submitCampaign(client *http.Client, base, network string, trials, seed int) (string, int, error) {
+	body := []byte(fmt.Sprintf(
+		`{"kind": "montecarlo", "request": {"network_id": %q, "trials": %d, "seed": %d}}`,
+		network, trials, seed))
+	rejected := 0
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", rejected, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var rec struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(data, &rec); err != nil {
+				return "", rejected, err
+			}
+			return rec.ID, rejected, nil
+		case http.StatusTooManyRequests:
+			rejected++
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			time.Sleep(wait)
+		default:
+			return "", rejected, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+	return "", rejected, fmt.Errorf("submit: still rejected after 50 attempts")
+}
+
+// pollDone polls a job until it is done, failing on any other terminal
+// state.
+func pollDone(client *http.Client, base, id string) error {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var rec struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch rec.State {
+		case "done":
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("terminal state %s: %s", rec.State, rec.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("did not complete within 5m")
+}
+
+// checkMemo resubmits an already-completed campaign and reports whether
+// the server answered from the memo index.
+func checkMemo(client *http.Client, base, network string, trials, seed int) (bool, error) {
+	body := []byte(fmt.Sprintf(
+		`{"kind": "montecarlo", "request": {"network_id": %q, "trials": %d, "seed": %d}}`,
+		network, trials, seed))
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var rec struct {
+		State    string `json:"state"`
+		Memoized bool   `json:"memoized"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return false, err
+	}
+	return resp.StatusCode == http.StatusOK && rec.Memoized && rec.State == "done", nil
+}
+
+// quantile reads the q-quantile from an ascending-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+// cpuModel best-effort reads the CPU model name (linux only).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// cmdJobs is the HTTP client for the server's async job tier: submit a
+// campaign, follow its progress, fetch its result, cancel it.
+func cmdJobs(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: neurofail jobs <submit|status|watch|result|cancel|list> [flags]")
+	}
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("jobs submit", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		kind := fs.String("kind", "montecarlo", "job kind (eval, bounds, inject, montecarlo, experiments)")
+		request := fs.String("request", "{}", "request document: inline JSON, @file, or - for stdin")
+		watch := fs.Bool("watch", false, "follow the job until it terminates")
+		fs.Parse(args[1:])
+		doc, err := readDoc(*request)
+		if err != nil {
+			return err
+		}
+		body, err := json.Marshal(map[string]any{"kind": *kind, "request": json.RawMessage(doc)})
+		if err != nil {
+			return err
+		}
+		var rec jobs.Record
+		status, err := jobsCall(*addr, "POST", "/v1/jobs", bytes.NewReader(body), &rec)
+		if err != nil {
+			return err
+		}
+		printJobRecord(rec)
+		if status == http.StatusOK && rec.Memoized {
+			fmt.Println("  (memoized: identical request already completed; no recomputation)")
+		}
+		if *watch && !rec.State.Terminal() {
+			return watchJob(*addr, rec.ID)
+		}
+		return nil
+	case "status":
+		fs := flag.NewFlagSet("jobs status", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		fs.Parse(args[1:])
+		id, err := oneID(fs)
+		if err != nil {
+			return err
+		}
+		var rec jobs.Record
+		if _, err := jobsCall(*addr, "GET", "/v1/jobs/"+id, nil, &rec); err != nil {
+			return err
+		}
+		printJobRecord(rec)
+		return nil
+	case "watch":
+		fs := flag.NewFlagSet("jobs watch", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		fs.Parse(args[1:])
+		id, err := oneID(fs)
+		if err != nil {
+			return err
+		}
+		return watchJob(*addr, id)
+	case "result":
+		fs := flag.NewFlagSet("jobs result", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		fs.Parse(args[1:])
+		id, err := oneID(fs)
+		if err != nil {
+			return err
+		}
+		var result json.RawMessage
+		if _, err := jobsCall(*addr, "GET", "/v1/jobs/"+id+"/result", nil, &result); err != nil {
+			return err
+		}
+		os.Stdout.Write(append(result, '\n'))
+		return nil
+	case "cancel":
+		fs := flag.NewFlagSet("jobs cancel", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		fs.Parse(args[1:])
+		id, err := oneID(fs)
+		if err != nil {
+			return err
+		}
+		var resp struct {
+			Cancelled bool        `json:"cancelled"`
+			Job       jobs.Record `json:"job"`
+		}
+		if _, err := jobsCall(*addr, "POST", "/v1/jobs/"+id+"/cancel", nil, &resp); err != nil {
+			return err
+		}
+		if !resp.Cancelled {
+			fmt.Printf("job %s already terminal (%s)\n", resp.Job.ID, resp.Job.State)
+			return nil
+		}
+		printJobRecord(resp.Job)
+		return nil
+	case "list":
+		fs := flag.NewFlagSet("jobs list", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7077", "server address")
+		fs.Parse(args[1:])
+		var resp struct {
+			Jobs []jobs.Record `json:"jobs"`
+		}
+		if _, err := jobsCall(*addr, "GET", "/v1/jobs", nil, &resp); err != nil {
+			return err
+		}
+		if len(resp.Jobs) == 0 {
+			fmt.Println("no jobs")
+			return nil
+		}
+		for _, rec := range resp.Jobs {
+			printJobRecord(rec)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown jobs subcommand %q (submit, status, watch, result, cancel, list)", args[0])
+	}
+}
+
+// oneID extracts the single positional job-ID argument.
+func oneID(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one job id argument")
+	}
+	return fs.Arg(0), nil
+}
+
+// readDoc resolves a request argument: inline JSON, @file, or - for
+// stdin.
+func readDoc(arg string) ([]byte, error) {
+	switch {
+	case arg == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(arg, "@"):
+		return os.ReadFile(arg[1:])
+	default:
+		return []byte(arg), nil
+	}
+}
+
+// baseURL normalises a server address into a URL.
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + strings.TrimSuffix(addr, "/")
+}
+
+// jobsCall performs one API request, decoding a JSON success body into
+// out and error envelopes into errors. A 429 reports the server's
+// Retry-After so scripted callers can back off.
+func jobsCall(addr, method, path string, body io.Reader, out any) (int, error) {
+	req, err := http.NewRequest(method, baseURL(addr)+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				return resp.StatusCode, fmt.Errorf("%s (retry after %ss)", msg, ra)
+			}
+		}
+		return resp.StatusCode, fmt.Errorf("%s (HTTP %d)", msg, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// watchJob follows a job's NDJSON update stream, re-subscribing when
+// the server closes a watch window, until the job terminates.
+func watchJob(addr, id string) error {
+	for {
+		resp, err := http.Get(baseURL(addr) + "/v1/jobs/" + id + "?watch=1")
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("watch: %s (HTTP %d)", strings.TrimSpace(string(data)), resp.StatusCode)
+		}
+		var last jobs.Record
+		saw := false
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("watch stream: %w", err)
+			}
+			saw = true
+			printJobRecord(last)
+		}
+		resp.Body.Close()
+		if saw && last.State.Terminal() {
+			return nil
+		}
+		// Watch window closed mid-run: re-subscribe.
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// printJobRecord renders one record as a single status line.
+func printJobRecord(rec jobs.Record) {
+	line := fmt.Sprintf("job %s  kind=%s  state=%s", rec.ID, rec.Kind, rec.State)
+	if rec.Total > 0 {
+		line += fmt.Sprintf("  progress=%d/%d", rec.Completed, rec.Total)
+	}
+	if rec.Attempts > 1 {
+		line += fmt.Sprintf("  attempts=%d", rec.Attempts)
+	}
+	if rec.Checkpoints > 0 {
+		line += fmt.Sprintf("  checkpoints=%d", rec.Checkpoints)
+	}
+	if rec.ResultID != "" {
+		line += "  result=" + rec.ResultID[:12]
+	}
+	if rec.Error != "" {
+		line += "  error=" + rec.Error
+	}
+	fmt.Println(line)
+}

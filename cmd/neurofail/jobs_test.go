@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/jobs"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestJobsCLIRoundTrip drives the jobs client end to end against an
+// in-process server: submit-and-watch a campaign, then status, result,
+// cancel (terminal no-op) and list by ID.
+func TestJobsCLIRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewRandom(rng.New(3), nn.Config{
+		InputDim: 2,
+		Widths:   []int{8, 4},
+		Act:      activation.NewSigmoid(1),
+		Bias:     true,
+	}, 1.1)
+	entry, err := st.PutNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Store: st, JobCheckpointTrials: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	request := fmt.Sprintf(`{"network_id": %q, "trials": 200, "seed": 4}`, entry.ID)
+	if err := cmdJobs([]string{"submit", "-addr", ts.URL,
+		"-kind", "montecarlo", "-request", request, "-watch"}); err != nil {
+		t.Fatalf("jobs submit -watch: %v", err)
+	}
+
+	// The watch returned, so the job is terminal; find its ID.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []jobs.Record `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].State != jobs.StateDone {
+		t.Fatalf("jobs after watch = %+v", list.Jobs)
+	}
+	id := list.Jobs[0].ID
+
+	for _, sub := range [][]string{
+		{"status", "-addr", ts.URL, id},
+		{"result", "-addr", ts.URL, id},
+		{"cancel", "-addr", ts.URL, id}, // terminal: reported, not an error
+		{"list", "-addr", ts.URL},
+	} {
+		if err := cmdJobs(sub); err != nil {
+			t.Errorf("jobs %s: %v", sub[0], err)
+		}
+	}
+
+	// A memoized resubmission completes immediately without a new job.
+	if err := cmdJobs([]string{"submit", "-addr", ts.URL,
+		"-kind", "montecarlo", "-request", request}); err != nil {
+		t.Fatalf("memoized resubmit: %v", err)
+	}
+
+	// Unknown job IDs and unknown kinds surface as client errors.
+	if err := cmdJobs([]string{"status", "-addr", ts.URL, "00ff00ff"}); err == nil {
+		t.Error("status on unknown job did not fail")
+	}
+	if err := cmdJobs([]string{"submit", "-addr", ts.URL, "-kind", "frobnicate"}); err == nil {
+		t.Error("submit with unknown kind did not fail")
+	}
+}

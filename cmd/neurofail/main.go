@@ -12,7 +12,8 @@
 //	neurofail quantize -net net.json -bits 8
 //	neurofail boost    -net net.json -faults 1 -eps 0.4 -epsprime 0.1
 //	neurofail store    add -dir artifacts -net net.json
-//	neurofail serve    -addr :7077 -store artifacts
+//	neurofail serve    -addr :7077 -store artifacts -job-workers 4
+//	neurofail jobs     submit -addr :7077 -kind montecarlo -request '{"network_id": "...", "trials": 100000}' -watch
 //
 // inject's -mode accepts any model registered in the fault-model
 // registry (crash, byzantine, stuck, intermittent, noise, signflip,
@@ -78,6 +79,8 @@ func main() {
 		err = cmdStore(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -105,6 +108,7 @@ commands:
   conv       convolutional models: train, bounds (Section VI), native fault injection
   store      manage the content-addressed artifact store (add, list, show)
   serve      run the long-running robustness-query HTTP service
+  jobs       client for the server's async job tier (submit, status, watch, result, cancel, list)
 
 run 'neurofail <command> -h' for per-command flags`)
 }
@@ -259,11 +263,11 @@ func cmdStore(args []string) error {
 		if err != nil {
 			return err
 		}
-		n, err := st.Rebuild()
+		rep, err := st.Rebuild()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("rebuilt manifest: %d artifacts\n", n)
+		fmt.Printf("rebuilt manifest: %d artifacts (%d quarantined)\n", rep.Indexed, rep.Quarantined)
 		return nil
 	default:
 		return fmt.Errorf("store: unknown subcommand %q (want add, list, show or rebuild)", args[0])
@@ -277,6 +281,10 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
 	storeDir := fs.String("store", "neurofail-store", "artifact store directory backing /v1/networks")
 	workers := fs.Int("workers", 0, "Monte Carlo worker pool size (0 = number of CPUs)")
+	jobWorkers := fs.Int("job-workers", 2, "async job tier: concurrent job workers")
+	jobQueue := fs.Int("job-queue", 64, "async job tier: queue depth before submissions get 429")
+	jobDeadline := fs.Duration("job-deadline", 0, "async job tier: per-attempt deadline (0 = unbounded)")
+	jobRetries := fs.Int("job-retries", 3, "async job tier: attempts per job before it fails")
 	fs.Parse(args)
 	st, err := store.Open(*storeDir)
 	if err != nil {
@@ -284,7 +292,14 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve.Run(ctx, *addr, serve.Config{Store: st, Workers: *workers}, func(format string, a ...any) {
+	return serve.Run(ctx, *addr, serve.Config{
+		Store:       st,
+		Workers:     *workers,
+		JobWorkers:  *jobWorkers,
+		JobQueue:    *jobQueue,
+		JobDeadline: *jobDeadline,
+		JobRetries:  *jobRetries,
+	}, func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "neurofail: "+format+"\n", a...)
 	})
 }

@@ -1,0 +1,142 @@
+// Package jobs is the fault-tolerant asynchronous job tier: a bounded
+// worker pool with queue-depth backpressure, per-attempt deadlines,
+// retry with exponential backoff and jitter, durable checkpoint/resume
+// through the artifact store, and request-hash memoization of completed
+// results.
+//
+// The tier exists because the service it carries proves *networks*
+// survive failures but must also survive its own (Sardi et al.'s
+// reoccurring-catastrophic-failure regime, applied to the serving
+// tier): a worker killed mid-campaign — panic, deadline, SIGKILL —
+// leaves behind a durable record and its latest checkpoint, and the
+// next attempt (or the next process) resumes from that checkpoint
+// instead of recomputing. Because campaign trials are deterministic per
+// trial index, a resumed job's result is bit-identical to an
+// uninterrupted run's.
+//
+// Lifecycle (DESIGN.md §7):
+//
+//	queued ──▶ running ──▶ done
+//	  ▲          │  ▲        (failed | cancelled)
+//	  │          ▼  │
+//	  └──── checkpointed      (crash / drain; resume re-runs)
+//
+// A record is persisted on every state transition and on every
+// checkpoint, through atomic writes — a crash never leaves a partial
+// record, so restart recovery either sees the previous state or the
+// new one.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker slot.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing an attempt.
+	StateRunning State = "running"
+	// StateCheckpointed: not currently executing, but durable partial
+	// state exists (the process drained or crashed mid-campaign); the
+	// job is re-queued and the next attempt resumes from the checkpoint.
+	StateCheckpointed State = "checkpointed"
+	// StateDone: completed; ResultID names the result artifact.
+	StateDone State = "done"
+	// StateFailed: exhausted its attempts or hit a permanent error.
+	StateFailed State = "failed"
+	// StateCancelled: stopped by explicit request.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Record is the durable description of one job — what Submit accepted,
+// where it is in the lifecycle, and how it got there.
+type Record struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	MemoKey string          `json:"memo_key,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	State   State           `json:"state"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+
+	// Attempts counts execution attempts so far (retries included).
+	Attempts int `json:"attempts,omitempty"`
+	// Error carries the final failure message for StateFailed.
+	Error string `json:"error,omitempty"`
+
+	// Completed/Total report progress in job-defined units (trials for
+	// Monte Carlo campaigns, experiments for experiment sets).
+	Completed int64 `json:"completed,omitempty"`
+	Total     int64 `json:"total,omitempty"`
+	// Checkpoints counts durable checkpoints written so far.
+	Checkpoints int `json:"checkpoints,omitempty"`
+
+	// ResultID is the content address of the result artifact once done.
+	ResultID string `json:"result_id,omitempty"`
+	// Memoized marks a submission answered from the memo index without
+	// recomputation.
+	Memoized bool `json:"memoized,omitempty"`
+}
+
+// ErrQueueFull is returned by Submit when the queue is at capacity —
+// the backpressure signal (HTTP maps it to 429 + Retry-After).
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrDraining is returned by Submit during graceful shutdown.
+var ErrDraining = errors.New("jobs: manager draining")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrNotDone is returned by Result for jobs without a result yet.
+var ErrNotDone = errors.New("jobs: job has no result yet")
+
+// TransientError marks a failure worth retrying: the computation is
+// deterministic, so only environmental failures (I/O, deadline, a
+// crashed worker) are — wrong requests are not.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable (worker panics
+// and attempt deadlines are classified transient by the manager
+// itself).
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// newID returns a fresh 128-bit random job ID in lowercase hex — the
+// same alphabet as content addresses, so store-keyed records share one
+// validation path.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,655 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Exec executes one job attempt. It receives a Task handle for context,
+// progress, and checkpointing, and returns the job's result (persisted
+// as a content-addressed artifact) or an error. On ctx interruption it
+// must checkpoint what it can and return ctx.Err(); errors wrapped with
+// Transient are retried with backoff, everything else fails the job.
+type Exec func(t *Task) (any, error)
+
+// Config sizes a Manager.
+type Config struct {
+	// Store persists job records, checkpoints, memoized completions and
+	// result artifacts. Required.
+	Store *store.Store
+	// Exec runs one attempt of any job kind. Required.
+	Exec Exec
+	// Workers bounds concurrent job execution (default 2).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full queue
+	// rejects submissions with ErrQueueFull (default 64).
+	QueueDepth int
+	// Deadline bounds one attempt (0 = unbounded). A deadline hit counts
+	// as transient: the next attempt resumes from the last checkpoint,
+	// so bounded attempts still make monotonic progress.
+	Deadline time.Duration
+	// MaxAttempts bounds execution attempts per process (default 3).
+	MaxAttempts int
+	// Backoff is the base retry delay, doubled per attempt with jitter
+	// (default 50ms, capped at 64x).
+	Backoff time.Duration
+	// Logf, when non-nil, receives operational messages (persist
+	// failures, recovered panics).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// job is the in-memory side of a Record: its mutable state plus the
+// control handles (attempt cancellation, watcher channels).
+type job struct {
+	rec       Record
+	cancel    context.CancelFunc // set while an attempt runs
+	cancelled bool               // user requested cancellation
+
+	watchers map[int]chan Record
+	nextW    int
+}
+
+// Manager runs the job tier: a bounded queue feeding a fixed worker
+// pool, with durable records in the store. Create with New (which also
+// recovers and re-queues jobs a previous process left behind), stop
+// with Close (graceful drain) or Kill (crash semantics, for tests).
+type Manager struct {
+	cfg Config
+	st  *store.Store
+
+	rootCtx     context.Context // Kill cancels: abandon without persisting
+	rootCancel  context.CancelFunc
+	drainCtx    context.Context // Close cancels: checkpoint, persist, exit
+	drainCancel context.CancelFunc
+
+	queue chan string
+	wg    sync.WaitGroup
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string          // creation order, for List
+	activeMemo map[string]string // memo key -> in-flight job ID
+	draining   bool
+	killed     bool
+}
+
+// New builds a Manager and recovers persisted jobs: records left
+// queued, running, or checkpointed by a previous process are re-queued
+// (running ones become checkpointed/queued first — the process that ran
+// them is gone), terminal records stay loadable for Get/List/Result.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("jobs: Config.Store is required")
+	}
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("jobs: Config.Exec is required")
+	}
+	m := &Manager{
+		cfg:        cfg,
+		st:         cfg.Store,
+		jobs:       map[string]*job{},
+		activeMemo: map[string]string{},
+	}
+	m.rootCtx, m.rootCancel = context.WithCancel(context.Background())
+	m.drainCtx, m.drainCancel = context.WithCancel(m.rootCtx)
+
+	recovered, err := m.recover()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must hold every recovered job on top of the configured
+	// depth, or restart recovery would deadlock on its own backpressure.
+	m.queue = make(chan string, cfg.QueueDepth+len(recovered))
+	for _, id := range recovered {
+		m.queue <- id
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover loads persisted records, normalising interrupted ones:
+// running/checkpointed become checkpointed when a checkpoint exists
+// (else queued), and are returned for re-queueing in creation order.
+func (m *Manager) recover() ([]string, error) {
+	ids, err := m.st.JobRecordIDs()
+	if err != nil {
+		return nil, err
+	}
+	var requeue []string
+	for _, id := range ids {
+		var rec Record
+		ok, err := m.st.JobRecord(id, &rec)
+		if err != nil {
+			m.logf("jobs: skipping unreadable record %s: %v", id, err)
+			continue
+		}
+		if !ok || rec.ID != id {
+			continue
+		}
+		if !rec.State.Terminal() {
+			var stub json.RawMessage
+			has, _ := m.st.JobCheckpoint(id, &stub)
+			if has {
+				rec.State = StateCheckpointed
+			} else {
+				rec.State = StateQueued
+			}
+			m.persist(&rec)
+			requeue = append(requeue, id)
+			if rec.MemoKey != "" {
+				m.activeMemo[rec.MemoKey] = id
+			}
+		}
+		m.jobs[id] = &job{rec: rec}
+		m.order = append(m.order, id)
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		a, b := m.jobs[m.order[i]].rec, m.jobs[m.order[j]].rec
+		if !a.Created.Equal(b.Created) {
+			return a.Created.Before(b.Created)
+		}
+		return a.ID < b.ID
+	})
+	sort.Slice(requeue, func(i, j int) bool {
+		a, b := m.jobs[requeue[i]].rec, m.jobs[requeue[j]].rec
+		if !a.Created.Equal(b.Created) {
+			return a.Created.Before(b.Created)
+		}
+		return a.ID < b.ID
+	})
+	return requeue, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// persist writes a record to the store (best effort: the in-memory
+// state is authoritative for this process; persistence is for the
+// next one).
+func (m *Manager) persist(rec *Record) {
+	if err := m.st.PutJobRecord(rec.ID, rec); err != nil {
+		m.logf("jobs: persisting %s: %v", rec.ID, err)
+	}
+}
+
+// Submit accepts a job for asynchronous execution. When memoKey is
+// non-empty the request is first checked against the memo index (a
+// completed identical request returns its Record with Memoized set, no
+// recomputation) and against in-flight jobs (an identical queued or
+// running job is returned instead of a duplicate — concurrent callers
+// coalesce onto one campaign). A full queue returns ErrQueueFull.
+func (m *Manager) Submit(kind string, req []byte, memoKey string) (Record, error) {
+	if kind == "" {
+		return Record{}, fmt.Errorf("jobs: empty kind")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return Record{}, ErrDraining
+	}
+	if memoKey != "" {
+		if id, ok := m.activeMemo[memoKey]; ok {
+			if j, ok := m.jobs[id]; ok && !j.rec.State.Terminal() {
+				return j.rec, nil
+			}
+		}
+		var done Record
+		if ok, err := m.st.Memo(memoKey, &done); err == nil && ok {
+			done.Memoized = true
+			return done, nil
+		}
+	}
+	if len(m.queue) >= cap(m.queue) {
+		return Record{}, ErrQueueFull
+	}
+	rec := Record{
+		ID:      newID(),
+		Kind:    kind,
+		MemoKey: memoKey,
+		Request: append([]byte(nil), req...),
+		State:   StateQueued,
+		Created: time.Now().UTC(),
+	}
+	j := &job{rec: rec}
+	m.jobs[rec.ID] = j
+	m.order = append(m.order, rec.ID)
+	if memoKey != "" {
+		m.activeMemo[memoKey] = rec.ID
+	}
+	m.persist(&rec)
+	select {
+	case m.queue <- rec.ID:
+	default:
+		// cap re-checked above under mu; only recovery overfill could
+		// race here, and those slots are never returned.
+		delete(m.jobs, rec.ID)
+		m.order = m.order[:len(m.order)-1]
+		if memoKey != "" {
+			delete(m.activeMemo, memoKey)
+		}
+		return Record{}, ErrQueueFull
+	}
+	return rec, nil
+}
+
+// RetryAfter suggests how long a rejected client should wait before
+// resubmitting: one attempt-deadline's worth of drain if configured,
+// else a constant.
+func (m *Manager) RetryAfter() time.Duration {
+	if m.cfg.Deadline > 0 && m.cfg.Deadline < 10*time.Second {
+		return m.cfg.Deadline
+	}
+	return time.Second
+}
+
+// Get returns a job's current record.
+func (m *Manager) Get(id string) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return j.rec, nil
+}
+
+// List returns all records in creation order.
+func (m *Manager) List() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].rec)
+	}
+	return out
+}
+
+// Stats summarises the tier for health reporting.
+type Stats struct {
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	QueueLen   int           `json:"queue_len"`
+	States     map[State]int `json:"states,omitempty"`
+}
+
+// Stats reports queue occupancy and per-state job counts.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Workers:    m.cfg.Workers,
+		QueueDepth: m.cfg.QueueDepth,
+		QueueLen:   len(m.queue),
+		States:     map[State]int{},
+	}
+	for _, id := range m.order {
+		st.States[m.jobs[id].rec.State]++
+	}
+	return st
+}
+
+// Result returns the stored result bytes for a completed job.
+func (m *Manager) Result(id string) ([]byte, Record, error) {
+	rec, err := m.Get(id)
+	if err != nil {
+		return nil, Record{}, err
+	}
+	if rec.State != StateDone || rec.ResultID == "" {
+		return nil, rec, ErrNotDone
+	}
+	data, _, err := m.st.Raw(rec.ResultID)
+	if err != nil {
+		return nil, rec, err
+	}
+	return data, rec, nil
+}
+
+// Cancel stops a job: queued jobs finalise immediately, running jobs
+// have their attempt context cancelled and finalise when the worker
+// observes it. Cancelling a terminal job returns its record unchanged
+// with ok=false.
+func (m *Manager) Cancel(id string) (Record, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Record{}, false, ErrNotFound
+	}
+	if j.rec.State.Terminal() {
+		return j.rec, false, nil
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		j.cancel() // the worker finalises
+		return j.rec, true, nil
+	}
+	m.finalizeLocked(j, StateCancelled, "")
+	return j.rec, true, nil
+}
+
+// Watch subscribes to a job's record updates. The current record is
+// delivered immediately, every subsequent update follows, and the
+// channel closes after the terminal record. stop unsubscribes early.
+func (m *Manager) Watch(id string) (<-chan Record, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Record, 16)
+	ch <- j.rec
+	if j.rec.State.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	if j.watchers == nil {
+		j.watchers = map[int]chan Record{}
+	}
+	w := j.nextW
+	j.nextW++
+	j.watchers[w] = ch
+	stop := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if c, ok := j.watchers[w]; ok {
+			delete(j.watchers, w)
+			close(c)
+		}
+	}
+	return ch, stop, nil
+}
+
+// notifyLocked pushes the current record to every watcher (dropping the
+// oldest buffered update when a watcher lags — the latest state wins),
+// closing them on terminal records. m.mu must be held.
+func (m *Manager) notifyLocked(j *job) {
+	for w, ch := range j.watchers {
+		select {
+		case ch <- j.rec:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- j.rec:
+			default:
+			}
+		}
+		if j.rec.State.Terminal() {
+			delete(j.watchers, w)
+			close(ch)
+		}
+	}
+}
+
+// finalizeLocked moves a job to a terminal state, persists it, releases
+// its memo reservation and notifies watchers. m.mu must be held.
+func (m *Manager) finalizeLocked(j *job, s State, errMsg string) {
+	j.rec.State = s
+	j.rec.Error = errMsg
+	j.rec.Finished = time.Now().UTC()
+	if j.rec.MemoKey != "" && m.activeMemo[j.rec.MemoKey] == j.rec.ID {
+		delete(m.activeMemo, j.rec.MemoKey)
+	}
+	if !m.killed {
+		m.persist(&j.rec)
+		if s != StateDone {
+			// Terminal without result: the checkpoint has no future use.
+			if err := m.st.DeleteJobCheckpoint(j.rec.ID); err != nil {
+				m.logf("jobs: deleting checkpoint %s: %v", j.rec.ID, err)
+			}
+		}
+	}
+	m.notifyLocked(j)
+}
+
+// Close drains the tier gracefully: submissions are rejected, running
+// attempts are interrupted (their Exec checkpoints and returns), every
+// interrupted or queued job is persisted as checkpointed/queued for the
+// next process, and the workers exit. ctx bounds the wait.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	m.drainCancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Kill abandons the tier with crash semantics: worker contexts are
+// cancelled and NO state transition is persisted — on-disk records keep
+// saying "running" with their last checkpoint, exactly as after a
+// SIGKILL. The next New on the same store recovers and resumes them.
+// This is the crash-injection hook for tests.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.draining = true
+	m.killed = true
+	m.mu.Unlock()
+	m.rootCancel()
+	m.wg.Wait()
+}
+
+// worker runs jobs off the queue until drain or kill.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.drainCtx.Done():
+			return
+		case id := <-m.queue:
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job's attempt loop: run, classify the outcome,
+// retry transient failures with exponential backoff + jitter, finalise.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.rec.State.Terminal() {
+		m.mu.Unlock()
+		return
+	}
+	if j.cancelled {
+		m.finalizeLocked(j, StateCancelled, "")
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+
+	for {
+		// Drain may have begun while this job waited in backoff.
+		if m.drainCtx.Err() != nil {
+			m.parkInterrupted(j)
+			return
+		}
+		m.mu.Lock()
+		j.rec.State = StateRunning
+		j.rec.Attempts++
+		if j.rec.Started.IsZero() {
+			j.rec.Started = time.Now().UTC()
+		}
+		attempt := j.rec.Attempts
+		var actx context.Context
+		var cancel context.CancelFunc
+		if m.cfg.Deadline > 0 {
+			actx, cancel = context.WithTimeout(m.drainCtx, m.cfg.Deadline)
+		} else {
+			actx, cancel = context.WithCancel(m.drainCtx)
+		}
+		j.cancel = cancel
+		m.persist(&j.rec)
+		m.notifyLocked(j)
+		m.mu.Unlock()
+
+		result, err := m.runAttempt(&Task{m: m, j: j, ctx: actx})
+		deadlined := actx.Err() == context.DeadlineExceeded
+		cancel()
+		m.mu.Lock()
+		j.cancel = nil
+		switch {
+		case m.killed:
+			// Crash semantics: persist nothing, exit silently.
+			m.mu.Unlock()
+			return
+		case j.cancelled:
+			m.finalizeLocked(j, StateCancelled, "")
+			m.mu.Unlock()
+			return
+		case m.drainCtx.Err() != nil:
+			m.parkInterruptedLocked(j)
+			m.mu.Unlock()
+			return
+		case err == nil:
+			m.completeLocked(j, result)
+			m.mu.Unlock()
+			return
+		case (deadlined || IsTransient(err)) && attempt < m.cfg.MaxAttempts:
+			if j.rec.Checkpoints > 0 {
+				j.rec.State = StateCheckpointed
+			} else {
+				j.rec.State = StateQueued
+			}
+			j.rec.Error = "" // transient; cleared unless it becomes final
+			m.persist(&j.rec)
+			m.notifyLocked(j)
+			m.mu.Unlock()
+			if !m.backoff(attempt) {
+				m.parkInterrupted(j)
+				return
+			}
+		default:
+			m.finalizeLocked(j, StateFailed, err.Error())
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// runAttempt invokes Exec, converting panics into transient errors — a
+// crashed worker is precisely the reoccurring failure the tier is built
+// to absorb, and the retry resumes from the last checkpoint.
+func (m *Manager) runAttempt(t *Task) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.logf("jobs: worker panic on %s: %v", t.j.rec.ID, p)
+			err = Transient(fmt.Errorf("worker crashed: %v", p))
+		}
+	}()
+	return m.cfg.Exec(t)
+}
+
+// completeLocked persists the result artifact, memoizes the completed
+// record under its request hash, and finalises. m.mu must be held.
+func (m *Manager) completeLocked(j *job, result any) {
+	entry, err := m.st.Put(store.KindResult, result, map[string]string{
+		"job": j.rec.ID, "kind": j.rec.Kind,
+	})
+	if err != nil {
+		m.finalizeLocked(j, StateFailed, fmt.Sprintf("persisting result: %v", err))
+		return
+	}
+	j.rec.ResultID = entry.ID
+	if j.rec.Total > 0 {
+		j.rec.Completed = j.rec.Total
+	}
+	j.rec.State = StateDone
+	j.rec.Finished = time.Now().UTC()
+	if err := m.st.DeleteJobCheckpoint(j.rec.ID); err != nil {
+		m.logf("jobs: deleting checkpoint %s: %v", j.rec.ID, err)
+	}
+	if j.rec.MemoKey != "" {
+		if err := m.st.PutMemo(j.rec.MemoKey, j.rec); err != nil {
+			m.logf("jobs: memoizing %s: %v", j.rec.ID, err)
+		}
+		if m.activeMemo[j.rec.MemoKey] == j.rec.ID {
+			delete(m.activeMemo, j.rec.MemoKey)
+		}
+	}
+	m.persist(&j.rec)
+	m.notifyLocked(j)
+}
+
+// parkInterrupted persists a drain-interrupted job as checkpointed (or
+// queued when no checkpoint exists yet) so the next process resumes it.
+func (m *Manager) parkInterrupted(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parkInterruptedLocked(j)
+}
+
+func (m *Manager) parkInterruptedLocked(j *job) {
+	if m.killed || j.rec.State.Terminal() {
+		return
+	}
+	if j.rec.Checkpoints > 0 {
+		j.rec.State = StateCheckpointed
+	} else {
+		j.rec.State = StateQueued
+	}
+	m.persist(&j.rec)
+	m.notifyLocked(j)
+}
+
+// backoff sleeps the exponential, jittered retry delay for the given
+// attempt number, returning false if drain/kill interrupted the wait.
+func (m *Manager) backoff(attempt int) bool {
+	d := m.cfg.Backoff << uint(attempt-1)
+	if max := m.cfg.Backoff << 6; d > max {
+		d = max
+	}
+	// Full jitter over [d/2, d): retries from simultaneously-failing
+	// workers decorrelate instead of stampeding back together.
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	select {
+	case <-time.After(d):
+		return true
+	case <-m.drainCtx.Done():
+		return false
+	}
+}

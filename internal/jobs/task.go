@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// Task is the handle an Exec receives for one attempt: the attempt
+// context, the request, progress reporting, and durable checkpointing.
+type Task struct {
+	m   *Manager
+	j   *job
+	ctx context.Context
+}
+
+// Ctx is the attempt context: cancelled on job cancellation, graceful
+// drain, or the per-attempt deadline. Long campaigns must poll it and,
+// when it fires, checkpoint and return ctx.Err().
+func (t *Task) Ctx() context.Context { return t.ctx }
+
+// ID returns the job ID.
+func (t *Task) ID() string { return t.j.rec.ID }
+
+// Kind returns the job kind.
+func (t *Task) Kind() string { return t.j.rec.Kind }
+
+// Attempt returns the current attempt number (1-based).
+func (t *Task) Attempt() int {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.j.rec.Attempts
+}
+
+// Request returns the submitted request payload.
+func (t *Task) Request() json.RawMessage {
+	return t.j.rec.Request
+}
+
+// Progress updates the job's completed/total counters (in job-defined
+// units) and notifies watchers. It is cheap: nothing is persisted —
+// durability comes from Checkpoint.
+func (t *Task) Progress(completed, total int64) {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.j.rec.Completed = completed
+	t.j.rec.Total = total
+	t.m.notifyLocked(t.j)
+}
+
+// Checkpoint durably persists partial campaign state (atomically
+// replacing the previous checkpoint) and records the progress
+// watermark, so a killed worker or process resumes here instead of
+// recomputing. Call it at interval boundaries where v fully describes
+// the completed prefix.
+func (t *Task) Checkpoint(v any, completed, total int64) error {
+	if err := t.m.st.PutJobCheckpoint(t.j.rec.ID, v); err != nil {
+		return Transient(err)
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.j.rec.Checkpoints++
+	t.j.rec.Completed = completed
+	t.j.rec.Total = total
+	if !t.m.killed {
+		t.m.persist(&t.j.rec)
+	}
+	t.m.notifyLocked(t.j)
+	return nil
+}
+
+// RestoreCheckpoint loads the job's latest durable checkpoint into v,
+// reporting whether one exists. Execs call it first and resume from
+// the restored prefix.
+func (t *Task) RestoreCheckpoint(v any) (bool, error) {
+	ok, err := t.m.st.JobCheckpoint(t.j.rec.ID, v)
+	if err != nil {
+		return false, Transient(err)
+	}
+	return ok, nil
+}
+
+// Created returns the job's submission time.
+func (t *Task) Created() time.Time { return t.j.rec.Created }

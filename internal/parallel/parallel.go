@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -197,6 +198,62 @@ func (p *Pool) Submit(task func()) {
 
 // Wait blocks until every submitted task has completed.
 func (p *Pool) Wait() { p.wg.Wait() }
+
+// ForCtx partitions [0, n) into contiguous chunks of at least grain
+// iterations (grain <= 0 selects an automatic grain) and runs body(lo,
+// hi) for each chunk on the pool's workers, honouring ctx: once ctx is
+// cancelled or past its deadline no further chunk starts, and ForCtx
+// returns ctx.Err() after the in-flight chunks finish. Long-running
+// bodies should additionally poll ctx between iterations so a chunk in
+// progress also stops promptly.
+//
+// Unlike fire-and-forget Submit loops, ForCtx always joins its chunks
+// before returning — cancellation stops the shards instead of
+// abandoning goroutines that keep burning the pool for a caller that
+// already hung up. It blocks until completion or cancellation and is
+// safe for concurrent use by multiple producers (each call tracks its
+// own chunks).
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if grain <= 0 {
+		grain = n / (4 * p.size)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	workers := p.size
+	if chunks < workers {
+		workers = chunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		})
+	}
+	wg.Wait()
+	return ctx.Err()
+}
 
 // Close shuts the pool down after draining outstanding tasks.
 func (p *Pool) Close() {

@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -141,5 +144,92 @@ func BenchmarkForOverhead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		For(len(buf), func(j int) { buf[j] = float64(j) * 1.5 })
+	}
+}
+
+// TestForCtxCompletes runs a full sweep: every index is visited exactly
+// once and the error is nil.
+func TestForCtxCompletes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1000
+	var hits [n]int32
+	if err := p.ForCtx(context.Background(), n, 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	}); err != nil {
+		t.Fatalf("ForCtx = %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+// TestForCtxCancelStopsShards cancels mid-sweep: ForCtx must return
+// ctx.Err(), stop scheduling chunks, and join every in-flight chunk
+// before returning (no goroutine keeps touching the counter after).
+func TestForCtxCancelStopsShards(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int64
+	const n = 1 << 20
+	err := p.ForCtx(ctx, n, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if atomic.AddInt64(&done, 1) == 512 {
+				cancel()
+			}
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	after := atomic.LoadInt64(&done)
+	if after == n {
+		t.Fatal("cancellation did not stop the sweep")
+	}
+	// ForCtx returned, so all chunks joined: the counter must be frozen.
+	time.Sleep(20 * time.Millisecond)
+	if got := atomic.LoadInt64(&done); got != after {
+		t.Fatalf("work continued after ForCtx returned: %d -> %d", after, got)
+	}
+}
+
+// TestForCtxDeadline bounds a sweep whose body out-sleeps the deadline.
+func TestForCtxDeadline(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.ForCtx(ctx, 1000, 1, func(lo, hi int) {
+		time.Sleep(time.Millisecond)
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("ForCtx = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestForCtxConcurrentProducers drives two overlapping sweeps on one
+// pool: each must see exactly its own iterations.
+func TestForCtxConcurrentProducers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var a, b int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.ForCtx(context.Background(), 500, 3, func(lo, hi int) { atomic.AddInt64(&a, int64(hi-lo)) })
+	}()
+	go func() {
+		defer wg.Done()
+		p.ForCtx(context.Background(), 700, 5, func(lo, hi int) { atomic.AddInt64(&b, int64(hi-lo)) })
+	}()
+	wg.Wait()
+	if a != 500 || b != 700 {
+		t.Fatalf("sweeps saw %d/%d iterations, want 500/700", a, b)
 	}
 }

@@ -25,7 +25,7 @@ func benchServer(b *testing.B) (*Server, string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := New(Config{Store: st})
+	s := mustNew(b, Config{Store: st})
 	b.Cleanup(s.Close)
 	if _, err := s.storedNetwork(entry.ID); err != nil {
 		b.Fatal(err)
@@ -62,7 +62,7 @@ func TestBoundsComputeSteadyStateAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Store: st})
+	s := mustNew(t, Config{Store: st})
 	defer s.Close()
 	cn, err := s.storedNetwork(entry.ID)
 	if err != nil {

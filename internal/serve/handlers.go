@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -52,10 +53,16 @@ func fail(w http.ResponseWriter, err error) {
 }
 
 // decode parses the request body strictly: unknown fields, trailing
-// data and type mismatches are client errors.
+// data and type mismatches are client errors; a body exceeding the
+// route's limit is 413.
 func decode(r *http.Request, v any) error {
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		}
 		return badRequest(fmt.Sprintf("reading body: %v", err))
 	}
 	if err := strictUnmarshal(data, v); err != nil {
@@ -138,13 +145,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		stored = len(s.st.Models())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":          "ok",
 		"uptime_seconds":  time.Since(s.start).Seconds(),
 		"cached_networks": s.cachedNetworks(),
 		"stored_networks": stored,
 		"workers":         s.pool.Size(),
-	})
+	}
+	if s.jobs != nil {
+		resp["jobs"] = s.jobs.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- GET /v1/networks ----
@@ -226,27 +237,35 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	cn, err := s.network(req.netRef)
+	resp, err := s.computeEval(req)
 	if err != nil {
 		fail(w, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeEval is the transport-free eval path, shared by the
+// synchronous handler and the async job tier.
+func (s *Server) computeEval(req evalRequest) (map[string]any, error) {
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		return nil, err
+	}
 	if len(req.Inputs) == 0 {
-		fail(w, badRequest("inputs is empty"))
-		return
+		return nil, badRequest("inputs is empty")
 	}
 	for i, x := range req.Inputs {
 		if len(x) != cn.model.Width(0) {
-			fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0))))
-			return
+			return nil, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0)))
 		}
 	}
 	outputs := nn.ForwardBatchModel(cn.model, req.Inputs)
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"network_id": cn.id,
 		"count":      len(outputs),
 		"outputs":    outputs,
-	})
+	}, nil
 }
 
 // ---- POST /v1/bounds ----
@@ -282,23 +301,31 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	cn, err := s.network(req.netRef)
+	resp, err := s.computeBounds(req)
 	if err != nil {
 		fail(w, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeBounds is the transport-free bounds path, shared by the
+// synchronous handler and the async job tier.
+func (s *Server) computeBounds(req boundsRequest) (boundsResponse, error) {
+	cn, err := s.network(req.netRef)
+	if err != nil {
+		return boundsResponse{}, err
+	}
 	faults, err := req.Faults.resolve(cn.shape.Widths)
 	if err != nil {
-		fail(w, err)
-		return
+		return boundsResponse{}, err
 	}
 	c := 1.0
 	if req.C != nil {
 		c = *req.C
 	}
 	if c < 0 {
-		fail(w, badRequest("c is negative"))
-		return
+		return boundsResponse{}, badRequest("c is negative")
 	}
 	// The certificate computations run on pooled per-network scratch:
 	// zero allocations in the steady state (see BenchmarkBoundsCompute).
@@ -325,7 +352,7 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		resp.RequiredSignals = append([]int(nil), b.cert.RequiredSignals(faults)...)
 	}
 	cn.putBounds(b)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // ---- POST /v1/inject ----
@@ -349,25 +376,33 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	resp, err := s.computeInject(req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeInject is the transport-free inject path, shared by the
+// synchronous handler and the async job tier.
+func (s *Server) computeInject(req injectRequest) (map[string]any, error) {
 	modelName := req.Model
 	if modelName == "" {
 		modelName = "crash"
 	}
 	model, ok := fault.Lookup(modelName)
 	if !ok {
-		fail(w, badRequest(fmt.Sprintf("unknown fault model %q; registered models: %s",
-			modelName, strings.Join(fault.ModelNames(), ", "))))
-		return
+		return nil, badRequest(fmt.Sprintf("unknown fault model %q; registered models: %s",
+			modelName, strings.Join(fault.ModelNames(), ", ")))
 	}
 	cn, err := s.network(req.netRef)
 	if err != nil {
-		fail(w, err)
-		return
+		return nil, err
 	}
 	faults, err := req.Faults.resolve(cn.shape.Widths)
 	if err != nil {
-		fail(w, err)
-		return
+		return nil, err
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -385,8 +420,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	}
 	inj, err := model.New(params)
 	if err != nil {
-		fail(w, badRequest(err.Error()))
-		return
+		return nil, badRequest(err.Error())
 	}
 	adversarial := req.Adversarial == nil || *req.Adversarial
 	var cp *fault.CompiledPlan
@@ -428,11 +462,10 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	}
 	if measured > bound*(1+1e-9) {
 		// A violated bound is a bug in the engine, never a valid answer.
-		writeError(w, http.StatusInternalServerError,
-			fmt.Sprintf("bound violated: measured %g > bound %g", measured, bound))
-		return
+		return nil, &httpError{status: http.StatusInternalServerError,
+			msg: fmt.Sprintf("bound violated: measured %g > bound %g", measured, bound)}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func orDefault(p *float64, def float64) float64 {
@@ -542,33 +575,40 @@ const maxTrials = 200000
 // away before the response"; no standard library constant exists.
 const statusClientClosedRequest = 499
 
-func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
-	var req monteCarloRequest
-	if err := decode(r, &req); err != nil {
-		fail(w, err)
-		return
-	}
+// mcResolved is a validated Monte Carlo campaign: defaults applied,
+// faults resolved against the layer widths, clean traces materialised.
+// Its scalar fields (plus the network identity and inputs) are exactly
+// what determines the result — the memo key hashes them.
+type mcResolved struct {
+	cn     *cachedNet
+	faults []int
+	c      float64
+	trials int
+	seed   uint64
+	traces []*nn.Trace
+}
+
+// resolveMonteCarlo validates a campaign request, applying the same
+// defaults for the synchronous path, the job tier and the memo key.
+func (s *Server) resolveMonteCarlo(req monteCarloRequest) (mcResolved, error) {
+	var mc mcResolved
 	cn, err := s.network(req.netRef)
 	if err != nil {
-		fail(w, err)
-		return
+		return mc, err
 	}
 	faults, err := req.Faults.resolve(cn.shape.Widths)
 	if err != nil {
-		fail(w, err)
-		return
+		return mc, err
 	}
 	if req.C < 0 {
-		fail(w, badRequest("c is negative"))
-		return
+		return mc, badRequest("c is negative")
 	}
 	trials := req.Trials
 	if trials == 0 {
 		trials = 500
 	}
 	if trials < 1 || trials > maxTrials {
-		fail(w, badRequest(fmt.Sprintf("trials %d outside [1, %d]", trials, maxTrials)))
-		return
+		return mc, badRequest(fmt.Sprintf("trials %d outside [1, %d]", trials, maxTrials))
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -578,33 +618,31 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	if len(req.Inputs) > 0 {
 		for i, x := range req.Inputs {
 			if len(x) != cn.model.Width(0) {
-				fail(w, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0))))
-				return
+				return mc, badRequest(fmt.Sprintf("inputs[%d] has dimension %d, want %d", i, len(x), cn.model.Width(0)))
 			}
 		}
 		traces = fault.CleanTraces(cn.model, req.Inputs)
 	} else {
 		_, traces = cn.standardInputs()
 	}
-	prof, err := s.shardedMonteCarlo(r.Context(), cn.model, faults, req.C, traces, trials, seed)
-	if err != nil {
-		// The client is gone or the server is draining: there is nobody
-		// to answer, and the partial profile would be wrong anyway.
-		writeError(w, statusClientClosedRequest, err.Error())
-		return
-	}
-	b := cn.getBounds()
+	return mcResolved{cn: cn, faults: faults, c: req.C, trials: trials, seed: seed, traces: traces}, nil
+}
+
+// mcResponse compares a completed profile against the matching
+// closed-form bound and assembles the response document.
+func mcResponse(mc mcResolved, prof fault.Profile) map[string]any {
+	b := mc.cn.getBounds()
 	var bound float64
-	if req.C == 0 {
-		bound = b.cert.CrashFep(faults)
+	if mc.c == 0 {
+		bound = b.cert.CrashFep(mc.faults)
 	} else {
-		bound = b.cert.Fep(faults, req.C)
+		bound = b.cert.Fep(mc.faults, mc.c)
 	}
-	cn.putBounds(b)
+	mc.cn.putBounds(b)
 	resp := map[string]any{
-		"network_id": cn.id,
-		"faults":     faults,
-		"c":          req.C,
+		"network_id": mc.cn.id,
+		"faults":     mc.faults,
+		"c":          mc.c,
 		"trials":     prof.Trials,
 		"mean":       prof.Stats.Mean,
 		"median":     prof.Stats.Median,
@@ -616,5 +654,26 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	if bound > 0 {
 		resp["max_vs_bound"] = prof.Stats.Max / bound
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	var req monteCarloRequest
+	if err := decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	mc, err := s.resolveMonteCarlo(req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	prof, err := s.shardedMonteCarlo(r.Context(), mc.cn.model, mc.faults, mc.c, mc.traces, mc.trials, mc.seed)
+	if err != nil {
+		// The client is gone or the server is draining: there is nobody
+		// to answer, and the partial profile would be wrong anyway.
+		writeError(w, statusClientClosedRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, mcResponse(mc, prof))
 }

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -10,16 +9,45 @@ import (
 	"repro/internal/rng"
 )
 
-// shardedMonteCarlo samples random failure configurations with the
-// trials sharded over the server's persistent worker pool. Each shard
-// owns a compiled plan it re-indexes per trial; the clean traces are
-// shared by all shards (they are the expensive part and are cached per
-// network for the standard input set).
+// mcRange computes the worst-case error for Monte Carlo trials
+// [base, base+len(errs)) into errs, sharded over the server's worker
+// pool via ForCtx: cancellation or deadline stops the shards between
+// trials and every in-flight chunk is joined before the error returns.
 //
-// The result is deterministic for a given seed regardless of pool size
-// or scheduling: trial t always draws from the splittable stream
-// rng.NewStream(seed, t), so sharding only changes who runs the trial,
-// never what it samples.
+// The result is deterministic for a given seed regardless of pool
+// size, scheduling, or the base offset: trial t always draws from the
+// splittable stream rng.NewStream(seed, t), so sharding and
+// checkpoint/resume only change who runs a trial, never what it
+// samples — a resumed campaign is bit-identical to an uninterrupted
+// one.
+func (s *Server) mcRange(ctx context.Context, net nn.Model, perLayer []int, c float64, traces []*nn.Trace, seed uint64, base int, errs []float64) error {
+	return s.pool.ForCtx(ctx, len(errs), 0, func(lo, hi int) {
+		// Each chunk owns a compiled plan it re-indexes per trial; the
+		// clean traces are shared by all shards (they are the expensive
+		// part and are cached per network for the standard input set).
+		cp := fault.Compile(net, fault.Plan{})
+		for i := lo; i < hi; i++ {
+			r := rng.NewStream(seed, uint64(base+i))
+			cp.Reset(fault.RandomNeuronPlan(r, net, perLayer))
+			var inj fault.Injector
+			if c == 0 {
+				inj = fault.Crash{}
+			} else {
+				inj = fault.RandomByzantine{C: c, Sem: core.DeviationCap, R: r.Split()}
+			}
+			worst := 0.0
+			for _, tr := range traces {
+				if e := cp.ErrorOnTrace(inj, tr); e > worst {
+					worst = e
+				}
+			}
+			errs[i] = worst
+		}
+	})
+}
+
+// shardedMonteCarlo samples random failure configurations for the
+// synchronous /v1/montecarlo path: one full sweep, no checkpointing.
 //
 // ctx bounds the campaign: when the request is abandoned (client gone,
 // server shutting down) the shards stop between trials and ctx.Err()
@@ -27,46 +55,7 @@ import (
 // for a caller that already hung up.
 func (s *Server) shardedMonteCarlo(ctx context.Context, net nn.Model, perLayer []int, c float64, traces []*nn.Trace, trials int, seed uint64) (fault.Profile, error) {
 	errs := make([]float64, trials)
-	workers := s.pool.Size()
-	shard := (trials + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * shard
-		hi := lo + shard
-		if hi > trials {
-			hi = trials
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		s.pool.Submit(func() {
-			defer wg.Done()
-			cp := fault.Compile(net, fault.Plan{})
-			for t := lo; t < hi; t++ {
-				if ctx.Err() != nil {
-					return
-				}
-				r := rng.NewStream(seed, uint64(t))
-				cp.Reset(fault.RandomNeuronPlan(r, net, perLayer))
-				var inj fault.Injector
-				if c == 0 {
-					inj = fault.Crash{}
-				} else {
-					inj = fault.RandomByzantine{C: c, Sem: core.DeviationCap, R: r.Split()}
-				}
-				worst := 0.0
-				for _, tr := range traces {
-					if e := cp.ErrorOnTrace(inj, tr); e > worst {
-						worst = e
-					}
-				}
-				errs[t] = worst
-			}
-		})
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := s.mcRange(ctx, net, perLayer, c, traces, seed, 0, errs); err != nil {
 		return fault.Profile{}, err
 	}
 	return fault.ProfileOf(errs), nil

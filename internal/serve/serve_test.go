@@ -30,6 +30,16 @@ func testNet(seed uint64) *nn.Network {
 	}, 1.2)
 }
 
+// mustNew builds a Server, failing the test on error.
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 // newTestServer returns a server over a fresh store holding one
 // network, plus that network and its ID.
 func newTestServer(t *testing.T) (*Server, *nn.Network, string) {
@@ -43,7 +53,7 @@ func newTestServer(t *testing.T) (*Server, *nn.Network, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Store: st, Workers: 4})
+	s := mustNew(t, Config{Store: st, Workers: 4})
 	t.Cleanup(s.Close)
 	return s, net, entry.ID
 }
@@ -280,7 +290,7 @@ func TestInlineNetworkQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Store: st})
+	s := mustNew(t, Config{Store: st})
 	defer s.Close()
 	net := testNet(3)
 	data, err := json.Marshal(net)

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenSelfHealsCorruptManifest injects corruption into a populated
+// store — a clobbered manifest and one flipped object — and verifies
+// that Open recovers instead of failing: the intact artifacts resolve,
+// the damaged object is quarantined, and the rebuilt manifest persists.
+func TestOpenSelfHealsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.PutNetwork(testNet(21), map[string]string{"target": "sine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.PutNetwork(testNet(22), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corruption injection: truncate the manifest mid-token and flip the
+	// second object's content so it no longer hashes to its name.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"entries": [{"id`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.objectPath(bad.ID), []byte(`{"tampered": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healed, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open on corrupt manifest = %v, want self-heal", err)
+	}
+	if _, err := healed.Resolve(good.ID); err != nil {
+		t.Fatalf("healed store lost the intact artifact: %v", err)
+	}
+	if _, _, err := healed.Network(good.ID); err != nil {
+		t.Fatalf("healed store cannot load the intact network: %v", err)
+	}
+	if got, err := healed.Resolve(bad.ID); err == nil {
+		t.Fatalf("corrupt object still resolves: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", bad.ID+".json")); err != nil {
+		t.Fatalf("corrupt object not quarantined: %v", err)
+	}
+	// The healed manifest is durable: a further plain Open sees the same
+	// index without another rebuild.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := again.Resolve(good.ID); err != nil {
+		t.Fatalf("rebuilt manifest did not persist: %v", err)
+	}
+}
+
+// TestOpenSelfHealsMissingManifest deletes the manifest outright: Open
+// must rebuild it from the object tree rather than serving an empty
+// store, synthesising entries for objects whose sidecars are lost too.
+func TestOpenSelfHealsMissingManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.PutNetwork(testNet(23), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.entryPath(e.ID)); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := healed.Resolve(e.ID)
+	if err != nil {
+		t.Fatalf("healed store lost the artifact: %v", err)
+	}
+	// The sidecar was gone: the kind comes from sniffing the document.
+	if got.Kind != KindNetwork {
+		t.Fatalf("synthesised entry kind = %q, want %q", got.Kind, KindNetwork)
+	}
+	if _, _, err := healed.Network(e.ID); err != nil {
+		t.Fatalf("healed store cannot load network: %v", err)
+	}
+}
+
+// TestJobRecordsRoundTrip covers the keyed mutable records backing the
+// job tier: records overwrite atomically, checkpoints replace, memo
+// entries are append-once.
+func TestJobRecordsRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		State string `json:"state"`
+		Done  int    `json:"done"`
+	}
+	id := "deadbeef0123"
+	if ok, err := s.JobRecord(id, &rec{}); err != nil || ok {
+		t.Fatalf("JobRecord on empty store = %v, %v", ok, err)
+	}
+	if err := s.PutJobRecord(id, rec{State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJobRecord(id, rec{State: "running", Done: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if ok, err := s.JobRecord(id, &got); err != nil || !ok {
+		t.Fatalf("JobRecord = %v, %v", ok, err)
+	}
+	if got.State != "running" || got.Done != 3 {
+		t.Fatalf("record = %+v, want latest write", got)
+	}
+	ids, err := s.JobRecordIDs()
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("JobRecordIDs = %v, %v", ids, err)
+	}
+
+	if err := s.PutJobCheckpoint(id, rec{Done: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var ck rec
+	if ok, err := s.JobCheckpoint(id, &ck); err != nil || !ok || ck.Done != 7 {
+		t.Fatalf("JobCheckpoint = %+v, %v, %v", ck, ok, err)
+	}
+	// Checkpoints must not surface as job records.
+	if ids, _ := s.JobRecordIDs(); len(ids) != 1 {
+		t.Fatalf("checkpoint leaked into JobRecordIDs: %v", ids)
+	}
+	if err := s.DeleteJobCheckpoint(id); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.JobCheckpoint(id, &ck); ok {
+		t.Fatal("checkpoint survived delete")
+	}
+	if err := s.DeleteJobCheckpoint(id); err != nil {
+		t.Fatalf("double delete = %v, want nil", err)
+	}
+
+	key, err := MemoKey(map[string]any{"kind": "montecarlo", "trials": 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, _ := MemoKey(map[string]any{"kind": "montecarlo", "trials": 257})
+	if key == key2 {
+		t.Fatal("distinct requests share a memo key")
+	}
+	if ok, _ := s.Memo(key, &got); ok {
+		t.Fatal("memo hit before put")
+	}
+	if err := s.PutMemo(key, rec{State: "done", Done: 256}); err != nil {
+		t.Fatal(err)
+	}
+	// Append-once: a second put must not clobber the original.
+	if err := s.PutMemo(key, rec{State: "clobbered"}); err != nil {
+		t.Fatal(err)
+	}
+	var memo rec
+	if ok, err := s.Memo(key, &memo); err != nil || !ok || memo.State != "done" {
+		t.Fatalf("memo = %+v, %v, %v", memo, ok, err)
+	}
+
+	// Path traversal in keys is rejected, not resolved.
+	if err := s.PutJobRecord("../evil", rec{}); err == nil {
+		t.Fatal("PutJobRecord accepted a path-traversal key")
+	}
+}

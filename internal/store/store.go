@@ -84,19 +84,39 @@ func Open(dir string) (*Store, error) {
 	data, err := os.ReadFile(s.manifestPath())
 	switch {
 	case os.IsNotExist(err):
-		// Fresh store.
+		// Fresh store — unless the object tree already holds artifacts,
+		// in which case the index was lost: self-heal by rebuilding it
+		// from the objects instead of serving an empty store.
+		if s.hasObjects() {
+			if _, err := s.Rebuild(); err != nil {
+				return nil, err
+			}
+		}
 	case err != nil:
 		return nil, fmt.Errorf("store: %w", err)
 	default:
 		var m manifest
 		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("store: parsing %s: %w", s.manifestPath(), err)
+			// A corrupt manifest is recoverable state, not a fatal error:
+			// the object tree is the source of truth, the manifest only a
+			// derived index. Rebuild it, quarantining unreadable objects.
+			if _, err := s.Rebuild(); err != nil {
+				return nil, fmt.Errorf("store: manifest corrupt and rebuild failed: %w", err)
+			}
+			return s, nil
 		}
 		for _, e := range m.Entries {
 			s.entries[e.ID] = e
 		}
 	}
 	return s, nil
+}
+
+// hasObjects reports whether the object tree holds at least one
+// artifact file.
+func (s *Store) hasObjects() bool {
+	matches, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*.json"))
+	return err == nil && len(matches) > 0
 }
 
 // Root returns the store's root directory.
@@ -245,39 +265,127 @@ func (s *Store) mergeManifestLocked() error {
 	return nil
 }
 
-// Rebuild reconstructs the index from the object tree's entry sidecars
-// and rewrites the manifest — the recovery path for a lost or damaged
-// manifest.json. It returns the number of artifacts indexed.
-func (s *Store) Rebuild() (int, error) {
+// RebuildReport summarises a manifest reconstruction.
+type RebuildReport struct {
+	// Indexed counts the artifacts recovered into the new manifest.
+	Indexed int
+	// Quarantined counts unreadable objects moved aside (bad JSON, or
+	// content that no longer hashes to its filename).
+	Quarantined int
+}
+
+// Rebuild reconstructs the index by scanning the object tree and
+// rewrites the manifest — the recovery path for a lost or damaged
+// manifest.json (Open takes it automatically). The objects themselves
+// are the source of truth: every readable object whose content still
+// hashes to its filename is re-indexed (its entry sidecar supplies
+// kind/meta when readable, and is re-synthesised otherwise), while
+// unreadable or corrupted objects are quarantined under
+// <root>/quarantine/ instead of failing the whole store open.
+func (s *Store) Rebuild() (RebuildReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sidecars, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*.entry.json"))
+	var rep RebuildReport
+	objects, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*.json"))
 	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+		return rep, fmt.Errorf("store: %w", err)
 	}
 	entries := map[string]Entry{}
-	for _, path := range sidecars {
+	for _, path := range objects {
+		name := filepath.Base(path)
+		if strings.HasSuffix(name, ".entry.json") {
+			continue // sidecars are handled with their object
+		}
+		id := strings.TrimSuffix(name, ".json")
 		data, err := os.ReadFile(path)
-		if err != nil {
-			return 0, fmt.Errorf("store: %w", err)
+		if err != nil || !json.Valid(data) || ID(data) != id {
+			// The object cannot back its own address: quarantine it (and
+			// its sidecar) rather than indexing bytes Raw would reject.
+			rep.Quarantined++
+			s.quarantineFiles(path, s.entryPath(id))
+			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(data, &e); err != nil {
-			return 0, fmt.Errorf("store: parsing %s: %w", path, err)
+		e, ok := readSidecar(s.entryPath(id), id)
+		if !ok {
+			// Lost sidecar: synthesise an entry from the object itself so
+			// the artifact stays reachable, and rewrite the sidecar.
+			info, statErr := os.Stat(path)
+			created := time.Now().UTC().Truncate(time.Second)
+			if statErr == nil {
+				created = info.ModTime().UTC().Truncate(time.Second)
+			}
+			e = Entry{ID: id, Kind: sniffKind(data), Created: created, Bytes: len(data),
+				Meta: map[string]string{"recovered": "rebuild"}}
+			if sidecar, err := json.MarshalIndent(e, "", " "); err == nil {
+				_ = atomicWrite(s.entryPath(id), sidecar)
+			}
 		}
-		if e.ID == "" || e.Kind == "" {
-			return 0, fmt.Errorf("store: sidecar %s has no id/kind", path)
-		}
-		if _, err := os.Stat(s.objectPath(e.ID)); err != nil {
-			return 0, fmt.Errorf("store: sidecar %s without object: %w", path, err)
-		}
-		entries[e.ID] = e
+		entries[id] = e
 	}
 	s.entries = entries
+	rep.Indexed = len(entries)
 	if err := s.writeManifestLocked(); err != nil {
-		return 0, err
+		return rep, err
 	}
-	return len(entries), nil
+	return rep, nil
+}
+
+// readSidecar loads an entry sidecar, accepting it only when it names
+// the object it sits next to.
+func readSidecar(path, id string) (Entry, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.ID != id || e.Kind == "" {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// sniffKind classifies an artifact document whose sidecar is lost, from
+// the document's own structure.
+func sniffKind(data []byte) string {
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if strings.HasPrefix(trimmed, "[") {
+		return KindOutcomes
+	}
+	var probe struct {
+		Arch      string          `json:"arch"`
+		Hidden    json.RawMessage `json:"hidden"`
+		NetworkID string          `json:"network_id"`
+		Options   json.RawMessage `json:"options"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "unknown"
+	}
+	switch {
+	case probe.Arch != "":
+		return KindConv
+	case probe.NetworkID != "" && len(probe.Options) > 0:
+		return KindQuantized
+	case len(probe.Hidden) > 0:
+		return KindNetwork
+	}
+	return "unknown"
+}
+
+// quarantineFiles moves damaged files into <root>/quarantine/ (best
+// effort: quarantine must never make recovery worse).
+func (s *Store) quarantineFiles(paths ...string) {
+	qdir := filepath.Join(s.root, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		_ = os.Rename(p, filepath.Join(qdir, filepath.Base(p)))
+	}
 }
 
 // Raw returns the stored bytes and entry for an ID or unique prefix.

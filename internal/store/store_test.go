@@ -231,12 +231,12 @@ func TestRebuildRecoversManifest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := recovered.Rebuild()
+	rep, err := recovered.Rebuild()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("rebuilt %d artifacts, want 2", n)
+	if rep.Indexed != 2 || rep.Quarantined != 0 {
+		t.Fatalf("rebuilt %+v, want 2 indexed / 0 quarantined", rep)
 	}
 	got, err := recovered.Resolve(e1.ID)
 	if err != nil {

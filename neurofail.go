@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/rng"
@@ -418,13 +419,22 @@ type ServeConfig = serve.Config
 
 // Server is the long-running robustness-query HTTP service: bounds,
 // injection, batched evaluation and Monte Carlo profiles over stored
-// networks, with cached compiled fault plans and pooled scratch (see
-// internal/serve).
+// networks, with cached compiled fault plans, pooled scratch, and a
+// fault-tolerant async job tier (see internal/serve and internal/jobs).
 type Server = serve.Server
 
-// NewServer builds a query service; expose it with Handler, release it
-// with Close.
-func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+// NewServer builds a query service (with a store configured it also
+// starts the async job tier, resuming jobs a previous process left
+// behind); expose it with Handler, release it with Close.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// JobRecord is the durable description of one async job: its lifecycle
+// state, attempts, progress, checkpoints, and result address.
+type JobRecord = jobs.Record
+
+// JobState is a job's lifecycle position: queued, running,
+// checkpointed, done, failed, or cancelled.
+type JobState = jobs.State
 
 // Serve listens on addr and answers robustness queries until ctx is
 // cancelled, then shuts down gracefully. logf (optional) receives one

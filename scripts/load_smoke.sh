@@ -1,0 +1,70 @@
+#!/bin/sh
+# load_smoke.sh — end-to-end load harness for the query service and its
+# async job tier: boots `neurofail serve` against a fresh store, drives
+# concurrent clients plus Monte Carlo campaigns with loadgen, asserts a
+# non-zero sustained RPS, and verifies the server drains gracefully on
+# SIGTERM while jobs may still be resident.
+#
+# Usage: load_smoke.sh <neurofail binary> <loadgen binary> [report path]
+# Tunables (env): CLIENTS (4) DURATION (2s) JOBS (2) JOB_TRIALS (2000)
+set -eu
+
+BIN=${1:?usage: load_smoke.sh <neurofail binary> <loadgen binary> [report]}
+LOADGEN=${2:?usage: load_smoke.sh <neurofail binary> <loadgen binary> [report]}
+OUT=${3:-}
+CLIENTS=${CLIENTS:-4}
+DURATION=${DURATION:-2s}
+JOBS=${JOBS:-2}
+JOB_TRIALS=${JOB_TRIALS:-2000}
+
+DIR=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+[ -n "$OUT" ] || OUT="$DIR/load.json"
+
+echo "== train a tiny network and ingest it into the store"
+"$BIN" train -target sine -widths 8 -epochs 40 -seed 1 -out "$DIR/net.json" >/dev/null
+ID=$("$BIN" store add -dir "$DIR/store" -net "$DIR/net.json")
+echo "   stored as ${ID}"
+
+echo "== boot the service (job tier enabled)"
+"$BIN" serve -addr 127.0.0.1:0 -store "$DIR/store" -job-workers 2 -job-queue 8 \
+    2>"$DIR/serve.log" &
+PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*listening on //p' "$DIR/serve.log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "server died:"; cat "$DIR/serve.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; cat "$DIR/serve.log"; exit 1; }
+echo "   listening on $ADDR"
+
+echo "== drive load: $CLIENTS clients for $DURATION + $JOBS campaigns of $JOB_TRIALS trials"
+# loadgen exits non-zero on any request error, zero RPS, an incomplete
+# campaign, or a missed memo hit — each is a hard failure here.
+"$LOADGEN" -addr "$ADDR" -network "$ID" -clients "$CLIENTS" -duration "$DURATION" \
+    -jobs "$JOBS" -job-trials "$JOB_TRIALS" -out "$OUT"
+echo "   report:"
+sed 's/^/   /' "$OUT"
+grep -q '"rps": 0,' "$OUT" && { echo "zero sustained RPS"; exit 1; }
+
+echo "== graceful shutdown (SIGTERM) with the job tier resident"
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+    WAITED=$((WAITED + 1))
+    [ $WAITED -gt 150 ] && { echo "server did not drain"; exit 1; }
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || { echo "server exited non-zero"; cat "$DIR/serve.log"; exit 1; }
+PID=""
+echo "load smoke: OK"
