@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-conv serve-smoke load load-smoke
+.PHONY: ci fmt vet build test race bench bench-conv bench-batch serve-smoke load load-smoke
 
-ci: fmt vet build test bench bench-conv serve-smoke load-smoke
+ci: fmt vet build test bench bench-conv bench-batch serve-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -35,6 +35,14 @@ bench:
 bench-conv:
 	NEUROFAIL_BENCH_CONV=1 $(GO) test -run 'TestConvNativeSpeedSmoke' -count=1 -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkConv(Forward|FaultedForward)' -benchtime=20x -benchmem .
+
+# Batched-vs-scalar engine smoke (BENCH_7.json workload): keeps the
+# fused multi-lane path honest — TestBatchedSpeedSmoke FAILS if the
+# batched sweep stops clearly beating the scalar one-at-a-time engine;
+# the benchmark run prints the current scalar/batched columns.
+bench-batch:
+	NEUROFAIL_BENCH_BATCH=1 $(GO) test -run 'TestBatchedSpeedSmoke' -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedSweep' -benchtime=5x -benchmem .
 
 # End-to-end smoke of the query service: build the CLI, boot `neurofail
 # serve` against a fresh store, hit /healthz and one /v1/bounds query,

@@ -30,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -285,6 +288,7 @@ func cmdServe(args []string) error {
 	jobQueue := fs.Int("job-queue", 64, "async job tier: queue depth before submissions get 429")
 	jobDeadline := fs.Duration("job-deadline", 0, "async job tier: per-attempt deadline (0 = unbounded)")
 	jobRetries := fs.Int("job-retries", 3, "async job tier: attempts per job before it fails")
+	debugAddr := fs.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Parse(args)
 	st, err := store.Open(*storeDir)
 	if err != nil {
@@ -292,6 +296,26 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		// The profiler gets its own mux and listener so /debug/pprof is
+		// never exposed on the query service's address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "neurofail: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "neurofail: pprof server: %v\n", err)
+			}
+		}()
+	}
 	return serve.Run(ctx, *addr, serve.Config{
 		Store:       st,
 		Workers:     *workers,

@@ -1,0 +1,51 @@
+package conv
+
+import (
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// TestBatchMatchesScalarConvModel pins the batched engine's
+// LayerSumsLanesModel fallback path: conv models expose no multi-lane
+// kernel, so the batch engine runs their LayerSums lane by lane — the
+// results must still be bit-identical to the one-at-a-time oracle.
+func TestBatchMatchesScalarConvModel(t *testing.T) {
+	r := rng.New(109)
+	net, err := NewRandom(r, 12, []int{3, 3}, []int{2, 1}, activation.NewSigmoid(1), 0.8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]float64, 4)
+	for i := range inputs {
+		x := make([]float64, 12)
+		r.Floats(x, 0, 1)
+		inputs[i] = x
+	}
+	traces := fault.CleanTraces(net, inputs)
+	plans := []fault.Plan{
+		{},
+		fault.RandomNeuronPlan(r, net, []int{2, 1}),
+		fault.RandomNeuronPlan(r, net, []int{1, 2}),
+		{Neurons: []fault.NeuronFault{{Layer: 2, Index: 0}}},
+	}
+	bp := fault.CompileBatch(net, len(plans))
+	bp.Reset(plans)
+	injs := make([]fault.Injector, len(plans))
+	for p := range injs {
+		injs[p] = fault.Byzantine{C: 0.5, Sem: core.DeviationCap}
+	}
+	out := make([]float64, len(plans))
+	for _, tr := range traces {
+		bp.ErrorsOnTrace(injs, tr, out)
+		for p, plan := range plans {
+			want := fault.Compile(net, plan).ErrorOnTrace(injs[p], tr)
+			if out[p] != want {
+				t.Fatalf("conv lane %d: batched %v != scalar %v", p, out[p], want)
+			}
+		}
+	}
+}

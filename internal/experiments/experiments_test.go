@@ -300,8 +300,8 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(seen))
+	if len(seen) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(seen))
 	}
 }
 

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// BatchLanes is the default lane count of the batched plan engine: 8
+// damaged sweeps per matrix pass (two quad-lane kernel groups), enough
+// to amortise the matrix traffic that bounds the scalar engine without
+// outgrowing L1 with lane state.
+const BatchLanes = 8
+
+// BatchPlan evaluates P compiled plans against one model as a single
+// multi-lane sweep. The clean prefix is shared: every lane starts from
+// the input's precomputed clean trace at its plan's first divergent
+// layer, and from there the damaged suffixes advance together — each
+// layer's weight matrix streams from cache once per batch of lanes
+// instead of once per plan (tensor.MulVecLanesAddTo), which is where
+// the structural speedup over the one-at-a-time engine comes from.
+//
+// Per lane the arithmetic replays CompiledPlan.ErrorOnTrace exactly
+// (same kernels, same accumulation order, same fault-application
+// order), so batched float64 results are bit-identical to the
+// one-at-a-time oracle for every injector.
+//
+// A BatchPlan is NOT safe for concurrent use: it owns its lane scratch.
+// Give each worker its own (the sharded sweeps in measure.go and
+// serve's Monte Carlo do).
+type BatchPlan struct {
+	net   nn.Model
+	lanes []*CompiledPlan
+
+	active int
+	sc     nn.BatchScratch
+	// xs/dsts are the per-layer kernel views of the active lanes;
+	// laneOf maps a kernel slot back to its lane; trs holds each lane's
+	// clean trace for the current evaluation.
+	xs     [][]float64
+	dsts   [][]float64
+	laneOf []int
+	trs    []*nn.Trace
+}
+
+// CompileBatch builds a batched evaluator with the given lane capacity
+// (0 or negative selects BatchLanes). Load plans with Reset or
+// ResetShared before evaluating.
+func CompileBatch(m nn.Model, lanes int) *BatchPlan {
+	if lanes <= 0 {
+		lanes = BatchLanes
+	}
+	bp := &BatchPlan{
+		net:    m,
+		lanes:  make([]*CompiledPlan, lanes),
+		xs:     make([][]float64, lanes),
+		dsts:   make([][]float64, lanes),
+		laneOf: make([]int, lanes),
+		trs:    make([]*nn.Trace, lanes),
+	}
+	for p := range bp.lanes {
+		bp.lanes[p] = Compile(m, Plan{})
+	}
+	bp.sc.Ensure(m, lanes)
+	return bp
+}
+
+// Lanes returns the lane capacity.
+func (bp *BatchPlan) Lanes() int { return len(bp.lanes) }
+
+// Reset re-indexes the lanes for a new group of plans (len(plans) may
+// be anything up to the capacity), reusing every index buffer — the
+// allocation-free way to sweep many plan groups, mirroring
+// CompiledPlan.Reset lane by lane.
+func (bp *BatchPlan) Reset(plans []Plan) {
+	if len(plans) > len(bp.lanes) {
+		panic(fmt.Sprintf("fault: BatchPlan.Reset with %d plans for %d lanes", len(plans), len(bp.lanes)))
+	}
+	for p, plan := range plans {
+		bp.lanes[p].Reset(plan)
+	}
+	bp.active = len(plans)
+}
+
+// ResetShared loads the same plan into n lanes — the input-batching
+// configuration: one plan evaluated against n different traces per
+// call (MaxError's axis, where the plan is fixed and the inputs vary).
+func (bp *BatchPlan) ResetShared(plan Plan, n int) {
+	if n > len(bp.lanes) {
+		panic(fmt.Sprintf("fault: BatchPlan.ResetShared with %d lanes of %d", n, len(bp.lanes)))
+	}
+	for p := 0; p < n; p++ {
+		bp.lanes[p].Reset(plan)
+	}
+	bp.active = n
+}
+
+// ErrorsOnTrace evaluates every loaded lane against one clean trace:
+// out[p] receives |Fneu - Ffail_p| on tr.Input, bit-identical to
+// lanes[p].ErrorOnTrace(injs[p], tr). This is the plan-batching axis
+// (exhaustive search, Monte Carlo: many plans, one input at a time).
+func (bp *BatchPlan) ErrorsOnTrace(injs []Injector, tr *nn.Trace, out []float64) {
+	for p := 0; p < bp.active; p++ {
+		bp.trs[p] = tr
+	}
+	bp.evalLanes(injs, out)
+}
+
+// ErrorsOnTraces evaluates lane p against trs[p]: the general form
+// (per-lane plan AND per-lane input). len(injs), len(trs) and len(out)
+// must cover the loaded lanes.
+func (bp *BatchPlan) ErrorsOnTraces(injs []Injector, trs []*nn.Trace, out []float64) {
+	copy(bp.trs, trs[:bp.active])
+	bp.evalLanes(injs, out)
+}
+
+// evalLanes is the fused multi-lane damaged sweep over bp.trs; out[p]
+// receives lane p's absolute error.
+func (bp *BatchPlan) evalLanes(injs []Injector, out []float64) {
+	n := bp.active
+	if len(injs) < n || len(out) < n {
+		panic("fault: BatchPlan evaluation with short injector or output slice")
+	}
+	m := bp.net
+	L := m.NumLayers()
+	act := m.Activation()
+	bp.sc.Ensure(m, len(bp.lanes))
+
+	minD := L + 1
+	for p := 0; p < n; p++ {
+		if d := bp.lanes[p].diverge; d < minD {
+			minD = d
+		}
+	}
+
+	for l := minD; l <= L; l++ {
+		// Gather the lanes live at this layer and their inputs: the
+		// trace prefix at the divergence layer, the lane's own previous
+		// buffer after it.
+		k := 0
+		lanebufs := bp.sc.Layer(l)
+		for p := 0; p < n; p++ {
+			cp := bp.lanes[p]
+			d := cp.diverge
+			if l < d {
+				continue
+			}
+			if l == d {
+				tr := bp.trs[p]
+				if len(cp.synapsesAt[l]) == 0 {
+					// Divergence layer without synapse faults: the
+					// received sums equal the clean ones, so the lane's
+					// outputs are bitwise the trace's — copy and
+					// override here instead of joining the kernel
+					// batch (same fast path as the scalar engine).
+					dst := lanebufs[p]
+					copy(dst, tr.Outputs[l-1])
+					if _, isCrash := injs[p].(Crash); isCrash {
+						for _, f := range cp.neuronsAt[l] {
+							dst[f.Index] = 0
+						}
+					} else {
+						for _, f := range cp.neuronsAt[l] {
+							dst[f.Index] = injs[p].NeuronValue(f, tr.Outputs[l-1][f.Index])
+						}
+					}
+					continue
+				}
+				if l == 1 {
+					bp.xs[k] = tr.Input
+				} else {
+					bp.xs[k] = tr.Outputs[l-2]
+				}
+			} else {
+				bp.xs[k] = bp.sc.Layer(l - 1)[p]
+			}
+			bp.dsts[k] = lanebufs[p]
+			bp.laneOf[k] = p
+			k++
+		}
+		// One sweep over W^{(l)} serves every live lane.
+		nn.LayerSumsLanesModel(m, l, bp.dsts[:k], bp.xs[:k])
+		// Fault application per lane, in the exact order of the
+		// one-at-a-time engine: synapse deltas on the received sums,
+		// activation around the overridden rows, then neuron overrides
+		// reading nominals off the clean trace.
+		for s := 0; s < k; s++ {
+			p := bp.laneOf[s]
+			cp := bp.lanes[p]
+			inj := injs[p]
+			sF := bp.dsts[s]
+			yPrev := bp.xs[s]
+			for _, f := range cp.synapsesAt[l] {
+				transmitted := m.Weight(l, f.To, f.From) * yPrev[f.From]
+				sF[f.To] += inj.SynapseDelta(f, transmitted)
+			}
+			evalSkip(act, sF, cp.overridden[l])
+			if _, isCrash := inj.(Crash); isCrash {
+				for _, f := range cp.neuronsAt[l] {
+					sF[f.Index] = 0
+				}
+			} else {
+				tr := bp.trs[p]
+				for _, f := range cp.neuronsAt[l] {
+					sF[f.Index] = inj.NeuronValue(f, tr.Outputs[l-1][f.Index])
+				}
+			}
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		cp := bp.lanes[p]
+		tr := bp.trs[p]
+		yF := tr.Outputs[L-1]
+		if cp.diverge <= L {
+			yF = bp.sc.Layer(L)[p]
+		}
+		faulted := m.OutputSum(yF)
+		for _, f := range cp.synapsesAt[L+1] {
+			transmitted := m.Weight(L+1, f.To, f.From) * yF[f.From]
+			faulted += injs[p].SynapseDelta(f, transmitted)
+		}
+		out[p] = math.Abs(tr.Output - faulted)
+	}
+}

@@ -285,6 +285,23 @@ func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trac
 			copy(sC, sF)
 			activation.Eval(act, sC, sC)
 			yC = sC
+		case tr != nil && l == cp.diverge && len(cp.synapsesAt[l]) == 0:
+			// First divergent layer alongside a precomputed trace, no
+			// synapse faults: the received sums equal the clean ones, so
+			// every non-overridden output is bitwise the trace's — copy
+			// and override, skipping the matvec and the activations.
+			copy(sF, tr.Outputs[l-1])
+			if isCrash {
+				for _, f := range cp.neuronsAt[l] {
+					sF[f.Index] = 0
+				}
+			} else {
+				for _, f := range cp.neuronsAt[l] {
+					sF[f.Index] = inj.NeuronValue(f, tr.Outputs[l-1][f.Index])
+				}
+			}
+			yF = sF
+			continue
 		default:
 			m.LayerSums(l, sF, yF, cp.overridden[l])
 		}

@@ -8,15 +8,37 @@ import (
 	"repro/internal/parallel"
 )
 
-// MaxError returns the largest |Fneu(x) - Ffail(x)| over the given inputs,
-// evaluated in parallel on a plan compiled once. The injector must be
-// safe for concurrent use (Crash and Byzantine are; RandomByzantine is
-// not — use MaxErrorSeq).
+// MaxError returns the largest |Fneu(x) - Ffail(x)| over the given
+// inputs: clean traces are computed once (in parallel), then the
+// damaged sweeps run through the batched multi-lane engine — the plan
+// is fixed and the lanes are inputs, so each weight matrix streams once
+// per BatchLanes inputs. The injector must be safe for concurrent use
+// (Crash and Byzantine are; RandomByzantine is not — use MaxErrorSeq).
 func MaxError(n nn.Model, p Plan, inj Injector, inputs [][]float64) float64 {
-	cp := Compile(n, p)
-	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
-		return cp.ErrorOn(inj, inputs[i])
+	traces := CleanTraces(n, inputs)
+	errs := make([]float64, len(inputs))
+	parallel.ForChunked(len(inputs), BatchLanes, func(lo, hi int) {
+		bp := CompileBatch(n, BatchLanes)
+		var injs [BatchLanes]Injector
+		for i := range injs {
+			injs[i] = inj
+		}
+		for i := lo; i < hi; i += BatchLanes {
+			k := hi - i
+			if k > BatchLanes {
+				k = BatchLanes
+			}
+			bp.ResetShared(p, k)
+			bp.ErrorsOnTraces(injs[:k], traces[i:i+k], errs[i:i+k])
+		}
 	})
+	worst := 0.0
+	for _, e := range errs {
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 // MaxErrorSeq is the sequential variant for stateful injectors.
@@ -228,21 +250,46 @@ func ExhaustiveWorstCrash(n nn.Model, perLayer []int, inputs [][]float64, maxCon
 			if hi > total {
 				hi = total
 			}
+			// Each worker owns a batched evaluator: configurations are
+			// loaded BatchLanes at a time and every clean trace is swept
+			// once per group, so each weight matrix streams once per
+			// BatchLanes configurations instead of once per configuration.
 			local := worst{}
-			cp := Compile(n, Plan{})
-			var buf []NeuronFault
-			for flat := lo; flat < hi; flat++ {
-				buf = fillPlan(buf, flat)
-				cp.Reset(Plan{Neurons: buf})
-				improved := false
+			bp := CompileBatch(n, BatchLanes)
+			var bufs [BatchLanes][]NeuronFault
+			var plans [BatchLanes]Plan
+			var injs [BatchLanes]Injector
+			var errs, laneWorst [BatchLanes]float64
+			for p := range injs {
+				injs[p] = Crash{}
+			}
+			for flat := lo; flat < hi; flat += BatchLanes {
+				lanes := BatchLanes
+				if rem := hi - flat; rem < int64(lanes) {
+					lanes = int(rem)
+				}
+				for p := 0; p < lanes; p++ {
+					bufs[p] = fillPlan(bufs[p], flat+int64(p))
+					plans[p] = Plan{Neurons: bufs[p]}
+					laneWorst[p] = 0
+				}
+				bp.Reset(plans[:lanes])
 				for _, tr := range traces {
-					if e := cp.ErrorOnTrace(Crash{}, tr); e > local.err {
-						local.err = e
-						improved = true
+					bp.ErrorsOnTrace(injs[:lanes], tr, errs[:lanes])
+					for p := 0; p < lanes; p++ {
+						if errs[p] > laneWorst[p] {
+							laneWorst[p] = errs[p]
+						}
 					}
 				}
-				if improved {
-					local.plan = Plan{Neurons: append([]NeuronFault(nil), buf...)}
+				// Lanes are visited in flat order, and only a strictly
+				// larger error displaces the incumbent — exactly the
+				// scalar loop's first-attaining-configuration semantics.
+				for p := 0; p < lanes; p++ {
+					if laneWorst[p] > local.err {
+						local.err = laneWorst[p]
+						local.plan = Plan{Neurons: append([]NeuronFault(nil), bufs[p]...)}
+					}
 				}
 			}
 			partial[slot] = local

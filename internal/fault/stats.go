@@ -26,27 +26,44 @@ type Profile struct {
 // distribution, each with random bounded Byzantine values (or crashes
 // when c == 0), measures the max error over the inputs for each, and
 // returns the empirical profile.
+//
+// Trials run through the batched multi-lane engine, BatchLanes
+// configurations per sweep; each trial's plan and rng stream are drawn
+// in trial order and each lane replays the scalar evaluation exactly,
+// so the profile is bit-identical to evaluating trials one at a time.
 func MonteCarlo(n nn.Model, perLayer []int, c float64, sem core.CapSemantics, inputs [][]float64, trials int, r *rng.Rand) Profile {
 	// One clean sweep per input serves every sampled configuration; each
-	// trial then costs only damaged sweeps on a re-indexed compiled plan.
+	// group of trials then costs one multi-lane damaged sweep per input.
 	traces := CleanTraces(n, inputs)
-	cp := Compile(n, Plan{})
+	bp := CompileBatch(n, BatchLanes)
 	errs := make([]float64, trials)
-	for t := 0; t < trials; t++ {
-		cp.Reset(RandomNeuronPlan(r, n, perLayer))
-		var inj Injector
-		if c == 0 {
-			inj = Crash{}
-		} else {
-			inj = RandomByzantine{C: c, Sem: sem, R: r.Split()}
+	var plans [BatchLanes]Plan
+	var injs [BatchLanes]Injector
+	var laneErr, laneWorst [BatchLanes]float64
+	for t := 0; t < trials; t += BatchLanes {
+		lanes := BatchLanes
+		if rem := trials - t; rem < lanes {
+			lanes = rem
 		}
-		worst := 0.0
+		for p := 0; p < lanes; p++ {
+			plans[p] = RandomNeuronPlan(r, n, perLayer)
+			if c == 0 {
+				injs[p] = Crash{}
+			} else {
+				injs[p] = RandomByzantine{C: c, Sem: sem, R: r.Split()}
+			}
+			laneWorst[p] = 0
+		}
+		bp.Reset(plans[:lanes])
 		for _, tr := range traces {
-			if e := cp.ErrorOnTrace(inj, tr); e > worst {
-				worst = e
+			bp.ErrorsOnTrace(injs[:lanes], tr, laneErr[:lanes])
+			for p := 0; p < lanes; p++ {
+				if laneErr[p] > laneWorst[p] {
+					laneWorst[p] = laneErr[p]
+				}
 			}
 		}
-		errs[t] = worst
+		copy(errs[t:t+lanes], laneWorst[:lanes])
 	}
 	return ProfileOf(errs)
 }

@@ -169,16 +169,13 @@ type Trace struct {
 	Output float64
 }
 
-// Forward evaluates Fneu(X) (Equation 1).
+// Forward evaluates Fneu(X) (Equation 1) on pooled scratch: the steady
+// state allocates nothing, and results are bit-identical to ForwardInto.
 func (n *Network) Forward(x []float64) float64 {
-	y := x
-	for l, m := range n.Hidden {
-		s := make([]float64, m.Rows)
-		m.MulVecAddTo(s, y, n.bias(l))
-		activation.Eval(n.Act, s, s)
-		y = s
-	}
-	return tensor.Dot(n.Output, y) + n.OutputBias
+	sc := GetScratch(n)
+	f := n.ForwardInto(sc, x)
+	PutScratch(sc)
+	return f
 }
 
 // ForwardTrace evaluates the network and records all intermediate sums and

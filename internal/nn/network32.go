@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"sync"
+
+	"repro/internal/activation"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Network32 is the single-precision inference lane of a Network: the
+// same topology with weights, biases and arithmetic in float32 (half
+// the memory traffic on the load-port-bound sweeps). Activations are
+// evaluated through the shared float64 activation.Func and rounded to
+// float32 — one rounding per neuron, covered by the quant.Float32Lane
+// error certificate. Nothing here is bit-identical to the float64
+// engine by design; quant certifies the gap instead.
+type Network32 struct {
+	InputDim   int
+	Act        activation.Func
+	Hidden     []*tensor.Matrix32
+	Biases     [][]float32
+	Output     []float32
+	OutputBias float32
+}
+
+// NewNetwork32 rounds n to single precision.
+func NewNetwork32(n *Network) *Network32 {
+	out := &Network32{
+		InputDim:   n.InputDim,
+		Act:        n.Act,
+		Hidden:     make([]*tensor.Matrix32, len(n.Hidden)),
+		Output:     tensor.ToFloat32(n.Output),
+		OutputBias: float32(n.OutputBias),
+	}
+	for l, m := range n.Hidden {
+		out.Hidden[l] = tensor.ToMatrix32(m)
+	}
+	if n.Biases != nil {
+		out.Biases = make([][]float32, len(n.Biases))
+		for l, b := range n.Biases {
+			if b != nil {
+				out.Biases[l] = tensor.ToFloat32(b)
+			}
+		}
+	}
+	return out
+}
+
+// Layers returns L.
+func (n *Network32) Layers() int { return len(n.Hidden) }
+
+func (n *Network32) bias(l int) []float32 {
+	if n.Biases == nil {
+		return nil
+	}
+	return n.Biases[l]
+}
+
+// Scratch32 holds the per-layer float32 buffers of an inference-lane
+// forward pass. Not safe for concurrent use; buffers are grow-only.
+type Scratch32 struct {
+	outs [][]float32
+	in   []float32
+}
+
+func grow32(buf []float32, want int) []float32 {
+	if cap(buf) < want {
+		return make([]float32, want)
+	}
+	return buf[:want]
+}
+
+func (sc *Scratch32) ensure(n *Network32) {
+	L := n.Layers()
+	if cap(sc.outs) < L {
+		sc.outs = make([][]float32, L)
+	}
+	sc.outs = sc.outs[:L]
+	for l, m := range n.Hidden {
+		sc.outs[l] = grow32(sc.outs[l], m.Rows)
+	}
+	sc.in = grow32(sc.in, n.InputDim)
+}
+
+var scratch32Pool = sync.Pool{New: func() any { return new(Scratch32) }}
+
+// GetScratch32 borrows a pooled Scratch32 sized for n; return it with
+// PutScratch32.
+func GetScratch32(n *Network32) *Scratch32 {
+	sc := scratch32Pool.Get().(*Scratch32)
+	sc.ensure(n)
+	return sc
+}
+
+// PutScratch32 returns a Scratch32 to the pool.
+func PutScratch32(sc *Scratch32) { scratch32Pool.Put(sc) }
+
+// ForwardInto evaluates the inference lane on a float32 input using
+// sc's buffers: zero steady-state allocations.
+func (n *Network32) ForwardInto(sc *Scratch32, x []float32) float32 {
+	sc.ensure(n)
+	y := x
+	for l, m := range n.Hidden {
+		s := sc.outs[l]
+		m.MulVecAddTo(s, y, n.bias(l))
+		for j, v := range s {
+			s[j] = float32(n.Act.Eval(float64(v)))
+		}
+		y = s
+	}
+	return tensor.Dot32(n.Output, y) + n.OutputBias
+}
+
+// Forward evaluates the inference lane on a float64 input (rounded on
+// entry) and widens the result — the drop-in signature for callers
+// holding float64 data.
+func (n *Network32) Forward(x []float64) float64 {
+	sc := GetScratch32(n)
+	sc.ensure(n)
+	xs := sc.in[:0]
+	for _, v := range x {
+		xs = append(xs, float32(v))
+	}
+	f := n.ForwardInto(sc, xs)
+	PutScratch32(sc)
+	return float64(f)
+}
+
+// ForwardBatch evaluates many float64 inputs in parallel on pooled
+// per-worker scratch.
+func (n *Network32) ForwardBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.ForChunked(len(xs), 8, func(lo, hi int) {
+		sc := GetScratch32(n)
+		for i := lo; i < hi; i++ {
+			sc.ensure(n)
+			x := sc.in[:0]
+			for _, v := range xs[i] {
+				x = append(x, float32(v))
+			}
+			out[i] = float64(n.ForwardInto(sc, x))
+		}
+		PutScratch32(sc)
+	})
+	return out
+}

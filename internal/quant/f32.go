@@ -1,0 +1,154 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+)
+
+// unitRoundoff32 is u = 2^-24, the relative rounding bound of float32
+// round-to-nearest.
+const unitRoundoff32 = 1.0 / (1 << 24)
+
+// Float32Lane is the single-precision inference implementation of a
+// network together with its accuracy certificate. Rounding every weight
+// to float32 is a (non-uniform) quantisation, so the Theorem 5 machinery
+// applies unchanged: each layer's swap from float64 to float32
+// arithmetic perturbs its neurons' outputs by at most λ_l, and
+// core.PrecisionBound propagates the λ_l to an output bound. Unlike the
+// batched float64 engine, the lane is NOT bit-identical to the oracle —
+// this certificate is its correctness contract instead.
+type Float32Lane struct {
+	// Original is the full-precision network.
+	Original *nn.Network
+	// Net is the single-precision implementation.
+	Net *nn.Network32
+	// Lambdas[l-1] bounds the per-neuron output error introduced by
+	// computing layer l in float32 (weight rounding + input rounding +
+	// accumulation rounding + activation-output rounding).
+	Lambdas []float64
+	// OutputStageErr bounds the additional error of the float32 output
+	// stage (additive, outside Theorem 5's sum — same split as Quantized).
+	OutputStageErr float64
+}
+
+// gamma32 is the classic summation-error factor γ_n = n·u/(1-n·u) for
+// float32: |fl(Σ a_i) - Σ a_i| <= γ_{n-1} Σ|a_i| for any evaluation
+// order, which covers the lane kernels' 4-way unrolled accumulation.
+func gamma32(n int) float64 {
+	nu := float64(n) * unitRoundoff32
+	if nu >= 1 {
+		return math.Inf(1)
+	}
+	return nu / (1 - nu)
+}
+
+// maxRoundDelta returns the largest actual |v - float64(float32(v))|
+// over the slice — the exact weight-rounding amplitude, tighter than
+// the worst-case u·max|v| when the weights avoid the ulp boundary.
+func maxRoundDelta(xs []float64) float64 {
+	worst := 0.0
+	for _, v := range xs {
+		if d := math.Abs(v - float64(float32(v))); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func maxAbs(xs []float64) float64 {
+	worst := 0.0
+	for _, v := range xs {
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// Float32 builds the single-precision lane and its certificate.
+// Like Quantize it refuses unbounded activations: the λ_l need an
+// activation cap to bound the summands.
+func Float32(n *nn.Network) (*Float32Lane, error) {
+	if math.IsInf(n.Act.Max(), 1) || math.IsInf(n.Act.Min(), -1) {
+		return nil, fmt.Errorf("quant: unbounded activation %s cannot be certified", n.Act.Name())
+	}
+	L := n.Layers()
+	lane := &Float32Lane{
+		Original: n,
+		Net:      nn.NewNetwork32(n),
+		Lambdas:  make([]float64, L),
+	}
+
+	actCap := math.Max(math.Abs(n.Act.Min()), math.Abs(n.Act.Max()))
+	k := n.Act.Lipschitz()
+	u := unitRoundoff32
+	for l := 1; l <= L; l++ {
+		fanIn := n.Width(l - 1)
+		// Inputs to layer l: [0,1]^d for the input layer, activation
+		// outputs after it.
+		inCap := actCap
+		if l == 1 {
+			inCap = 1
+		}
+		deltaW := maxRoundDelta(n.Hidden[l-1].Data)
+		wCap := maxAbs(n.Hidden[l-1].Data) + deltaW
+		deltaB, bCap := 0.0, 0.0
+		if n.Biases != nil && n.Biases[l-1] != nil {
+			deltaB = maxRoundDelta(n.Biases[l-1])
+			bCap = maxAbs(n.Biases[l-1]) + deltaB
+		}
+		// Received-sum error of one neuron, three sources:
+		//   weight rounding   Σ|Δw|·|y|           <= N·δw·inCap  (+ δb)
+		//   input rounding    Σ|ŵ|·|Δy|           <= N·ŵcap·u·inCap
+		//   accumulation      γ_{N+1}·Σ|terms|    (any order, so the
+		//                     4-way unrolled kernels are covered)
+		// The K-Lipschitz activation scales the sum error; rounding the
+		// activation output to float32 adds u·actCap on top.
+		sumErr := float64(fanIn)*inCap*(deltaW+wCap*u) + deltaB +
+			gamma32(fanIn+1)*(float64(fanIn)*wCap*inCap*(1+u)+bCap)
+		lane.Lambdas[l-1] = k*sumErr + u*actCap
+	}
+
+	// Output stage: linear, no activation; inputs are layer-L
+	// activations (already float32 in the lane, their rounding is
+	// counted in λ_L's u·actCap term — here only the exact-input swap
+	// error is needed, same hybrid split as Quantized.OutputStageErr).
+	nL := n.Width(L)
+	deltaV := maxRoundDelta(n.Output)
+	vCap := maxAbs(n.Output) + deltaV
+	deltaC := math.Abs(n.OutputBias - float64(float32(n.OutputBias)))
+	cCap := math.Abs(n.OutputBias) + deltaC
+	lane.OutputStageErr = float64(nL)*actCap*(deltaV+vCap*u) + deltaC +
+		gamma32(nL+1)*(float64(nL)*vCap*actCap*(1+u)+cCap)
+	return lane, nil
+}
+
+// Forward evaluates the single-precision lane on a float64 input
+// (rounded on entry) and widens the result.
+func (f *Float32Lane) Forward(x []float64) float64 { return f.Net.Forward(x) }
+
+// Bound is the total certificate: propagated per-layer λ_l plus the
+// additive output-stage error, exactly the Quantized split. Every
+// admissible input satisfies |F(x) - F32(x)| <= Bound().
+func (f *Float32Lane) Bound() float64 {
+	return core.PrecisionBound(core.ShapeOf(f.Original), f.Lambdas) + f.OutputStageErr
+}
+
+// MeasuredError returns the empirical sup |F(x) - F32(x)| over the
+// inputs, in parallel — the quantity Bound() must dominate.
+func (f *Float32Lane) MeasuredError(inputs [][]float64) float64 {
+	return parallel.MaxFloat64(len(inputs), func(i int) float64 {
+		return math.Abs(f.Original.Forward(inputs[i]) - f.Forward(inputs[i]))
+	})
+}
+
+// MemoryBits reports the lane's parameter memory: 32 bits per
+// parameter, half the float64 baseline — the Proteus-style trade the
+// certificate prices.
+func (f *Float32Lane) MemoryBits() int {
+	return f.Original.Parameters() * 32
+}

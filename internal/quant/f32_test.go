@@ -1,0 +1,87 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// TestFloat32LaneBoundDominates is the lane's correctness contract:
+// the certified bound must dominate the measured float64-vs-float32 gap
+// on every network tried — depths, widths, biases, weight scales.
+func TestFloat32LaneBoundDominates(t *testing.T) {
+	r := rng.New(211)
+	cases := []struct {
+		widths []int
+		scale  float64
+		bias   bool
+	}{
+		{[]int{8}, 0.5, false},
+		{[]int{16, 16}, 1.0, true},
+		{[]int{32, 24, 8}, 2.0, true},
+		{[]int{5, 5, 5, 5}, 0.8, false},
+	}
+	for _, tc := range cases {
+		net := nn.NewRandom(r, nn.Config{InputDim: 4, Widths: tc.widths, Act: activation.NewSigmoid(1), Bias: tc.bias}, tc.scale)
+		lane, err := Float32(net)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.widths, err)
+		}
+		bound := lane.Bound()
+		if !(bound > 0) || math.IsInf(bound, 1) {
+			t.Fatalf("%v: degenerate bound %v", tc.widths, bound)
+		}
+		inputs := make([][]float64, 200)
+		for i := range inputs {
+			x := make([]float64, 4)
+			r.Floats(x, 0, 1)
+			inputs[i] = x
+		}
+		measured := lane.MeasuredError(inputs)
+		if measured > bound {
+			t.Fatalf("%v: measured %v exceeds bound %v", tc.widths, measured, bound)
+		}
+		// The lane must actually be close: a certificate over a broken
+		// implementation would still "dominate" if the bound were huge.
+		if measured > 1e-4 {
+			t.Fatalf("%v: float32 lane off by %v — implementation broken?", tc.widths, measured)
+		}
+		if lane.MemoryBits()*2 != FullPrecisionBits(net) {
+			t.Fatalf("%v: MemoryBits %d is not half of %d", tc.widths, lane.MemoryBits(), FullPrecisionBits(net))
+		}
+	}
+}
+
+// TestFloat32LaneRefusesUnbounded mirrors Quantize's activation check.
+func TestFloat32LaneRefusesUnbounded(t *testing.T) {
+	r := rng.New(223)
+	net := nn.NewRandom(r, nn.Config{InputDim: 2, Widths: []int{4}, Act: activation.ReLU{}}, 0.5)
+	if _, err := Float32(net); err == nil {
+		t.Fatal("expected error for unbounded activation")
+	}
+}
+
+// TestFloat32LaneBatchForward pins ForwardBatch to the scalar lane.
+func TestFloat32LaneBatchForward(t *testing.T) {
+	r := rng.New(227)
+	net := nn.NewRandom(r, nn.Config{InputDim: 3, Widths: []int{12, 6}, Act: activation.NewSigmoid(1), Bias: true}, 1.0)
+	lane, err := Float32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]float64, 17)
+	for i := range inputs {
+		x := make([]float64, 3)
+		r.Floats(x, 0, 1)
+		inputs[i] = x
+	}
+	got := lane.Net.ForwardBatch(inputs)
+	for i, x := range inputs {
+		if want := lane.Forward(x); got[i] != want {
+			t.Fatalf("input %d: batch %v != scalar %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import "fmt"
+
+// The float32 lane: single-precision mirrors of the fused kernels for
+// inference-grade workloads. Semantically this is a reduced-precision
+// implementation in the sense of Section V-A — quant certifies the
+// accuracy lost (quant.Float32Lane), so nothing here promises
+// bit-identity with the float64 kernels; what is pinned by tests is
+// that these kernels are bit-identical to a naive float32 evaluation
+// with the same four-way accumulation order.
+
+// Dot32 returns the inner product of a and b in float32 arithmetic with
+// Dot's four-way accumulation order. It panics if lengths differ.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot32 length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Matrix32 is a dense row-major float32 matrix — the storage half of
+// the inference lane (half the memory traffic of Matrix for the same
+// shape, which is what matters on the load-port-bound sweeps).
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 returns a zeroed rows x cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// ToMatrix32 rounds m to single precision.
+func ToMatrix32(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// Row returns a mutable view of row r.
+func (m *Matrix32) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// At returns the element at row r, column c.
+func (m *Matrix32) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// MulVecAddTo computes y = M x + b in one sweep (b may be nil): the
+// float32 twin of Matrix.MulVecAddTo, serial — inference-lane sweeps
+// run inside already-sharded workers.
+func (m *Matrix32) MulVecAddTo(y, x, b []float32) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: Matrix32 MulVecAddTo dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	if len(y) != m.Rows {
+		panic("tensor: Matrix32 MulVecAddTo output length mismatch")
+	}
+	if b != nil && len(b) != m.Rows {
+		panic("tensor: Matrix32 MulVecAddTo bias length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		y[r] = Dot32(m.Row(r), x)
+		if b != nil {
+			y[r] += b[r]
+		}
+	}
+}
+
+// MulVecLanesAddTo computes ys[k] = M xs[k] + b for every lane k in one
+// sweep over the matrix: the float32 twin of the multi-lane kernel.
+func (m *Matrix32) MulVecLanesAddTo(ys, xs [][]float32, b []float32) {
+	if len(ys) != len(xs) {
+		panic(fmt.Sprintf("tensor: Matrix32 MulVecLanesAddTo %d outputs for %d lanes", len(ys), len(xs)))
+	}
+	for k := range xs {
+		if len(xs[k]) != m.Cols || len(ys[k]) != m.Rows {
+			panic(fmt.Sprintf("tensor: Matrix32 MulVecLanesAddTo lane %d shape mismatch", k))
+		}
+	}
+	if b != nil && len(b) != m.Rows {
+		panic("tensor: Matrix32 MulVecLanesAddTo bias length mismatch")
+	}
+	cols := m.Cols
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*cols : r*cols+cols]
+		k := 0
+		for ; k+2 <= len(xs); k += 2 {
+			d0, d1 := dotPair32(row, xs[k], xs[k+1])
+			ys[k][r] = d0
+			ys[k+1][r] = d1
+		}
+		if k < len(xs) {
+			ys[k][r] = Dot32(row, xs[k])
+		}
+		if b != nil {
+			for k := range ys {
+				ys[k][r] += b[r]
+			}
+		}
+	}
+}
+
+// dotPair32 accumulates two float32 dot products against one row with
+// Dot32's accumulation order, sharing the row loads.
+func dotPair32(row, x1, x2 []float32) (d1, d2 float32) {
+	x1 = x1[:len(row)]
+	x2 = x2[:len(row)]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		r0, r1, r2, r3 := row[i], row[i+1], row[i+2], row[i+3]
+		a0 += r0 * x1[i]
+		a1 += r1 * x1[i+1]
+		a2 += r2 * x1[i+2]
+		a3 += r3 * x1[i+3]
+		b0 += r0 * x2[i]
+		b1 += r1 * x2[i+1]
+		b2 += r2 * x2[i+2]
+		b3 += r3 * x2[i+3]
+	}
+	for ; i < len(row); i++ {
+		a0 += row[i] * x1[i]
+		b0 += row[i] * x2[i]
+	}
+	return a0 + a1 + a2 + a3, b0 + b1 + b2 + b3
+}
+
+// ToFloat32 rounds x to single precision into a new slice.
+func ToFloat32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// ToFloat64 widens x into a new float64 slice.
+func ToFloat64(x []float32) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -290,34 +290,16 @@ func (m *Matrix) AddOuterScaled(alpha float64, u, v []float64) {
 // gemmBlock is the cache-block edge for MatMul.
 const gemmBlock = 64
 
-// MatMul returns C = A B using a cache-blocked i-k-j kernel with the row
-// blocks distributed over goroutines.
+// MatMul returns C = A B using the cache-blocked i-k-j kernel of
+// MatMulBlockedInto. For every (i, j) the additions over k happen in
+// ascending order, so the result is bit-identical to the naive triple
+// loop at any tile size.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul dim mismatch: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewMatrix(a.Rows, b.Cols)
-	rowBlocks := (a.Rows + gemmBlock - 1) / gemmBlock
-	parallel.For(rowBlocks, func(rb int) {
-		i0 := rb * gemmBlock
-		i1 := i0 + gemmBlock
-		if i1 > a.Rows {
-			i1 = a.Rows
-		}
-		for k0 := 0; k0 < a.Cols; k0 += gemmBlock {
-			k1 := k0 + gemmBlock
-			if k1 > a.Cols {
-				k1 = a.Cols
-			}
-			for i := i0; i < i1; i++ {
-				ci := c.Row(i)
-				ai := a.Row(i)
-				for k := k0; k < k1; k++ {
-					Axpy(ai[k], b.Row(k), ci)
-				}
-			}
-		}
-	})
+	MatMulBlockedInto(c, a, b)
 	return c
 }
 

@@ -279,6 +279,35 @@ type Scratch = nn.Scratch
 // NewScratch returns evaluation scratch sized for any model.
 func NewScratch(m Model) *Scratch { return nn.NewScratch(m) }
 
+// BatchLanes is the default lane count of the batched plan engine: how
+// many damaged sweeps share each weight-matrix pass.
+const BatchLanes = fault.BatchLanes
+
+// BatchPlan evaluates up to Lanes() fault plans against one model as a
+// single fused multi-lane sweep, bit-identical per lane to the
+// one-at-a-time CompiledPlan oracle (see fault.BatchPlan for the
+// memory model and concurrency contract).
+type BatchPlan = fault.BatchPlan
+
+// CompileBatch builds a batched evaluator with the given lane capacity
+// (0 selects BatchLanes). Load plans with Reset or ResetShared, then
+// evaluate with ErrorsOnTrace/ErrorsOnTraces.
+func CompileBatch(m Model, lanes int) *BatchPlan { return fault.CompileBatch(m, lanes) }
+
+// Network32 is the single-precision inference lane of a Network: same
+// topology, float32 weights and arithmetic, half the memory traffic.
+// Its accuracy gap against the float64 oracle is certified by
+// Float32Lane, not bit-identity.
+type Network32 = nn.Network32
+
+// Float32Lane pairs a Network32 with its Theorem 5 accuracy
+// certificate (per-layer rounding λ_l propagated by PrecisionBound).
+type Float32Lane = quant.Float32Lane
+
+// NewFloat32Lane rounds n to single precision and derives the
+// certificate; it errors on unbounded activations, which admit no cap.
+func NewFloat32Lane(n *Network) (*Float32Lane, error) { return quant.Float32(n) }
+
 // MaxFaultError measures the largest |Fneu - Ffail| over the inputs.
 func MaxFaultError(n Model, p Plan, inj fault.Injector, inputs [][]float64) float64 {
 	return fault.MaxError(n, p, inj, inputs)
