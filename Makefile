@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-conv bench-batch serve-smoke load load-smoke
+.PHONY: ci fmt vet build test race bench bench-conv bench-batch bench-exhaustive serve-smoke load load-smoke
 
-ci: fmt vet build test bench bench-conv bench-batch serve-smoke load-smoke
+ci: fmt vet build test bench bench-conv bench-batch bench-exhaustive serve-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -43,6 +43,15 @@ bench-conv:
 bench-batch:
 	NEUROFAIL_BENCH_BATCH=1 $(GO) test -run 'TestBatchedSpeedSmoke' -count=1 -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchedSweep' -benchtime=5x -benchmem .
+
+# Tree-vs-flat exhaustive search smoke (BENCH_8.json workload): keeps
+# the tree-structured engine honest — TestExhaustiveSpeedSmoke FAILS if
+# the prefix-sharing + pruning sweep stops clearly beating the flat
+# enumeration, or if the two engines disagree on the worst error; the
+# benchmark run prints the current exhaustive-search columns.
+bench-exhaustive:
+	NEUROFAIL_BENCH_EXHAUSTIVE=1 $(GO) test -run 'TestExhaustiveSpeedSmoke' -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkExhaustiveSearch' -benchtime=5x -benchmem .
 
 # End-to-end smoke of the query service: build the CLI, boot `neurofail
 # serve` against a fresh store, hit /healthz and one /v1/bounds query,

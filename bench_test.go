@@ -656,3 +656,66 @@ func TestBatchedSpeedSmoke(t *testing.T) {
 	}
 	t.Logf("scalar %v, batched %v (%.2fx), best of %d rounds x %d reps", scalar, batched, float64(scalar)/float64(batched), rounds, reps)
 }
+
+// TestExhaustiveSpeedSmoke is the regression tripwire behind make
+// bench-exhaustive (the enforced companion of the BENCH_8.json
+// numbers): a fixed exhaustive sweep through the tree-structured engine
+// (damaged-prefix sharing + bound-guided pruning) must clearly beat the
+// flat enumeration that re-evaluates every layer of every
+// configuration. Both engines must also agree bitwise on the worst
+// error — the speed is worthless if the tree changed the answer. Same
+// protocol as the batched smoke: interleaved best-of-rounds, 1.2x
+// assertion (measured gap is larger), armed only under the bench
+// target's env flag.
+func TestExhaustiveSpeedSmoke(t *testing.T) {
+	if os.Getenv("NEUROFAIL_BENCH_EXHAUSTIVE") == "" {
+		t.Skip("timing smoke; run via make bench-exhaustive (NEUROFAIL_BENCH_EXHAUSTIVE=1)")
+	}
+	net := benchNet([]int{24, 24})
+	inputs := metrics.RandomPoints(rng.New(3), 8, 4)
+	perLayer := []int{2, 2} // C(24,2)^2 = 76176 configurations
+	const (
+		rounds = 6
+		reps   = 3
+	)
+	var treeRes, flatRes neurofail.ExhaustiveResult
+	treeSweep := func() {
+		var err error
+		if treeRes, err = neurofail.ExhaustiveWorstCrash(net, perLayer, inputs, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flatSweep := func() {
+		var err error
+		if flatRes, err = fault.ExhaustiveWorstCrashFlat(net, perLayer, inputs, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time1 := func(sweep func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			sweep()
+		}
+		return time.Since(start)
+	}
+	treeSweep() // warm pools and caches
+	flatSweep()
+	if treeRes.WorstError != flatRes.WorstError {
+		t.Fatalf("tree worst %v != flat worst %v: the fast path changed the answer", treeRes.WorstError, flatRes.WorstError)
+	}
+	tree := time.Duration(math.MaxInt64)
+	flat := time.Duration(math.MaxInt64)
+	for r := 0; r < rounds; r++ {
+		if d := time1(flatSweep); d < flat {
+			flat = d
+		}
+		if d := time1(treeSweep); d < tree {
+			tree = d
+		}
+	}
+	if tree*12 >= flat*10 {
+		t.Fatalf("tree sweep (best %v/%d reps) not clearly faster than flat enumeration (best %v/%d reps): has prefix sharing regressed?",
+			tree, reps, flat, reps)
+	}
+	t.Logf("flat %v, tree %v (%.2fx), best of %d rounds x %d reps", flat, tree, float64(flat)/float64(tree), rounds, reps)
+}

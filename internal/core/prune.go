@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SubtreeBounder prices the branch-and-bound pruning of the
+// tree-structured exhaustive search (fault.WorstCase): given a node of
+// the configuration tree — the layers 1..d already damaged, the layers
+// d+1..L still free — it bounds the output deviation of EVERY leaf
+// configuration below that node, so a subtree whose bound is strictly
+// below the incumbent worst error can be skipped without evaluating a
+// single leaf.
+//
+// The bound is the Fep recurrence of Theorem 2 started from a measured
+// prefix instead of a per-fault cap. Write Δ_l(x) for the l1 deviation
+// of the damaged layer-l outputs from the clean trace on input x, and
+// topf_l(x) for the largest possible sum of |injected - clean| over any
+// admissible choice of f_l faulty neurons of layer l (exact per input,
+// because the engine hands every injector the CLEAN nominal output, so
+// a faulty neuron's deviation is independent of upstream damage). Then
+// for any completion of the free layers:
+//
+//	Δ_{l}(x) <= (N_l - f_l) · K · w_m^{(l)} · Δ_{l-1}(x) + topf_l(x)
+//
+// — the N_l - f_l correct neurons are K-Lipschitz in their received
+// sums, each received sum moves by at most w_m^{(l)} · Δ_{l-1}(x), and
+// the f_l faulty neurons contribute their exact deviations — and the
+// output moves by at most w_m^{(L+1)} · Δ_L(x). Unrolling from depth d:
+//
+//	|Fneu(x) - Ffail(x)| <= Coef(d) · Δ_d(x) + Σ_{l=d+1..L} Coef(l) · topf_l(x)
+//
+// with Coef(l) = K^{L-l} · Π_{l'=l+1..L+1} (N_{l'} - f_{l'}) w_m^{(l')}
+// — exactly the propagation factors of Fep/DeviationFep (Coef(l) is the
+// multiplier DeviationFep applies to layer l's deviation caps, and
+// Bound(0, 0, Tail(0, caps)) reproduces DeviationFep itself, the d = 0
+// root of the tree where nothing is damaged yet).
+//
+// Soundness is what makes pruning free: the bound dominates every leaf
+// of the subtree, so skipping a subtree whose bound is STRICTLY below
+// an attained error can never discard a configuration attaining the
+// maximum, and ties are never pruned.
+type SubtreeBounder struct {
+	coef []float64
+}
+
+// NewSubtreeBounder builds the propagation coefficients for a fault
+// distribution (faults[l-1] faulty neurons in layer l). Unlike the
+// panicking bound helpers this validates and returns errors: the tree
+// engine is reachable from serve requests.
+func NewSubtreeBounder(s Shape, faults []int) (*SubtreeBounder, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(faults) != s.Layers() {
+		return nil, fmt.Errorf("core: fault distribution has %d entries for %d layers", len(faults), s.Layers())
+	}
+	for l, f := range faults {
+		if f < 0 || f > s.Widths[l] {
+			return nil, fmt.Errorf("core: f_%d = %d outside [0, N_%d=%d]", l+1, f, l+1, s.Widths[l])
+		}
+	}
+	L := s.Layers()
+	suffix := s.suffixProducts(faults)
+	coef := make([]float64, L+1)
+	for d := 0; d <= L; d++ {
+		coef[d] = math.Pow(s.K, float64(L-d)) * suffix[d]
+	}
+	return &SubtreeBounder{coef: coef}, nil
+}
+
+// Coef returns K^{L-d} · Π_{l=d+1..L+1} (N_l - f_l) w_m^{(l)}: the
+// factor by which an l1 deviation of the layer-d outputs can grow on
+// its way to the output node (d = 0..L; Coef(L) = w_m^{(L+1)}).
+func (b *SubtreeBounder) Coef(d int) float64 { return b.coef[d] }
+
+// Layers returns L.
+func (b *SubtreeBounder) Layers() int { return len(b.coef) - 1 }
+
+// Bound combines a node's measured prefix deviation with the free-layer
+// tail: Coef(d)·delta + tail dominates |Fneu - Ffail| for every leaf
+// below a depth-d node whose damaged outputs deviate by delta (l1) and
+// whose free layers are priced by tail (see Tail).
+func (b *SubtreeBounder) Bound(d int, delta, tail float64) float64 {
+	return b.coef[d]*delta + tail
+}
+
+// Tail prices the free layers below depth d: Σ_{l=d+1..L} Coef(l) ·
+// topf[l-1], where topf[l-1] bounds the summed deviation of any
+// admissible choice of layer-l faults (0 for fault-free layers). Tail(0,
+// caps) with topf[l-1] = f_l · c reproduces Fep(s, faults, c) up to
+// floating-point association.
+func (b *SubtreeBounder) Tail(d int, topf []float64) float64 {
+	t := 0.0
+	for l := d + 1; l < len(b.coef); l++ {
+		t += b.coef[l] * topf[l-1]
+	}
+	return t
+}

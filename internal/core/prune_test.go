@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func pruneShape() Shape {
+	return Shape{
+		Widths: []int{5, 4, 3},
+		MaxW:   []float64{0.9, 1.1, 0.7, 1.3},
+		K:      0.25,
+		ActCap: 1,
+	}
+}
+
+// TestSubtreeBounderRootMatchesFep: the d = 0 bound with uniform caps
+// is Fep itself — the tree's root node prices exactly the closed-form
+// bound, so pruning starts from the paper's own certificate.
+func TestSubtreeBounderRootMatchesFep(t *testing.T) {
+	s := pruneShape()
+	faults := []int{1, 2, 1}
+	const c = 0.8
+	b, err := NewSubtreeBounder(s, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topf := make([]float64, s.Layers())
+	for l, f := range faults {
+		topf[l] = float64(f) * c
+	}
+	got := b.Bound(0, 0, b.Tail(0, topf))
+	want := Fep(s, faults, c)
+	if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+		t.Fatalf("root bound %v != Fep %v", got, want)
+	}
+}
+
+// TestSubtreeBounderCoefs: spot-check the propagation factors against
+// their definition.
+func TestSubtreeBounderCoefs(t *testing.T) {
+	s := pruneShape()
+	faults := []int{1, 1, 1}
+	b, err := NewSubtreeBounder(s, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := s.Layers()
+	if b.Layers() != L {
+		t.Fatalf("Layers = %d, want %d", b.Layers(), L)
+	}
+	// Coef(L) = w_m^{(L+1)}: a deviation at the last hidden layer only
+	// crosses the output synapses.
+	if b.Coef(L) != s.MaxW[L] {
+		t.Fatalf("Coef(L) = %v, want %v", b.Coef(L), s.MaxW[L])
+	}
+	// Coef(L-1) = K · (N_L - f_L) w_m^{(L)} · w_m^{(L+1)}.
+	want := s.K * float64(s.Widths[L-1]-faults[L-1]) * s.MaxW[L-1] * s.MaxW[L]
+	if math.Abs(b.Coef(L-1)-want) > 1e-15 {
+		t.Fatalf("Coef(L-1) = %v, want %v", b.Coef(L-1), want)
+	}
+	// Bound is linear in delta with slope Coef(d).
+	if got := b.Bound(1, 2, 0.5); math.Abs(got-(2*b.Coef(1)+0.5)) > 1e-15 {
+		t.Fatalf("Bound(1, 2, 0.5) = %v", got)
+	}
+}
+
+// TestSubtreeBounderValidates: the bounder is reachable from serve
+// requests and must error, not panic.
+func TestSubtreeBounderValidates(t *testing.T) {
+	s := pruneShape()
+	if _, err := NewSubtreeBounder(s, []int{1, 2}); err == nil {
+		t.Fatal("short fault vector must error")
+	}
+	if _, err := NewSubtreeBounder(s, []int{1, 2, 9}); err == nil {
+		t.Fatal("oversized fault count must error")
+	}
+	if _, err := NewSubtreeBounder(Shape{}, []int{}); err == nil {
+		t.Fatal("invalid shape must error")
+	}
+}

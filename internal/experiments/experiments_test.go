@@ -221,6 +221,30 @@ func TestCombinatorialShape(t *testing.T) {
 	}
 }
 
+func TestWorstCaseTreeShape(t *testing.T) {
+	res := WorstCaseTree()
+	noViolations(t, res)
+	tb := res.Tables[0]
+	if len(tb.Rows) < 3 {
+		t.Fatalf("too few widths succeeded: %d", len(tb.Rows))
+	}
+	pruned := false
+	for i := range tb.Rows {
+		// visited never exceeds the configuration count...
+		if cell(t, tb, i, 2) > cell(t, tb, i, 1) {
+			t.Fatalf("visited above configurations at row %d", i)
+		}
+		if cell(t, tb, i, 2) < cell(t, tb, i, 1) {
+			pruned = true
+		}
+	}
+	// ...and the bound-guided pruning must actually discard subtrees
+	// somewhere, or the engine's reason to exist evaporates.
+	if !pruned {
+		t.Fatal("no row pruned any configurations")
+	}
+}
+
 func TestOverProvisioningShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
@@ -300,8 +324,8 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 17 {
-		t.Fatalf("expected 17 experiments, have %d", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 experiments, have %d", len(seen))
 	}
 }
 

@@ -294,14 +294,17 @@ func TestCombinationsEdges(t *testing.T) {
 }
 
 func TestCountConfigurations(t *testing.T) {
-	if got := CountConfigurations([]int{5, 4}, []int{2, 1}); got != 40 {
-		t.Fatalf("CountConfigurations = %d, want C(5,2)*C(4,1) = 40", got)
+	if got, err := CountConfigurations([]int{5, 4}, []int{2, 1}); err != nil || got != 40 {
+		t.Fatalf("CountConfigurations = %d, %v, want C(5,2)*C(4,1) = 40", got, err)
 	}
-	if got := CountConfigurations([]int{3}, []int{0}); got != 1 {
-		t.Fatalf("zero faults should count 1 configuration, got %d", got)
+	if got, err := CountConfigurations([]int{3}, []int{0}); err != nil || got != 1 {
+		t.Fatalf("zero faults should count 1 configuration, got %d, %v", got, err)
 	}
-	if got := CountConfigurations([]int{200, 200}, []int{100, 100}); got != math.MaxInt64 {
-		t.Fatalf("expected overflow sentinel, got %d", got)
+	if got, err := CountConfigurations([]int{200, 200}, []int{100, 100}); err != nil || got != math.MaxInt64 {
+		t.Fatalf("expected overflow sentinel, got %d, %v", got, err)
+	}
+	if _, err := CountConfigurations([]int{5, 4}, []int{1}); err == nil {
+		t.Fatal("length mismatch must error, not panic")
 	}
 }
 
@@ -314,8 +317,12 @@ func TestExhaustiveWorstCrashBeatsRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Configurations != CountConfigurations(n.Widths(), perLayer) {
-		t.Fatal("configuration count mismatch")
+	want, err := CountConfigurations(n.Widths(), perLayer)
+	if err != nil || res.Configurations != want {
+		t.Fatalf("configuration count mismatch: %d vs %d (%v)", res.Configurations, want, err)
+	}
+	if res.Visited+res.Pruned != res.Configurations {
+		t.Fatalf("visited %d + pruned %d != %d configurations", res.Visited, res.Pruned, res.Configurations)
 	}
 	// The exhaustive worst case must dominate any sampled plan.
 	for trial := 0; trial < 20; trial++ {

@@ -132,20 +132,22 @@ func Combinations(n, k int, fn func(idx []int)) {
 
 // CountConfigurations returns Π_l C(N_l, f_l), the number of distinct
 // failure configurations for the given distribution — the combinatorial
-// explosion the paper's Fep avoids. Returns MaxInt64 on overflow.
-func CountConfigurations(widths, perLayer []int) int64 {
+// explosion the paper's Fep avoids. Returns MaxInt64 on overflow, and
+// an error (not a panic — distributions arrive from serve requests) on
+// a length mismatch.
+func CountConfigurations(widths, perLayer []int) (int64, error) {
 	if len(widths) != len(perLayer) {
-		panic("fault: distribution length mismatch")
+		return 0, fmt.Errorf("fault: distribution has %d entries for %d layers", len(perLayer), len(widths))
 	}
 	total := int64(1)
 	for l, n := range widths {
 		c := binomial(n, perLayer[l])
 		if c < 0 || total > math.MaxInt64/max64(c, 1) {
-			return math.MaxInt64
+			return math.MaxInt64, nil
 		}
 		total *= c
 	}
-	return total
+	return total, nil
 }
 
 func max64(a, b int64) int64 {
@@ -179,25 +181,39 @@ type ExhaustiveResult struct {
 	WorstError float64
 	// WorstPlan attains it.
 	WorstPlan Plan
-	// Configurations is the number of failure configurations examined.
+	// Configurations is the number of failure configurations covered.
 	Configurations int64
+	// Visited counts configurations actually evaluated and Pruned the
+	// ones skipped by the tree engine's sound branch-and-bound
+	// (Visited + Pruned == Configurations for a completed tree search;
+	// the flat engine evaluates everything, so Visited ==
+	// Configurations and Pruned == 0 there).
+	Visited int64
+	Pruned  int64
 }
 
-// ExhaustiveWorstCrash enumerates every choice of perLayer[l] crashed
-// neurons per layer l (all Π C(N_l, f_l) configurations), evaluates each
-// on all inputs, and returns the worst case. Configurations are
-// distributed over a worker pool. It refuses searches above maxConfigs to
-// keep runtimes sane — that refusal is the paper's point.
-func ExhaustiveWorstCrash(n nn.Model, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
+// ExhaustiveWorstCrashFlat enumerates every choice of perLayer[l-1]
+// crashed neurons per layer l by flat index, evaluating each
+// configuration with a full damaged sweep on the batched multi-lane
+// engine. This is the pre-tree engine, kept as the reference oracle for
+// the tree-structured search (tree.go): it shares no prefixes and never
+// prunes, so its result is the ground truth the tree must reproduce
+// bit-for-bit. Note its flat order varies the SHALLOWEST layer fastest,
+// the reverse of tree order — under exact error ties the two engines
+// may report different (both first-attaining in their own order) plans.
+func ExhaustiveWorstCrashFlat(n nn.Model, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
 	L := n.NumLayers()
 	if len(perLayer) != L {
-		panic("fault: perLayer length must equal layer count")
+		return ExhaustiveResult{}, fmt.Errorf("fault: perLayer has %d entries for %d layers", len(perLayer), L)
 	}
 	widths := make([]int, L)
 	for l := 1; l <= L; l++ {
 		widths[l-1] = n.Width(l)
 	}
-	total := CountConfigurations(widths, perLayer)
+	total, err := CountConfigurations(widths, perLayer)
+	if err != nil {
+		return ExhaustiveResult{}, err
+	}
 	if total > maxConfigs {
 		return ExhaustiveResult{}, fmt.Errorf("fault: %d configurations exceed limit %d", total, maxConfigs)
 	}
@@ -298,9 +314,13 @@ func ExhaustiveWorstCrash(n nn.Model, perLayer []int, inputs [][]float64, maxCon
 	for w := 0; w < workers; w++ {
 		<-done
 	}
-	res := ExhaustiveResult{Configurations: total}
+	res := ExhaustiveResult{Configurations: total, Visited: total}
+	// Workers cover ascending flat-index shards, so merging in slot
+	// order with a STRICT comparison keeps the first-attaining
+	// configuration: a later shard's equal-error plan must not displace
+	// an earlier shard's.
 	for _, p := range partial {
-		if p.err >= res.WorstError {
+		if p.err > res.WorstError {
 			res.WorstError = p.err
 			res.WorstPlan = p.plan
 		}

@@ -1,0 +1,50 @@
+package nn
+
+// PartialStack is the per-depth buffer stack of tree walks over damaged
+// prefixes: depth d holds `lanes` vectors of layer d's width — one
+// partially-damaged output vector per walked input — plus a dirty mark
+// per depth recording whether that depth currently differs from the
+// clean trace. A walker descending the fault-configuration tree rewrites
+// only the depths at and below the first changed layer; everything
+// shallower is reused untouched, which is where the sibling sharing of
+// the tree-structured exhaustive search comes from.
+//
+// Depth 0 is the input and is always clean. A clean depth has no
+// authoritative buffer content: readers should use the input's clean
+// trace instead (the zero-cost alias for fault-free prefixes).
+//
+// Like BatchScratch (which backs the buffers) a PartialStack is NOT
+// safe for concurrent use — give each walker its own.
+type PartialStack struct {
+	sc    BatchScratch
+	dirty []bool
+}
+
+// Ensure sizes the stack for `lanes` walked inputs over m (grow-only)
+// and marks every depth clean.
+func (ps *PartialStack) Ensure(m Model, lanes int) {
+	ps.sc.Ensure(m, lanes)
+	L := m.NumLayers()
+	if cap(ps.dirty) < L+1 {
+		ps.dirty = make([]bool, L+1)
+	}
+	ps.dirty = ps.dirty[:L+1]
+	for d := range ps.dirty {
+		ps.dirty[d] = false
+	}
+}
+
+// Layer returns depth d's lane buffers (d = 1..L); only the first
+// `lanes` passed to Ensure are valid.
+func (ps *PartialStack) Layer(d int) [][]float64 { return ps.sc.Layer(d) }
+
+// Dirty reports whether depth d holds damaged outputs. Depth 0 (the
+// input) is always clean.
+func (ps *PartialStack) Dirty(d int) bool { return d > 0 && ps.dirty[d] }
+
+// SetDirty marks depth d as damaged (true) or clean-aliased (false).
+func (ps *PartialStack) SetDirty(d int, v bool) {
+	if d > 0 {
+		ps.dirty[d] = v
+	}
+}

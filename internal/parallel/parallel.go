@@ -255,6 +255,52 @@ func (p *Pool) ForCtx(ctx context.Context, n, grain int, body func(lo, hi int)) 
 	return ctx.Err()
 }
 
+// ForCtx64 is ForCtx over an int64 index space, for iteration counts
+// that overflow int on 32-bit platforms — the fault-configuration
+// sweeps count configurations in int64. Semantics match ForCtx exactly:
+// chunked, pool-sharded, joins before returning, returns ctx.Err().
+func (p *Pool) ForCtx64(ctx context.Context, n, grain int64, body func(lo, hi int64)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if grain <= 0 {
+		grain = n / int64(4*p.size)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	workers := int64(p.size)
+	if chunks < workers {
+		workers = chunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := int64(0); w < workers; w++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				c := atomic.AddInt64(&next, 1) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		})
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // Close shuts the pool down after draining outstanding tasks.
 func (p *Pool) Close() {
 	p.once.Do(func() {

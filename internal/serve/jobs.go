@@ -24,11 +24,12 @@ const (
 	jobKindBounds      = "bounds"
 	jobKindInject      = "inject"
 	jobKindMonteCarlo  = "montecarlo"
+	jobKindWorstCase   = "worstcase"
 	jobKindExperiments = "experiments"
 )
 
 func jobKinds() string {
-	return strings.Join([]string{jobKindEval, jobKindBounds, jobKindInject, jobKindMonteCarlo, jobKindExperiments}, ", ")
+	return strings.Join([]string{jobKindEval, jobKindBounds, jobKindInject, jobKindMonteCarlo, jobKindWorstCase, jobKindExperiments}, ", ")
 }
 
 // jobSubmitRequest is the POST /v1/jobs body: a kind plus that kind's
@@ -158,6 +159,29 @@ func (s *Server) validateJob(kind string, raw json.RawMessage) (string, error) {
 			Seed   uint64      `json:"seed"`
 			Inputs [][]float64 `json:"inputs,omitempty"`
 		}{netMemoKey(req.netRef, mc.cn), mc.faults, mc.c, mc.trials, mc.seed, req.Inputs})
+	case jobKindWorstCase:
+		var req worstCaseRequest
+		if err := strictUnmarshal(raw, &req); err != nil {
+			return "", badRequest(err.Error())
+		}
+		wc, err := s.resolveWorstCase(req)
+		if err != nil {
+			return "", err
+		}
+		// max_configs is an admission guard, not a result input: two
+		// requests differing only there produce the same document, so it
+		// stays out of the memo key.
+		return memoKey(jobKindWorstCase, struct {
+			Net    string      `json:"net"`
+			Faults []int       `json:"faults"`
+			Model  string      `json:"model"`
+			C      float64     `json:"c"`
+			Value  float64     `json:"value"`
+			Bits   int         `json:"bits"`
+			Bit    int         `json:"bit"`
+			Inputs [][]float64 `json:"inputs,omitempty"`
+		}{netMemoKey(req.netRef, wc.cn), wc.faults, wc.model.Name,
+			wc.params.C, wc.params.Value, wc.params.Bits, wc.params.Bit, req.Inputs})
 	case jobKindExperiments:
 		var req experimentsJobRequest
 		if err := strictUnmarshal(raw, &req); err != nil {
@@ -215,6 +239,8 @@ func (s *Server) execJob(t *jobs.Task) (any, error) {
 		return s.computeInject(req)
 	case jobKindMonteCarlo:
 		return s.execMonteCarlo(t)
+	case jobKindWorstCase:
+		return s.execWorstCase(t)
 	case jobKindExperiments:
 		return s.execExperiments(t)
 	default:
@@ -271,6 +297,74 @@ func (s *Server) execMonteCarlo(t *jobs.Task) (any, error) {
 		}
 	}
 	return mcResponse(mc, fault.ProfileOf(errs)), nil
+}
+
+// wcCheckpoint is the durable partial state of an exhaustive worst-case
+// sweep: the subtree frontier. Next is the first tree-order
+// configuration index not yet covered; State carries the incumbent
+// (error, first-attaining flat index, plan) and the visited/pruned
+// tallies of the completed prefix. Resuming seeds the pruning floor
+// from State.WorstError — a tighter floor prunes MORE than the fresh
+// run but never differently in outcome (pruning is sound), so the
+// resumed sweep reproduces the uninterrupted result document
+// bit-identically.
+type wcCheckpoint struct {
+	Next  int64             `json:"next"`
+	State fault.SearchState `json:"state"`
+}
+
+// execWorstCase runs an exhaustive sweep in checkpointed frontier
+// chunks. Chunks are large multiples of the Monte Carlo interval: a
+// configuration costs one damaged partial sweep, far less than a
+// trial's full plan compile.
+func (s *Server) execWorstCase(t *jobs.Task) (any, error) {
+	var req worstCaseRequest
+	if err := strictUnmarshal(t.Request(), &req); err != nil {
+		return nil, err
+	}
+	wc, err := s.resolveWorstCase(req)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := s.worstCaseEngine(wc)
+	if err != nil {
+		return nil, err
+	}
+	total := eng.Total()
+	st := fault.NewSearchState()
+	done := int64(0)
+	var ck wcCheckpoint
+	if ok, err := t.RestoreCheckpoint(&ck); err != nil {
+		return nil, err
+	} else if ok && ck.Next > 0 && ck.Next <= total &&
+		ck.State.Visited+ck.State.Pruned == ck.Next && ck.State.WorstFlat < ck.Next {
+		st = ck.State
+		done = ck.Next
+	}
+	t.Progress(done, total)
+	chunk := int64(s.mcChunk) * 16
+	for done < total {
+		end := done + chunk
+		if end > total {
+			end = total
+		}
+		if err := eng.Search(t.Ctx(), done, end, &st); err != nil {
+			return nil, err
+		}
+		done = end
+		if done < total {
+			if err := t.Checkpoint(wcCheckpoint{Next: done, State: st}, done, total); err != nil {
+				return nil, err
+			}
+		} else {
+			t.Progress(done, total)
+		}
+	}
+	// The result document excludes the visited/pruned counters: under
+	// parallel sharding they depend on how fast the pruning floor
+	// propagates between workers, and the content-addressed ResultID of
+	// a resumed job must match an uninterrupted run's exactly.
+	return s.worstCaseResponse(wc, eng.Result(st))
 }
 
 // expCheckpoint is the durable partial state of an experiments job:

@@ -13,8 +13,9 @@
 //	POST /v1/bounds             — Fep / tolerance certificates
 //	POST /v1/inject             — fault injection: measured error vs bound
 //	POST /v1/montecarlo         — sharded random-failure profile
+//	POST /v1/worstcase          — exhaustive worst-case search (tree engine, bound-guided pruning)
 //	POST /v1/quantize           — persist a fixed-point recipe with its Theorem 5 certificate
-//	POST /v1/jobs               — submit an async job (eval/bounds/inject/montecarlo/experiments)
+//	POST /v1/jobs               — submit an async job (eval/bounds/inject/montecarlo/worstcase/experiments)
 //	GET  /v1/jobs               — list jobs
 //	GET  /v1/jobs/{id}          — job record; ?watch=1 streams NDJSON updates
 //	GET  /v1/jobs/{id}/result   — completed job's result document
@@ -124,6 +125,7 @@ func New(cfg Config) (*Server, error) {
 	s.handle("POST /v1/bounds", maxBodyBytes, s.handleBounds)
 	s.handle("POST /v1/inject", maxBodyBytes, s.handleInject)
 	s.handle("POST /v1/montecarlo", maxBodyBytes, s.handleMonteCarlo)
+	s.handle("POST /v1/worstcase", maxBodyBytes, s.handleWorstCase)
 	s.handle("POST /v1/quantize", smallBodyBytes, s.handleQuantize)
 	s.handle("POST /v1/jobs", maxBodyBytes, s.handleJobSubmit)
 	s.handle("GET /v1/jobs", smallBodyBytes, s.handleJobList)

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/activation"
+	"repro/internal/fault"
+	"repro/internal/jobs"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// TestWorstCaseSync: the synchronous endpoint reproduces the tree
+// engine's result exactly and stays under the closed-form certificate.
+func TestWorstCaseSync(t *testing.T) {
+	s, net, id := newTestServer(t)
+	inputs := metricsPoints(20)
+	body := map[string]any{"network_id": id, "faults": []int{1, 1}, "inputs": inputs}
+	var resp map[string]any
+	if code := do(t, s, "POST", "/v1/worstcase", body, &resp); code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, resp)
+	}
+	want, err := fault.ExhaustiveWorstCrash(net, []int{1, 1}, inputs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp["worst_error"].(float64); got != want.WorstError {
+		t.Fatalf("worst_error = %v, want %v", got, want.WorstError)
+	}
+	if got := resp["bound"].(float64); resp["worst_error"].(float64) > got*(1+1e-9) {
+		t.Fatalf("worst_error %v above bound %v", resp["worst_error"], got)
+	}
+	if int64(resp["configurations"].(float64)) != want.Configurations {
+		t.Fatalf("configurations = %v, want %d", resp["configurations"], want.Configurations)
+	}
+	visited := int64(resp["visited"].(float64))
+	pruned := int64(resp["pruned"].(float64))
+	if visited+pruned != want.Configurations {
+		t.Fatalf("visited %d + pruned %d != configurations %d", visited, pruned, want.Configurations)
+	}
+	plan := resp["worst_plan"].([]any)
+	if len(plan) != len(want.WorstPlan.Neurons) {
+		t.Fatalf("worst_plan %v, want %v", plan, want.WorstPlan.Neurons)
+	}
+	for i, p := range plan {
+		m := p.(map[string]any)
+		f := want.WorstPlan.Neurons[i]
+		if int(m["layer"].(float64)) != f.Layer || int(m["index"].(float64)) != f.Index {
+			t.Fatalf("worst_plan[%d] = %v, want %+v", i, m, f)
+		}
+	}
+}
+
+// TestWorstCaseValidation: stochastic models, oversized sweeps and
+// malformed inputs fail fast with client errors.
+func TestWorstCaseValidation(t *testing.T) {
+	s, _, id := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"stochastic model", fmt.Sprintf(`{"network_id": %q, "faults": 1, "model": "byzantine-random"}`, id), 400},
+		{"unknown model", fmt.Sprintf(`{"network_id": %q, "model": "gremlins"}`, id), 400},
+		{"over budget", fmt.Sprintf(`{"network_id": %q, "faults": [2, 2], "max_configs": 10}`, id), 400},
+		{"negative cap", fmt.Sprintf(`{"network_id": %q, "max_configs": -1}`, id), 400},
+		{"bad faults", fmt.Sprintf(`{"network_id": %q, "faults": [1, 1, 1]}`, id), 400},
+		{"bad input dim", fmt.Sprintf(`{"network_id": %q, "inputs": [[1, 2, 3]]}`, id), 400},
+		{"unknown network", `{"network_id": "feedfeed"}`, 404},
+	} {
+		var resp map[string]any
+		if code := do(t, s, "POST", "/v1/worstcase", tc.body, &resp); code != tc.want {
+			t.Errorf("%s: status %d, want %d: %v", tc.name, code, tc.want, resp)
+		}
+	}
+}
+
+// TestWorstCaseJobMatchesSync: the async result document is the sync
+// response minus the visited/pruned counters (those depend on parallel
+// floor propagation and would break the content address).
+func TestWorstCaseJobMatchesSync(t *testing.T) {
+	s, _ := jobServer(t, Config{Workers: 4, JobCheckpointTrials: 16})
+	// jobServer stored testNet(1); fetch its ID from the listing.
+	var list struct {
+		Networks []networkInfo `json:"networks"`
+	}
+	if code := do(t, s, "GET", "/v1/networks", nil, &list); code != http.StatusOK || len(list.Networks) != 1 {
+		t.Fatalf("network listing: %d %+v", code, list)
+	}
+	request := fmt.Sprintf(`{"network_id": %q, "faults": [1, 2], "model": "stuck", "value": 0.6}`, list.Networks[0].ID)
+
+	jr, rec := submitJob(t, s, "worstcase", request)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	final := pollJob(t, s, jr.ID, func(r jobs.Record) bool { return r.State.Terminal() })
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	res := doRec(t, s, "GET", "/v1/jobs/"+jr.ID+"/result", nil)
+	if res.Code != http.StatusOK {
+		t.Fatalf("result status %d: %s", res.Code, res.Body.Bytes())
+	}
+	var async map[string]any
+	if err := json.Unmarshal(res.Body.Bytes(), &async); err != nil {
+		t.Fatal(err)
+	}
+	var sync map[string]any
+	if code := do(t, s, "POST", "/v1/worstcase", request, &sync); code != http.StatusOK {
+		t.Fatalf("sync status %d: %v", code, sync)
+	}
+	if _, ok := async["visited"]; ok {
+		t.Fatal("async result leaks the nondeterministic visited counter")
+	}
+	delete(sync, "visited")
+	delete(sync, "pruned")
+	if len(async) != len(sync) {
+		t.Fatalf("async keys differ from sync:\n%v\nvs\n%v", async, sync)
+	}
+	for k, v := range sync {
+		av, ok := async[k]
+		if !ok {
+			t.Fatalf("async result missing %q", k)
+		}
+		ab, _ := json.Marshal(av)
+		sb, _ := json.Marshal(v)
+		if !bytes.Equal(ab, sb) {
+			t.Fatalf("async[%q] = %s, sync has %s", k, ab, sb)
+		}
+	}
+}
+
+// TestWorstCaseJobDrainResume is the tentpole's resumability claim: a
+// sweep interrupted mid-frontier by a drain parks durably, a second
+// server finishes it, and the result — content address included — is
+// bit-identical to an uninterrupted run.
+func TestWorstCaseJobDrainResume(t *testing.T) {
+	wideNet := func() *nn.Network {
+		return nn.NewRandom(rng.New(3), nn.Config{
+			InputDim: 2,
+			Widths:   []int{20, 20},
+			Act:      activation.NewSigmoid(1),
+			Bias:     true,
+		}, 1.2)
+	}
+	dir := t.TempDir()
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := stA.PutNetwork(wideNet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := json.Marshal(metricsPoints(40))
+	// C(20,2)^2 = 36100 configurations in frontier chunks of 64.
+	request := fmt.Sprintf(`{"network_id": %q, "faults": [2, 2], "inputs": %s}`, entry.ID, pts)
+
+	a := mustNew(t, Config{Store: stA, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	jr, rec := submitJob(t, a, "worstcase", request)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	// Wait for a durable frontier, then drain mid-sweep.
+	pollJob(t, a, jr.ID, func(r jobs.Record) bool { return r.Checkpoints >= 2 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	a.Close()
+
+	var parked jobs.Record
+	if ok, err := stA.JobRecord(jr.ID, &parked); err != nil || !ok {
+		t.Fatalf("parked record: %v %v", ok, err)
+	}
+	if parked.State != jobs.StateCheckpointed {
+		t.Fatalf("parked state = %s, want checkpointed", parked.State)
+	}
+	if parked.Completed == 0 || parked.Completed >= parked.Total {
+		t.Fatalf("parked mid-sweep progress = %d/%d", parked.Completed, parked.Total)
+	}
+
+	// Server B recovers the store and finishes the sweep.
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustNew(t, Config{Store: stB, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	defer b.Close()
+	final := pollJob(t, b, jr.ID, func(r jobs.Record) bool { return r.State.Terminal() })
+	if final.State != jobs.StateDone {
+		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+	}
+	resumed := doRec(t, b, "GET", "/v1/jobs/"+jr.ID+"/result", nil)
+	if resumed.Code != http.StatusOK {
+		t.Fatalf("resumed result status %d: %s", resumed.Code, resumed.Body.Bytes())
+	}
+
+	// Reference: the same sweep, uninterrupted, on a fresh store.
+	stC, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stC.PutNetwork(wideNet(), nil); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Store: stC, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	defer c.Close()
+	ref, rc := submitJob(t, c, "worstcase", request)
+	if rc.Code != http.StatusAccepted {
+		t.Fatalf("reference submit status %d: %s", rc.Code, rc.Body.Bytes())
+	}
+	refFinal := pollJob(t, c, ref.ID, func(r jobs.Record) bool { return r.State.Terminal() })
+	if refFinal.State != jobs.StateDone {
+		t.Fatalf("reference ended %s (%s)", refFinal.State, refFinal.Error)
+	}
+	refRes := doRec(t, c, "GET", "/v1/jobs/"+ref.ID+"/result", nil)
+
+	if !bytes.Equal(resumed.Body.Bytes(), refRes.Body.Bytes()) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n%s\nvs\n%s",
+			resumed.Body.Bytes(), refRes.Body.Bytes())
+	}
+	// Same content address too: the artifacts are identical objects.
+	if final.ResultID != refFinal.ResultID {
+		t.Fatalf("result content addresses differ: %s vs %s", final.ResultID, refFinal.ResultID)
+	}
+}

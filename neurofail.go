@@ -403,6 +403,48 @@ func MonteCarlo(n Model, perLayer []int, c float64, inputs [][]float64, trials i
 	return fault.MonteCarlo(n, perLayer, c, core.DeviationCap, inputs, trials, r)
 }
 
+// ExhaustiveResult reports an exhaustive worst-case search: the maximal
+// error, a plan attaining it, and the visited/pruned configuration
+// split.
+type ExhaustiveResult = fault.ExhaustiveResult
+
+// WorstCase is the tree-structured exhaustive search engine: damaged
+// prefixes are shared across sibling configurations and subtrees whose
+// Fep-style bound cannot beat the incumbent are soundly pruned, with
+// the result guaranteed bit-identical to the flat scalar enumeration
+// (see fault.WorstCase).
+type WorstCase = fault.WorstCase
+
+// WorstCaseOptions configures a WorstCase engine.
+type WorstCaseOptions = fault.WorstCaseOptions
+
+// SearchState is the mergeable, serialisable progress of a worst-case
+// search — the frontier checkpoint of resumable sweeps.
+type SearchState = fault.SearchState
+
+// NewSearchState returns an empty search state (no incumbent).
+func NewSearchState() SearchState { return fault.NewSearchState() }
+
+// NewWorstCase builds a tree-structured exhaustive engine over the
+// given fault distribution and inputs.
+func NewWorstCase(m Model, perLayer []int, inputs [][]float64, opts WorstCaseOptions) (*WorstCase, error) {
+	return fault.NewWorstCase(m, perLayer, inputs, opts)
+}
+
+// ExhaustiveWorstCrash enumerates every crash configuration of the
+// distribution through the pruned tree engine and returns the worst
+// error with a plan attaining it.
+func ExhaustiveWorstCrash(n Model, perLayer []int, inputs [][]float64, maxConfigs int64) (ExhaustiveResult, error) {
+	return fault.ExhaustiveWorstCrash(n, perLayer, inputs, maxConfigs)
+}
+
+// CountConfigurations returns the number of distinct failure
+// configurations Π_l C(N_l, f_l) — the combinatorial explosion the
+// paper's Fep avoids (math.MaxInt64 on overflow).
+func CountConfigurations(widths, perLayer []int) (int64, error) {
+	return fault.CountConfigurations(widths, perLayer)
+}
+
 // WorstInput hill-climbs for an input maximising the damaged-vs-nominal
 // error.
 func WorstInput(n Model, p Plan, inj fault.Injector, r *Rand, restarts, steps int) ([]float64, float64) {
@@ -447,9 +489,10 @@ func NewCertifier(s Shape) (*Certifier, error) { return core.NewCertifier(s) }
 type ServeConfig = serve.Config
 
 // Server is the long-running robustness-query HTTP service: bounds,
-// injection, batched evaluation and Monte Carlo profiles over stored
-// networks, with cached compiled fault plans, pooled scratch, and a
-// fault-tolerant async job tier (see internal/serve and internal/jobs).
+// injection, batched evaluation, Monte Carlo profiles and exhaustive
+// worst-case sweeps over stored networks, with cached compiled fault
+// plans, pooled scratch, and a fault-tolerant async job tier (see
+// internal/serve and internal/jobs).
 type Server = serve.Server
 
 // NewServer builds a query service (with a store configured it also
