@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-conv bench-batch bench-exhaustive serve-smoke load load-smoke
+.PHONY: ci fmt vet build test race bench bench-conv bench-batch bench-exhaustive bench-graph fuzz-smoke staticcheck vuln serve-smoke load load-smoke
 
-ci: fmt vet build test bench bench-conv bench-batch bench-exhaustive serve-smoke load-smoke
+ci: fmt vet staticcheck vuln build test bench bench-conv bench-batch bench-exhaustive bench-graph fuzz-smoke serve-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -52,6 +52,35 @@ bench-batch:
 bench-exhaustive:
 	NEUROFAIL_BENCH_EXHAUSTIVE=1 $(GO) test -run 'TestExhaustiveSpeedSmoke' -count=1 -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkExhaustiveSearch' -benchtime=5x -benchmem .
+
+# Graph-native-vs-lowered smoke (BENCH_9.json workload): keeps the
+# sparse-DAG CSR engine honest — TestGraphNativeSpeedSmoke FAILS if the
+# native path stops clearly beating the lowered dense twin, or if the
+# two engines disagree bitwise on the damaged outputs; the benchmark
+# run prints the current columns.
+bench-graph:
+	NEUROFAIL_BENCH_GRAPH=1 $(GO) test -run 'TestGraphNativeSpeedSmoke' -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkGraph(Forward|FaultedForward)' -benchtime=20x -benchmem .
+
+# Short coverage-guided runs of every fuzz target, starting from the
+# committed seed corpora (testdata/fuzz/ in each package). Any crasher
+# or invariant violation fails the target; in normal `go test` runs the
+# committed corpus entries already execute as plain unit cases.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzNetworkJSON$$' -fuzztime=10s ./internal/nn
+	$(GO) test -fuzz='^FuzzParseModel$$' -fuzztime=10s ./internal/conv
+	$(GO) test -fuzz='^FuzzGraphJSON$$' -fuzztime=10s ./internal/graph
+	$(GO) test -fuzz='^FuzzOpenManifest$$' -fuzztime=10s ./internal/store
+
+# Static analysis beyond vet. Skips with a notice when the binary is
+# not on PATH (CI installs it; local runs without it stay usable).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+
+# Known-vulnerability scan of the module graph and reachable calls.
+# Same graceful local skip as staticcheck.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi
 
 # End-to-end smoke of the query service: build the CLI, boot `neurofail
 # serve` against a fresh store, hit /healthz and one /v1/bounds query,

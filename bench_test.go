@@ -657,6 +657,177 @@ func TestBatchedSpeedSmoke(t *testing.T) {
 	t.Logf("scalar %v, batched %v (%.2fx), best of %d rounds x %d reps", scalar, batched, float64(scalar)/float64(batched), rounds, reps)
 }
 
+// --- sparse-DAG graph engine (BENCH_9.json workloads) --------------------
+
+// benchGraphFixture is the fixed graph-native-vs-lowered workload: a
+// layer-expressible sparse graph (1024-wide levels, density 0.01 — ~10
+// in-edges per node) and its lowered dense twin. The native engine
+// walks only the CSR edges that exist; the lowered network multiplies
+// through every zero the densification materialised (an 8 MiB matrix
+// per level, streamed from memory), so both the arithmetic volume and
+// the memory traffic differ by ~1/density while the outputs stay
+// bit-identical. The width matters: at cache-resident widths the dense
+// matvec's sequential streaming beats the CSR gather despite doing 50x
+// the multiplies — the sparse win is a memory-traffic win, not a
+// flop-count win.
+func benchGraphFixture(tb testing.TB) (*neurofail.GraphNet, *nn.Network) {
+	tb.Helper()
+	g := neurofail.NewSparseGraph(rng.New(1), 8, []int{1024, 1024, 1024}, neurofail.NewSigmoid(1), 0.01)
+	d, err := neurofail.LowerGraph(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, d
+}
+
+// BenchmarkGraphForward measures the clean forward pass of the sparse
+// graph: native CSR traversal vs the lowered dense equivalent.
+func BenchmarkGraphForward(b *testing.B) {
+	g, d := benchGraphFixture(b)
+	x := make([]float64, 8)
+	rng.New(2).Floats(x, 0, 1)
+	b.Run("native", func(b *testing.B) {
+		sc := neurofail.NewScratch(g)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += nn.ForwardModel(g, sc, x)
+		}
+		_ = sink
+	})
+	b.Run("lowered", func(b *testing.B) {
+		sc := neurofail.NewScratch(d)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += d.ForwardInto(sc, x)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkGraphFaultedForward measures the compiled-plan damaged pass
+// (adversarial crashes, 4 per level) on the same pair.
+func BenchmarkGraphFaultedForward(b *testing.B) {
+	g, d := benchGraphFixture(b)
+	x := make([]float64, 8)
+	rng.New(2).Floats(x, 0, 1)
+	plan := neurofail.AdversarialPlan(g, []int{4, 4, 4})
+	inj := neurofail.Crash()
+	b.Run("native", func(b *testing.B) {
+		cp := fault.Compile(g, plan)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += cp.Forward(inj, x)
+		}
+		_ = sink
+	})
+	b.Run("lowered", func(b *testing.B) {
+		cp := fault.Compile(d, plan)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += cp.Forward(inj, x)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkGraphNodeShape measures per-node certification against the
+// layered closed form on the lowered twin — the cost of generality.
+func BenchmarkGraphNodeShape(b *testing.B) {
+	g, d := benchGraphFixture(b)
+	ns, err := neurofail.NodeShapeOf(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := neurofail.ShapeOf(d)
+	faults := []int{4, 4, 4}
+	b.Run("per-node", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += ns.Fep(faults, 1)
+		}
+		_ = sink
+	})
+	b.Run("layered-closed-form", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += neurofail.Fep(s, faults, 1)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkTopologySweep regenerates the GS topology sweep end to end.
+func BenchmarkTopologySweep(b *testing.B) {
+	runExperiment(b, experiments.TopologySweep)
+}
+
+// TestGraphNativeSpeedSmoke is the enforced form of the BENCH_9.json
+// acceptance gate (make bench-graph runs it in CI): the sparse-DAG
+// engine must stay clearly faster than evaluating the lowered dense
+// twin, or the CSR path has regressed to densification. Outputs must
+// also stay bit-identical — the speed is worthless if the engine
+// changed the answer. Same protocol as the other speed smokes:
+// interleaved best-of-rounds, a 2x assertion far below the measured
+// gap, armed only under the bench target's env flag.
+func TestGraphNativeSpeedSmoke(t *testing.T) {
+	if os.Getenv("NEUROFAIL_BENCH_GRAPH") == "" {
+		t.Skip("timing smoke; run via make bench-graph (NEUROFAIL_BENCH_GRAPH=1)")
+	}
+	g, d := benchGraphFixture(t)
+	inputs := metrics.RandomPoints(rng.New(2), 8, 8)
+	plan := neurofail.AdversarialPlan(g, []int{4, 4, 4})
+	inj := neurofail.Crash()
+	nativeCP := fault.Compile(g, plan)
+	loweredCP := fault.Compile(d, plan)
+	for _, x := range inputs {
+		if nv, lv := nativeCP.Forward(inj, x), loweredCP.Forward(inj, x); nv != lv {
+			t.Fatalf("native damaged output %v != lowered %v: the CSR engine changed the answer", nv, lv)
+		}
+	}
+	const (
+		rounds = 6
+		reps   = 3
+	)
+	var sink float64
+	sweep := func(cp *neurofail.CompiledPlan) func() {
+		return func() {
+			for _, x := range inputs {
+				sink += cp.Forward(inj, x)
+			}
+		}
+	}
+	nativeSweep, loweredSweep := sweep(nativeCP), sweep(loweredCP)
+	time1 := func(sweep func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			sweep()
+		}
+		return time.Since(start)
+	}
+	nativeSweep() // warm pools and caches
+	loweredSweep()
+	native := time.Duration(math.MaxInt64)
+	lowered := time.Duration(math.MaxInt64)
+	for r := 0; r < rounds; r++ {
+		if d := time1(loweredSweep); d < lowered {
+			lowered = d
+		}
+		if d := time1(nativeSweep); d < native {
+			native = d
+		}
+	}
+	_ = sink
+	if native*2 >= lowered {
+		t.Fatalf("native graph faulted sweep (best %v/%d reps) not clearly faster than lowered (best %v/%d reps): has the CSR path regressed to densification?",
+			native, reps, lowered, reps)
+	}
+	t.Logf("lowered %v, native %v (%.2fx), best of %d rounds x %d reps", lowered, native, float64(lowered)/float64(native), rounds, reps)
+}
+
 // TestExhaustiveSpeedSmoke is the regression tripwire behind make
 // bench-exhaustive (the enforced companion of the BENCH_8.json
 // numbers): a fixed exhaustive sweep through the tree-structured engine

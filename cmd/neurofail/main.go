@@ -81,6 +81,8 @@ func main() {
 		err = cmdStream(os.Args[2:])
 	case "conv":
 		err = cmdConv(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
 	case "serve":
@@ -113,6 +115,7 @@ commands:
   worstcase  exhaustive worst-case search over every failure configuration (tree engine)
   stream     process a stream while failures accumulate on a schedule
   conv       convolutional models: train, bounds (Section VI), native fault injection
+  graph      arbitrary-topology models: gen, per-node + compositional bounds, native injection
   store      manage the content-addressed artifact store (add, list, show)
   serve      run the long-running robustness-query HTTP service
   jobs       client for the server's async job tier (submit, status, watch, result, cancel, list)

@@ -1,0 +1,71 @@
+package conv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/conv"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// FuzzParseModel hammers the single entry point every wire format
+// flows through (store, service, CLI): arbitrary bytes must either
+// parse into a valid model or return an error — never panic — and an
+// accepted document must re-marshal to a document that parses back to
+// the same architecture with a stable encoding.
+func FuzzParseModel(f *testing.F) {
+	r := rng.New(99)
+	if n, err := conv.NewRandom(r.Split(), 8, []int{3}, []int{2}, activation.NewSigmoid(1), 0.5, true); err == nil {
+		if doc, err := json.Marshal(n); err == nil {
+			f.Add(doc)
+		}
+	}
+	if n, err := conv.NewRandom2D(r.Split(), 4, 4, []int{2}, []int{2}, activation.NewTanh(1), 0.5, false); err == nil {
+		if doc, err := json.Marshal(n); err == nil {
+			f.Add(doc)
+		}
+	}
+	dense := nn.NewRandom(r.Split(), nn.Config{InputDim: 2, Widths: []int{3, 2}, Act: activation.NewSigmoid(1), Bias: true}, 0.5)
+	if doc, err := json.Marshal(dense); err == nil {
+		f.Add(doc)
+	}
+	g := graph.NewSmallWorld(r.Split(), 2, []int{4, 3}, activation.NewHardSigmoid(1), 2, 0.5)
+	if doc, err := json.Marshal(g); err == nil {
+		f.Add(doc)
+	}
+	f.Add([]byte(`{"arch":"conv1d"}`))
+	f.Add([]byte(`{"arch":"graph","input_dim":1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := conv.ParseModel(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseModel accepted an invalid model: %v", err)
+		}
+		doc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted model failed to marshal: %v", err)
+		}
+		m2, err := conv.ParseModel(doc)
+		if err != nil {
+			t.Fatalf("re-marshalled document rejected: %v", err)
+		}
+		if conv.ArchOf(m2) != conv.ArchOf(m) {
+			t.Fatalf("round trip changed architecture %q -> %q", conv.ArchOf(m), conv.ArchOf(m2))
+		}
+		doc2, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatalf("round-tripped model failed to marshal: %v", err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("encoding not stable:\n%s\n%s", doc, doc2)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/activation"
+	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -25,6 +26,8 @@ func ArchOf(m nn.Model) string {
 		return Arch1D
 	case *Net2D:
 		return Arch2D
+	case *graph.Net:
+		return graph.Arch
 	default:
 		return "dense"
 	}
@@ -82,10 +85,26 @@ func (n *Net) UnmarshalJSON(data []byte) error {
 	n.Act = act
 	n.Layers = make([]Layer, len(j.Layers))
 	for i, jl := range j.Layers {
+		// FromRows panics on ragged input; the codec is the trust
+		// boundary for uploaded documents, so reject it as an error.
+		if raggedRows(jl.Kernels) {
+			return fmt.Errorf("conv: layer %d has ragged kernel rows", i+1)
+		}
 		n.Layers[i] = Layer{Kernels: tensor.FromRows(jl.Kernels), Bias: jl.Bias}
 	}
 	n.Output = j.Output
 	return n.Validate()
+}
+
+// raggedRows reports whether the rows have unequal lengths, which
+// tensor.FromRows rejects with a panic.
+func raggedRows(rows [][]float64) bool {
+	for _, row := range rows {
+		if len(row) != len(rows[0]) {
+			return true
+		}
+	}
+	return false
 }
 
 type jsonLayer2D struct {
@@ -145,7 +164,10 @@ func (n *Net2D) UnmarshalJSON(data []byte) error {
 	n.Layers = make([]Layer2D, len(j.Layers))
 	for i, jl := range j.Layers {
 		l := Layer2D{Field: jl.Field, Bias: jl.Bias}
-		for _, rows := range jl.Kernels {
+		for f, rows := range jl.Kernels {
+			if raggedRows(rows) {
+				return fmt.Errorf("conv: layer %d filter %d has ragged kernel rows", i+1, f)
+			}
 			l.Kernels = append(l.Kernels, tensor.FromRows(rows))
 		}
 		n.Layers[i] = l
@@ -155,9 +177,10 @@ func (n *Net2D) UnmarshalJSON(data []byte) error {
 }
 
 // ParseModel decodes an architecture-tagged model document: "conv1d"
-// and "conv2d" documents load as native conv nets, untagged documents
-// as dense nn.Networks. This is the single entry point the store, the
-// service and the CLI use to accept any model wire format.
+// and "conv2d" documents load as native conv nets, "graph" documents
+// as sparse-DAG graph.Nets, untagged documents as dense nn.Networks.
+// This is the single entry point the store, the service and the CLI
+// use to accept any model wire format.
 func ParseModel(data []byte) (nn.Model, error) {
 	var probe struct {
 		Arch string `json:"arch"`
@@ -186,8 +209,14 @@ func ParseModel(data []byte) (nn.Model, error) {
 			return nil, err
 		}
 		return &net, nil
+	case graph.Arch:
+		var net graph.Net
+		if err := json.Unmarshal(data, &net); err != nil {
+			return nil, err
+		}
+		return &net, nil
 	default:
-		return nil, fmt.Errorf("conv: unknown model architecture %q (want %q or %q, or an untagged dense network)",
-			probe.Arch, Arch1D, Arch2D)
+		return nil, fmt.Errorf("conv: unknown model architecture %q (want %q, %q or %q, or an untagged dense network)",
+			probe.Arch, Arch1D, Arch2D, graph.Arch)
 	}
 }

@@ -316,6 +316,38 @@ func TestMixedFaultsShape(t *testing.T) {
 	}
 }
 
+func TestTopologySweepShape(t *testing.T) {
+	res := TopologySweep()
+	noViolations(t, res)
+	if len(res.Tables) != 3 {
+		t.Fatalf("have %d tables, want 3", len(res.Tables))
+	}
+	sweep := res.Tables[1]
+	if len(sweep.Rows) != 4 {
+		t.Fatalf("rewiring sweep has %d rows, want 4", len(sweep.Rows))
+	}
+	for i := range sweep.Rows {
+		if cell(t, sweep, i, 2) > cell(t, sweep, i, 3)*(1+1e-9) {
+			t.Fatalf("beta row %d: byzantine error above per-node bound", i)
+		}
+		if cell(t, sweep, i, 5) > cell(t, sweep, i, 6)*(1+1e-9) {
+			t.Fatalf("beta row %d: crash error above per-node crash bound", i)
+		}
+	}
+	comp := res.Tables[2]
+	if len(comp.Rows) == 0 {
+		t.Fatal("no composed cuts on the layered sweep point")
+	}
+	for i := range comp.Rows {
+		if cell(t, comp, i, 3) > cell(t, comp, i, 1)*(1+1e-9) {
+			t.Fatalf("cut row %d: measured above stitched bound", i)
+		}
+		if cell(t, comp, i, 1)*(1+1e-9) < cell(t, comp, i, 2) {
+			t.Fatalf("cut row %d: stitched bound below monolithic bound", i)
+		}
+	}
+}
+
 func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range All() {
@@ -324,8 +356,8 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("expected 18 experiments, have %d", len(seen))
+	if len(seen) != 19 {
+		t.Fatalf("expected 19 experiments, have %d", len(seen))
 	}
 }
 

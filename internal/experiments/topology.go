@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func init() {
+	Register(Experiment{ID: "GS", Title: "Topology sweep: robustness of layered vs small-world graphs under per-node bounds",
+		Tags: []string{"extension", "sweep", "graph", "topology"}, Run: TopologySweep})
+}
+
+// TopologySweep extends the paper's layered analysis to arbitrary
+// topologies. Three claims are exercised:
+//
+//  1. Oracle: on a layer-expressible graph the sparse-DAG engine is
+//     bit-identical to injecting the lowered dense network with the
+//     same plan, for every registered fault model.
+//  2. Soundness: along a Watts-Strogatz rewiring sweep (beta 0 -> 1,
+//     increasingly non-layered) the measured adversarial error never
+//     exceeds the per-node Fep bound — the layered Theorem 2 algebra
+//     does not apply once skip connections appear, NodeShape does.
+//  3. Composition: where an admissible cut exists, the stitched
+//     certificate of the two independently certified halves still
+//     dominates the measured error of the monolith.
+func TopologySweep() *Result {
+	res := &Result{ID: "GS", Title: "Topology sweep: robustness of layered vs small-world graphs under per-node bounds"}
+	r := rng.New(0x9afe7)
+	act := activation.NewSigmoid(1)
+	widths := []int{8, 6, 5}
+	const in = 3
+
+	// 1. Bit-identity against the lowered oracle on a layer-expressible
+	// sparse graph.
+	g0 := graph.NewSparse(r.Split(), in, widths, act, 0.6)
+	lowered, err := g0.Lower()
+	if err != nil {
+		res.note("VIOLATION: layer-expressible graph failed to lower: %v", err)
+		return res
+	}
+	inputs := metrics.RandomPoints(r.Split(), in, 40)
+	neuronFaults := []int{2, 1, 1}
+	plan := fault.AdversarialNeuronPlan(g0, neuronFaults)
+	nativeCP := fault.Compile(g0, plan)
+	loweredCP := fault.Compile(lowered, plan)
+	params := func(m nn.Model) fault.Params {
+		return fault.Params{
+			C: 0.6, Sem: core.DeviationCap, Value: 0.85, Prob: 0.6,
+			Bits: 8, Bit: 6, Net: m, R: rng.NewStream(0x70b0, 3),
+		}
+	}
+	ot := metrics.NewTable("sparse-DAG engine vs lowered dense oracle, adversarial faults f = [2 1 1]",
+		"model", "measured_native", "bit_identical_to_lowered")
+	for _, m := range fault.Models() {
+		nativeInj, err := m.New(params(g0))
+		if err != nil {
+			res.note("VIOLATION: model %s failed to instantiate: %v", m.Name, err)
+			continue
+		}
+		loweredInj, err := m.New(params(lowered))
+		if err != nil {
+			res.note("VIOLATION: model %s failed on the lowered net: %v", m.Name, err)
+			continue
+		}
+		measured, identical := 0.0, true
+		for _, x := range inputs {
+			ne := nativeCP.ErrorOn(nativeInj, x)
+			if ne != loweredCP.ErrorOn(loweredInj, x) {
+				identical = false
+			}
+			if ne > measured {
+				measured = ne
+			}
+		}
+		ot.AddRow(m.Name, fmtF(measured), fmtBool(identical))
+		if !identical {
+			res.note("VIOLATION: %s sparse-DAG evaluation diverged from the lowered oracle", m.Name)
+		}
+	}
+	res.Tables = append(res.Tables, ot)
+
+	// 2. Watts-Strogatz rewiring sweep: same node budget, increasing
+	// skip-connection share; adversarial byzantine and crash errors vs
+	// the per-node bounds.
+	st := metrics.NewTable("Watts-Strogatz sweep, faults 1 per level, C = 0.6 (ring degree 2)",
+		"beta", "layered", "byz_measured", "byz_bound", "byz_util_%", "crash_measured", "crash_bound")
+	faults := []int{1, 1, 1}
+	for _, beta := range []float64{0, 0.25, 0.5, 1} {
+		g := graph.NewSmallWorld(rng.New(0x5717), in, widths, act, 2, beta)
+		ns, err := core.NodeShapeOf(g)
+		if err != nil {
+			res.note("VIOLATION: NodeShape failed at beta %.2f: %v", beta, err)
+			continue
+		}
+		p := fault.AdversarialNeuronPlan(g, faults)
+		byz := fault.MaxError(g, p, fault.Byzantine{C: 0.6, Sem: core.DeviationCap}, inputs)
+		byzBound := ns.Fep(faults, 0.6)
+		crash := fault.MaxError(g, p, fault.Crash{}, inputs)
+		crashBound := ns.CrashFep(faults)
+		util := 0.0
+		if byzBound > 0 {
+			util = 100 * byz / byzBound
+		}
+		st.AddRow(fmtF(beta), fmtBool(nn.IsLayered(g)), fmtF(byz), fmtF(byzBound), fmtF(util), fmtF(crash), fmtF(crashBound))
+		if byz > byzBound*(1+1e-9) {
+			res.note("VIOLATION: beta %.2f byzantine error %v above per-node bound %v", beta, byz, byzBound)
+		}
+		if crash > crashBound*(1+1e-9) {
+			res.note("VIOLATION: beta %.2f crash error %v above per-node crash bound %v", beta, crash, crashBound)
+		}
+	}
+	res.Tables = append(res.Tables, st)
+
+	// 3. Compositional certification on the layered sweep point: cut
+	// the graph, certify the halves independently, stitch, and compare
+	// against both the monolithic bound and the measured error.
+	gl := graph.NewSmallWorld(rng.New(0x5717), in, widths, act, 2, 0)
+	ns, err := core.NodeShapeOf(gl)
+	if err != nil {
+		res.note("VIOLATION: NodeShape failed on the layered graph: %v", err)
+		return res
+	}
+	L := gl.NumLayers()
+	p := fault.AdversarialNeuronPlan(gl, faults)
+	measured := fault.MaxError(gl, p, fault.Byzantine{C: 0.6, Sem: core.DeviationCap}, inputs)
+	mono := ns.Fep(faults, 0.6)
+	ct := metrics.NewTable("compositional certification, faults 1 per level, C = 0.6",
+		"cut_after_level", "stitched_fep", "monolithic_fep", "measured", "stitched_over_monolithic")
+	stitchedCuts := 0
+	for _, cut := range core.Cuts(gl) {
+		if cut < 1 || cut > L-1 {
+			continue
+		}
+		a, err := core.CertifySpan(gl, 1, cut, faults[:cut], 0.6)
+		if err != nil {
+			res.note("VIOLATION: CertifySpan below cut %d: %v", cut, err)
+			continue
+		}
+		b, err := core.CertifySpan(gl, cut+1, L+1, faults[cut:], 0.6)
+		if err != nil {
+			res.note("VIOLATION: CertifySpan above cut %d: %v", cut, err)
+			continue
+		}
+		stitched, err := core.Compose(a, b)
+		if err != nil {
+			res.note("VIOLATION: Compose at cut %d: %v", cut, err)
+			continue
+		}
+		stitchedCuts++
+		ratio := 0.0
+		if mono > 0 {
+			ratio = stitched.Fep[0] / mono
+		}
+		ct.AddRow(fmtInt(cut), fmtF(stitched.Fep[0]), fmtF(mono), fmtF(measured), fmtF(ratio))
+		if measured > stitched.Fep[0]*(1+1e-9) {
+			res.note("VIOLATION: measured %v above stitched bound %v at cut %d", measured, stitched.Fep[0], cut)
+		}
+	}
+	res.Tables = append(res.Tables, ct)
+	if stitchedCuts == 0 {
+		res.note("VIOLATION: layered graph offered no interior cut to compose across")
+	}
+
+	res.note("sparse-DAG engine matches the lowered dense oracle bit-for-bit on layer-expressible graphs for all %d models", len(fault.Models()))
+	res.note("per-node Fep stays sound across the rewiring sweep where the layered algebra no longer applies; stitched certificates dominate the measured monolith at every admissible cut")
+	return res
+}

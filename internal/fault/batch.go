@@ -32,6 +32,11 @@ const BatchLanes = 8
 type BatchPlan struct {
 	net   nn.Model
 	lanes []*CompiledPlan
+	// dagFallback marks arbitrary-topology models: the multi-lane
+	// layered sweep assumes single-source levels, so DAG models evaluate
+	// lane by lane through the level-scheduled scalar engine instead
+	// (same results, no lane fusion).
+	dagFallback bool
 
 	active int
 	sc     nn.BatchScratch
@@ -61,6 +66,10 @@ func CompileBatch(m nn.Model, lanes int) *BatchPlan {
 	}
 	for p := range bp.lanes {
 		bp.lanes[p] = Compile(m, Plan{})
+	}
+	if _, ok := m.(nn.DAGModel); ok {
+		bp.dagFallback = true
+		return bp
 	}
 	bp.sc.Ensure(m, lanes)
 	return bp
@@ -121,6 +130,12 @@ func (bp *BatchPlan) evalLanes(injs []Injector, out []float64) {
 	n := bp.active
 	if len(injs) < n || len(out) < n {
 		panic("fault: BatchPlan evaluation with short injector or output slice")
+	}
+	if bp.dagFallback {
+		for p := 0; p < n; p++ {
+			out[p] = bp.lanes[p].ErrorOnTrace(injs[p], bp.trs[p])
+		}
+		return
 	}
 	m := bp.net
 	L := m.NumLayers()

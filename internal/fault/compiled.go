@@ -62,6 +62,10 @@ func needsNominal(inj Injector) bool {
 type CompiledPlan struct {
 	net  nn.Model
 	plan Plan
+	// dag is non-nil when net has arbitrary topology; evaluation then
+	// runs the level-scheduled sweep (evalDAG) and addresses synapse
+	// faults by in-edge ordinal (see nn.DAGModel).
+	dag nn.DAGModel
 
 	// neuronsAt[l] / synapsesAt[l] hold the faults acting on layer l
 	// (neurons: 1..L; synapses: 1..L+1).
@@ -77,6 +81,13 @@ type CompiledPlan struct {
 	// none).
 	diverge     int
 	lastNominal int
+	// frontier[l] (DAG models only) reports whether level l's faulted
+	// outputs can differ from the clean pass — the DAG generalisation of
+	// the single diverge layer: a level is on the divergence frontier if
+	// it hosts faults or reads a frontier level. srcDirty[l] reports the
+	// latter alone (some source level is on the frontier).
+	frontier []bool
+	srcDirty []bool
 }
 
 // Compile indexes p against m for repeated evaluation. It panics if the
@@ -151,6 +162,27 @@ func (cp *CompiledPlan) Reset(p Plan) {
 			cp.lastNominal = l
 		}
 	}
+	cp.dag, _ = cp.net.(nn.DAGModel)
+	if cp.dag != nil {
+		if cap(cp.frontier) < L+2 {
+			cp.frontier = make([]bool, L+2)
+			cp.srcDirty = make([]bool, L+2)
+		}
+		cp.frontier = cp.frontier[:L+2]
+		cp.srcDirty = cp.srcDirty[:L+2]
+		cp.frontier[0], cp.srcDirty[0] = false, false
+		for l := 1; l <= L+1; l++ {
+			dirty := false
+			for _, v := range cp.dag.SrcLevels(l) {
+				if v >= 1 && cp.frontier[v] {
+					dirty = true
+					break
+				}
+			}
+			cp.srcDirty[l] = dirty
+			cp.frontier[l] = dirty || len(cp.neuronsAt[l]) > 0 || len(cp.synapsesAt[l]) > 0
+		}
+	}
 	cp.plan = p
 }
 
@@ -162,28 +194,25 @@ type planEval struct {
 	sizedFor nn.Model
 	fault    [][]float64
 	clean    [][]float64
+	// levelsF/levelsC are the per-level output pointers of the DAG sweep
+	// (index v = level v; entry 0 is the input).
+	levelsF [][]float64
+	levelsC [][]float64
 }
 
 func (e *planEval) ensure(m nn.Model) {
 	if e.sizedFor == m {
 		return
 	}
+	e.fault = nn.EnsureLayerSlices(m, 1, e.fault)
+	e.clean = nn.EnsureLayerSlices(m, 1, e.clean)
 	L := m.NumLayers()
-	if cap(e.fault) < L {
-		e.fault = make([][]float64, L)
-		e.clean = make([][]float64, L)
+	if cap(e.levelsF) < L+1 {
+		e.levelsF = make([][]float64, L+1)
+		e.levelsC = make([][]float64, L+1)
 	}
-	e.fault = e.fault[:L]
-	e.clean = e.clean[:L]
-	for l := 1; l <= L; l++ {
-		w := m.Width(l)
-		if cap(e.fault[l-1]) < w {
-			e.fault[l-1] = make([]float64, w)
-			e.clean[l-1] = make([]float64, w)
-		}
-		e.fault[l-1] = e.fault[l-1][:w]
-		e.clean[l-1] = e.clean[l-1][:w]
-	}
+	e.levelsF = e.levelsF[:L+1]
+	e.levelsC = e.levelsC[:L+1]
 	e.sizedFor = m
 }
 
@@ -229,6 +258,9 @@ func (cp *CompiledPlan) ErrorOnTrace(inj Injector, tr *nn.Trace) float64 {
 // output even without a trace. Returns the damaged output and, when
 // available, the clean output.
 func (cp *CompiledPlan) eval(e *planEval, inj Injector, x []float64, tr *nn.Trace, needClean bool) (faulted, clean float64) {
+	if cp.dag != nil {
+		return cp.evalDAG(e, inj, x, tr, needClean)
+	}
 	m := cp.net
 	L := m.NumLayers()
 	act := m.Activation()

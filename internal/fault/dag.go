@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"repro/internal/activation"
+	"repro/internal/nn"
+)
+
+// evalDAG is eval's level-scheduled path for arbitrary-topology models.
+// Every level stays resident so later levels can read it; the single
+// divergence layer of the layered sweep generalises to the divergence
+// FRONTIER: levels off the frontier are bitwise identical between the
+// clean and damaged passes and are computed once (or taken straight
+// from the precomputed trace), levels on it branch. Synapse faults are
+// addressed by in-edge ordinal (nn.DAGModel), so a fault can sit on a
+// skip edge as naturally as on a previous-level one.
+func (cp *CompiledPlan) evalDAG(e *planEval, inj Injector, x []float64, tr *nn.Trace, needClean bool) (faulted, clean float64) {
+	m := cp.dag
+	L := m.NumLayers()
+	act := m.Activation()
+	e.ensure(cp.net)
+
+	// How deep the clean sweep must run: to the end for the fused error,
+	// to the deepest neuron fault when the injector consumes nominal
+	// values, not at all alongside a precomputed trace.
+	cleanUpTo := 0
+	if tr == nil {
+		if needClean {
+			cleanUpTo = L
+		} else if needsNominal(inj) {
+			cleanUpTo = cp.lastNominal
+		}
+	}
+	_, isCrash := inj.(Crash)
+
+	ysF, ysC := e.levelsF, e.levelsC
+	ysF[0], ysC[0] = x, x
+	for l := 1; l <= L; l++ {
+		sF := e.fault[l-1]
+		if tr != nil {
+			ysC[l] = tr.Outputs[l-1]
+			if !cp.frontier[l] {
+				ysF[l] = tr.Outputs[l-1]
+				continue
+			}
+			if len(cp.synapsesAt[l]) == 0 && !cp.srcDirty[l] {
+				// Every source is clean and no synapse fault perturbs the
+				// sums: non-overridden outputs are bitwise the trace's.
+				copy(sF, tr.Outputs[l-1])
+				cp.overrideNeurons(inj, isCrash, l, sF, tr.Outputs[l-1])
+				ysF[l] = sF
+				continue
+			}
+		} else if !cp.frontier[l] {
+			// Off the frontier: one sweep serves both passes (all sources
+			// of l are themselves off the frontier, so ysF already holds
+			// their clean outputs).
+			m.LevelSums(l, sF, ysF, nil)
+			activation.Eval(act, sF, sF)
+			ysF[l], ysC[l] = sF, sF
+			continue
+		} else if l <= cleanUpTo {
+			sC := e.clean[l-1]
+			m.LevelSums(l, sC, ysC, nil)
+			activation.Eval(act, sC, sC)
+			ysC[l] = sC
+		}
+		m.LevelSums(l, sF, ysF, cp.overridden[l])
+		for _, f := range cp.synapsesAt[l] {
+			sl, si, w := m.InEdge(l, f.To, f.From)
+			sF[f.To] += inj.SynapseDelta(f, w*ysF[sl][si])
+		}
+		evalSkip(act, sF, cp.overridden[l])
+		var nomC []float64
+		switch {
+		case tr != nil:
+			nomC = tr.Outputs[l-1]
+		case l <= cleanUpTo:
+			nomC = ysC[l]
+		}
+		cp.overrideNeurons(inj, isCrash, l, sF, nomC)
+		ysF[l] = sF
+	}
+
+	faulted = m.OutputSumLevels(ysF)
+	for _, f := range cp.synapsesAt[L+1] {
+		sl, si, w := m.InEdge(L+1, f.To, f.From)
+		faulted += inj.SynapseDelta(f, w*ysF[sl][si])
+	}
+	switch {
+	case tr != nil:
+		clean = tr.Output
+	case needClean:
+		clean = m.OutputSumLevels(ysC)
+	}
+	return faulted, clean
+}
+
+// overrideNeurons replaces layer l's faulty outputs in sF; nomC, when
+// non-nil, supplies the clean nominal outputs (injectors that never
+// consume nominals receive a fixed 0, as in the layered sweep).
+func (cp *CompiledPlan) overrideNeurons(inj Injector, isCrash bool, l int, sF, nomC []float64) {
+	if isCrash {
+		for _, f := range cp.neuronsAt[l] {
+			sF[f.Index] = 0
+		}
+		return
+	}
+	for _, f := range cp.neuronsAt[l] {
+		nom := 0.0
+		if nomC != nil {
+			nom = nomC[f.Index]
+		}
+		sF[f.Index] = inj.NeuronValue(f, nom)
+	}
+}

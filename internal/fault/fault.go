@@ -23,8 +23,11 @@ type NeuronFault struct {
 
 // SynapseFault identifies one failing synapse into layer (1..L+1, where
 // L+1 addresses the output node's incoming synapses). To is the receiving
-// neuron within the layer (always 0 for the output node) and From the
-// sending neuron in layer-1.
+// neuron within the layer. For layered models From is the sending neuron
+// in layer-1; for DAG models (nn.DAGModel) From is the receiving
+// neuron's in-edge ORDINAL — the k-th edge in ascending (srcLevel,
+// srcIdx) order, 0 <= From < FanIn(Layer, To) — so a fault can address
+// a skip edge (nn.InEdgeOf resolves either form uniformly).
 type SynapseFault struct {
 	Layer, To, From int
 }
@@ -60,10 +63,11 @@ func (p Plan) PerLayerSynapses(L int) []int {
 	return out
 }
 
-// Validate checks a plan against a model (dense or convolutional):
-// indices in range, no neuron failed twice. For conv models the indices
-// address flattened feature-map positions and virtual dense synapses
-// (see CompiledPlan).
+// Validate checks a plan against a model (dense, convolutional or
+// graph): indices in range, no neuron failed twice. For conv models the
+// indices address flattened feature-map positions and virtual dense
+// synapses (see CompiledPlan); for DAG models synapse senders are
+// in-edge ordinals validated against the receiving node's fan-in.
 func (p Plan) Validate(n nn.Model) error {
 	L := n.NumLayers()
 	seen := map[NeuronFault]bool{}
@@ -87,7 +91,7 @@ func (p Plan) Validate(n nn.Model) error {
 		if f.To < 0 || f.To >= n.Width(f.Layer) {
 			return fmt.Errorf("fault: synapse receiver %d out of range for layer %d", f.To, f.Layer)
 		}
-		if f.From < 0 || f.From >= n.Width(f.Layer-1) {
+		if f.From < 0 || f.From >= nn.FanInOf(n, f.Layer, f.To) {
 			return fmt.Errorf("fault: synapse sender %d out of range for layer %d", f.From, f.Layer)
 		}
 		if seenSyn[f] {

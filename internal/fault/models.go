@@ -197,9 +197,12 @@ func (b BitFlip) NeuronValue(_ NeuronFault, nominal float64) float64 {
 	return b.flip(nominal, b.actCap/levels)
 }
 
-// weightAt looks the faulty synapse's weight up in the model.
+// weightAt looks the faulty synapse's weight up in the model. The
+// fault's From field is a sender index on layered models and an in-edge
+// ordinal on DAG models; nn.InEdgeOf resolves either form.
 func (b BitFlip) weightAt(f SynapseFault) float64 {
-	return b.net.Weight(f.Layer, f.To, f.From)
+	_, _, w := nn.InEdgeOf(b.net, f.Layer, f.To, f.From)
+	return w
 }
 
 func (b BitFlip) SynapseDelta(f SynapseFault, transmitted float64) float64 {

@@ -116,8 +116,13 @@ type WorstCase struct {
 	inj     Injector
 	isCrash bool
 	prune   bool
-	seq     bool
-	pool    *parallel.Pool
+	// flat marks arbitrary-topology models: the prefix-sharing walk and
+	// the pruning tables both assume strict layering, so non-layered
+	// DAG models evaluate every configuration through the compiled
+	// level-scheduled engine instead (see runFlat).
+	flat bool
+	seq  bool
+	pool *parallel.Pool
 
 	L     int
 	lastF int // deepest 1-based layer with faults; 0 when the plan is empty
@@ -153,6 +158,8 @@ type wcWalker struct {
 	saved     []float64 // override save/restore buffer for leaf rows
 	baseDelta []float64
 	baseGroup int64 // leaf-group whose base occupies ps.Layer(lastF); -1 = none
+
+	cp *CompiledPlan // flat mode only: per-walker compiled evaluator
 }
 
 // NewWorstCase prepares a search for perLayer[l-1] faulty neurons per
@@ -199,6 +206,19 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 		inputs:  inputs,
 		total:   total,
 	}
+	// Arbitrary-topology fallback. The tree walk shares damaged prefixes
+	// layer by layer and the pruning tables (core.SubtreeBounder) price
+	// free suffixes through per-layer propagation coefficients — both
+	// arguments assume every layer reads only its predecessor. A skip
+	// edge lets a shallow fault's deviation bypass intermediate layers
+	// entirely, so for non-layered models pruning is forced OFF (it
+	// would be unsound) and every configuration is evaluated via the
+	// level-scheduled compiled engine. Layered models — including
+	// layer-expressible graphs — keep the full tree machinery.
+	if !nn.IsLayered(m) {
+		w.flat = true
+		w.prune = false
+	}
 	for l := L; l >= 1; l-- {
 		if perLayer[l-1] > 0 {
 			w.lastF = l
@@ -239,6 +259,10 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 	dl := w.lastF
 	w.walkers.New = func() any {
 		wk := &wcWalker{baseGroup: -1}
+		if w.flat {
+			wk.cp = Compile(m, Plan{})
+			return wk
+		}
 		wk.ps.Ensure(m, P)
 		if dl > 0 {
 			wk.cur = make([]int64, dl)
@@ -390,7 +414,37 @@ func (w *WorstCase) RunRange(ctx context.Context, lo, hi int64, st *SearchState)
 	}
 	wk := w.walkers.Get().(*wcWalker)
 	defer w.walkers.Put(wk)
+	if w.flat {
+		return w.runFlat(ctx, wk, lo, hi, st)
+	}
 	return w.walk(ctx, wk, lo, hi, st)
+}
+
+// runFlat is the arbitrary-topology walk: one compiled evaluation per
+// configuration, no prefix sharing, no pruning. The enumeration order
+// (and therefore every first-attaining tie-break) is the same tree
+// order as the layered walk, so results are directly comparable.
+func (w *WorstCase) runFlat(ctx context.Context, wk *wcWalker, lo, hi int64, st *SearchState) error {
+	for pos := lo; pos < hi; pos++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := w.PlanAt(pos)
+		wk.cp.Reset(p)
+		worst := 0.0
+		for _, tr := range w.traces {
+			if e := wk.cp.ErrorOnTrace(w.inj, tr); e > worst {
+				worst = e
+			}
+		}
+		st.Visited++
+		if worst > st.WorstError {
+			st.WorstError = worst
+			st.WorstFlat = pos
+			st.WorstPlan = p.Neurons
+		}
+	}
+	return ctx.Err()
 }
 
 func (w *WorstCase) walk(ctx context.Context, wk *wcWalker, lo, hi int64, st *SearchState) error {

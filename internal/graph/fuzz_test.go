@@ -1,0 +1,56 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// FuzzGraphJSON drives arbitrary bytes through the graph codec. The
+// codec is the trust boundary for uploaded documents, so decoding must
+// never panic, anything it accepts must satisfy the full structural
+// Validate contract, and the encoding must be a stable fixed point.
+func FuzzGraphJSON(f *testing.F) {
+	r := rng.New(7)
+	for _, g := range []*graph.Net{
+		graph.NewLayered(r.Split(), 2, []int{3, 2}, activation.NewSigmoid(1)),
+		graph.NewSparse(r.Split(), 3, []int{4, 3}, activation.Identity{}, 0.5),
+		graph.NewSmallWorld(r.Split(), 2, []int{5, 4, 3}, activation.NewTanh(1), 2, 0.7),
+	} {
+		if doc, err := json.Marshal(g); err == nil {
+			f.Add(doc)
+		}
+	}
+	f.Add([]byte(`{"arch":"graph","input_dim":0,"activation":"identity","levels":[],"output":{}}`))
+	f.Add([]byte(`{"arch":"graph","levels":[{"n":1,"ptr":[0,2],"src_level":[0,1],"src_idx":[0,0],"w":[1,1]}]}`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g graph.Net
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("codec accepted a graph that fails Validate: %v", err)
+		}
+		doc, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+		var g2 graph.Net
+		if err := json.Unmarshal(doc, &g2); err != nil {
+			t.Fatalf("re-marshalled graph rejected: %v", err)
+		}
+		doc2, err := json.Marshal(&g2)
+		if err != nil {
+			t.Fatalf("round-tripped graph failed to marshal: %v", err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("encoding not stable:\n%s\n%s", doc, doc2)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// edge is a generator-side in-edge before CSR packing.
+type edge struct {
+	srcLevel, srcIdx int
+	w                float64
+}
+
+// packLevel builds a CSR Level from per-node edge lists, sorting each
+// node's edges into the ascending (srcLevel, srcIdx) order the kernels
+// require.
+func packLevel(perNode [][]edge, bias []float64) *Level {
+	lv := &Level{N: len(perNode), Ptr: make([]int, len(perNode)+1), Bias: bias}
+	total := 0
+	for _, es := range perNode {
+		total += len(es)
+	}
+	lv.SrcLevel = make([]int, 0, total)
+	lv.SrcIdx = make([]int, 0, total)
+	lv.W = make([]float64, 0, total)
+	for to, es := range perNode {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].srcLevel != es[j].srcLevel {
+				return es[i].srcLevel < es[j].srcLevel
+			}
+			return es[i].srcIdx < es[j].srcIdx
+		})
+		for _, e := range es {
+			lv.SrcLevel = append(lv.SrcLevel, e.srcLevel)
+			lv.SrcIdx = append(lv.SrcIdx, e.srcIdx)
+			lv.W = append(lv.W, e.w)
+		}
+		lv.Ptr[to+1] = len(lv.W)
+	}
+	return lv
+}
+
+// FromNetwork returns the exact graph twin of a dense network: every
+// weight entry (zeros included) becomes an edge, so forward evaluation
+// is bit-identical by construction and Lower round-trips.
+func FromNetwork(d *nn.Network) *Net {
+	L := len(d.Hidden)
+	n := &Net{InputDim: d.InputDim, Act: d.Act, Levels: make([]*Level, L)}
+	for l := 1; l <= L; l++ {
+		m := d.Hidden[l-1]
+		perNode := make([][]edge, m.Rows)
+		for to := 0; to < m.Rows; to++ {
+			row := m.Row(to)
+			es := make([]edge, m.Cols)
+			for from, w := range row {
+				es[from] = edge{srcLevel: l - 1, srcIdx: from, w: w}
+			}
+			perNode[to] = es
+		}
+		var bias []float64
+		if d.Biases != nil && d.Biases[l-1] != nil {
+			bias = append([]float64(nil), d.Biases[l-1]...)
+		}
+		n.Levels[l-1] = packLevel(perNode, bias)
+	}
+	out := make([]edge, len(d.Output))
+	for from, w := range d.Output {
+		out[from] = edge{srcLevel: L, srcIdx: from, w: w}
+	}
+	n.Output = packLevel([][]edge{out}, []float64{d.OutputBias})
+	return n
+}
+
+// widthOf returns the width of level v for generators working from a
+// widths slice (v = 0 is the input).
+func widthOf(in int, widths []int, v int) int {
+	if v == 0 {
+		return in
+	}
+	return widths[v-1]
+}
+
+// scale is the uniform weight half-range for a node with the given
+// fan-in (the usual 1/sqrt(fanIn) variance control).
+func scale(fanIn int) float64 {
+	if fanIn == 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(float64(fanIn))
+}
+
+// NewLayered generates a fully connected layered graph — the dense
+// special case, useful as a seeded starting point and in tests.
+func NewLayered(r *rng.Rand, in int, widths []int, act activation.Func) *Net {
+	return NewSparse(r, in, widths, act, 1)
+}
+
+// NewSparse generates a layered graph where every node reads a random
+// subset of the previous level: density is the expected fraction of the
+// previous level each node connects to, clamped so every node keeps at
+// least one in-edge. The result is layer-expressible (Lower succeeds).
+func NewSparse(r *rng.Rand, in int, widths []int, act activation.Func, density float64) *Net {
+	if len(widths) == 0 {
+		panic("graph: NewSparse needs at least one hidden level")
+	}
+	n := &Net{InputDim: in, Act: act, Levels: make([]*Level, len(widths))}
+	for l := 1; l <= len(widths); l++ {
+		prev := widthOf(in, widths, l-1)
+		deg := int(math.Round(density * float64(prev)))
+		if deg < 1 {
+			deg = 1
+		}
+		if deg > prev {
+			deg = prev
+		}
+		s := scale(deg)
+		perNode := make([][]edge, widths[l-1])
+		for to := range perNode {
+			es := make([]edge, 0, deg)
+			for _, from := range r.Sample(prev, deg) {
+				es = append(es, edge{srcLevel: l - 1, srcIdx: from, w: r.Range(-s, s)})
+			}
+			perNode[to] = es
+		}
+		bias := make([]float64, widths[l-1])
+		r.Floats(bias, -0.1, 0.1)
+		n.Levels[l-1] = packLevel(perNode, bias)
+	}
+	last := widths[len(widths)-1]
+	out := make([]edge, 0, last)
+	s := scale(last)
+	for from := 0; from < last; from++ {
+		out = append(out, edge{srcLevel: len(widths), srcIdx: from, w: r.Range(-s, s)})
+	}
+	n.Output = packLevel([][]edge{out}, []float64{r.Range(-0.1, 0.1)})
+	return n
+}
+
+// NewSmallWorld generates a feed-forward Watts–Strogatz graph: every
+// node starts from a ring-lattice wiring mapped onto the previous level
+// — k sources nearest its relative position (cf. rng.WattsStrogatz, the
+// classic undirected form) — and each edge is then rewired with
+// probability beta to a uniformly
+// random node of ANY earlier level, creating the long-range skip
+// connections that give small-world graphs their short paths. beta = 0
+// is a banded layered graph (layer-expressible); beta > 0 is generally
+// not expressible as layers and exercises the DAG engine.
+func NewSmallWorld(r *rng.Rand, in int, widths []int, act activation.Func, k int, beta float64) *Net {
+	if len(widths) == 0 {
+		panic("graph: NewSmallWorld needs at least one hidden level")
+	}
+	if k < 1 {
+		panic("graph: NewSmallWorld needs k >= 1")
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("graph: NewSmallWorld beta %v outside [0,1]", beta))
+	}
+	n := &Net{InputDim: in, Act: act, Levels: make([]*Level, len(widths))}
+	for l := 1; l <= len(widths); l++ {
+		prev := widthOf(in, widths, l-1)
+		deg := k
+		if deg > prev {
+			deg = prev
+		}
+		s := scale(deg)
+		perNode := make([][]edge, widths[l-1])
+		for to := range perNode {
+			// k nearest previous-level nodes around the node's relative
+			// position (the lattice step of Watts–Strogatz, feed-forward).
+			center := to * prev / widths[l-1]
+			have := make(map[[2]int]bool, deg)
+			es := make([]edge, 0, deg)
+			for d := 0; len(es) < deg; d++ {
+				from := ((center+lattice(d))%prev + prev) % prev
+				key := [2]int{l - 1, from}
+				if have[key] {
+					continue
+				}
+				have[key] = true
+				es = append(es, edge{srcLevel: l - 1, srcIdx: from, w: r.Range(-s, s)})
+			}
+			// Rewiring step: with probability beta an edge jumps to a
+			// uniformly random node of a uniformly random earlier level.
+			for i := range es {
+				if !r.Bool(beta) {
+					continue
+				}
+				v := r.Intn(l) // 0..l-1
+				idx := r.Intn(widthOf(in, widths, v))
+				key := [2]int{v, idx}
+				if have[key] {
+					continue // keep the original edge rather than duplicate
+				}
+				delete(have, [2]int{es[i].srcLevel, es[i].srcIdx})
+				have[key] = true
+				es[i].srcLevel, es[i].srcIdx = v, idx
+			}
+			perNode[to] = es
+		}
+		bias := make([]float64, widths[l-1])
+		r.Floats(bias, -0.1, 0.1)
+		n.Levels[l-1] = packLevel(perNode, bias)
+	}
+	last := widths[len(widths)-1]
+	out := make([]edge, 0, last)
+	s := scale(last)
+	for from := 0; from < last; from++ {
+		out = append(out, edge{srcLevel: len(widths), srcIdx: from, w: r.Range(-s, s)})
+	}
+	n.Output = packLevel([][]edge{out}, []float64{r.Range(-0.1, 0.1)})
+	return n
+}
+
+// lattice maps 0,1,2,3,... to the offsets 0,+1,-1,+2,-2,... — the
+// nearest-first spiral around a lattice position.
+func lattice(d int) int {
+	if d%2 == 1 {
+		return (d + 1) / 2
+	}
+	return -d / 2
+}

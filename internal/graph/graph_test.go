@@ -1,0 +1,534 @@
+package graph_test
+
+// The graph engine's load-bearing property is bit-identity on
+// layer-expressible graphs: a Net whose every level reads only the
+// previous one must produce EXACTLY the floats of its lowered dense
+// twin — through clean evaluation, every registered fault model, the
+// compiled plan engine, the batched engine and the worst-case search.
+// Skip graphs have no dense oracle, so they are checked against a
+// naive reference evaluator written directly over the CSR arrays.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func randomInputs(r *rng.Rand, d, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		x := make([]float64, d)
+		r.Floats(x, 0, 1)
+		out[i] = x
+	}
+	return out
+}
+
+func randomAct(r *rng.Rand) activation.Func {
+	switch r.Intn(3) {
+	case 0:
+		return activation.NewSigmoid(r.Range(0.25, 3))
+	case 1:
+		return activation.NewTanh(r.Range(0.25, 2))
+	default:
+		return activation.NewHardSigmoid(r.Range(0.5, 2))
+	}
+}
+
+func randomWidths(r *rng.Rand) []int {
+	L := r.Intn(3) + 1
+	widths := make([]int, L)
+	for i := range widths {
+		widths[i] = r.Intn(6) + 2
+	}
+	return widths
+}
+
+// mapPlanToDense rewrites a graph plan's synapse ordinals into the
+// sender indices the lowered dense twin addresses synapses by.
+func mapPlanToDense(g *graph.Net, p fault.Plan) fault.Plan {
+	out := fault.Plan{Neurons: append([]fault.NeuronFault(nil), p.Neurons...)}
+	for _, f := range p.Synapses {
+		_, si, _ := g.InEdge(f.Layer, f.To, f.From)
+		out.Synapses = append(out.Synapses, fault.SynapseFault{Layer: f.Layer, To: f.To, From: si})
+	}
+	return out
+}
+
+// randomGraphPlan draws neuron and synapse faults addressed in the
+// graph's own terms (synapse From = in-edge ordinal).
+func randomGraphPlan(r *rng.Rand, g *graph.Net) fault.Plan {
+	L := g.NumLayers()
+	perNeuron := make([]int, L)
+	for l := 1; l <= L; l++ {
+		perNeuron[l-1] = r.Intn(g.Width(l) + 1)
+	}
+	perSyn := make([]int, L+1)
+	for l := 1; l <= L+1; l++ {
+		total := 0
+		for to := 0; to < g.Width(l); to++ {
+			total += g.FanIn(l, to)
+		}
+		if total > 3 {
+			total = 3
+		}
+		perSyn[l-1] = r.Intn(total + 1)
+	}
+	p := fault.RandomNeuronPlan(r, g, perNeuron)
+	p.Synapses = fault.RandomSynapsePlan(r, g, perSyn).Synapses
+	return p
+}
+
+func TestFromNetworkBitIdentity(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		d := nn.NewRandom(r, nn.Config{
+			InputDim: r.Intn(4) + 1,
+			Widths:   randomWidths(r),
+			Act:      randomAct(r),
+			Bias:     r.Bool(0.5),
+		}, r.Range(0.2, 2))
+		g := graph.FromNetwork(d)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: twin invalid: %v", trial, err)
+		}
+		var sc nn.Scratch
+		for _, x := range randomInputs(r, d.InputDim, 5) {
+			want := d.Forward(x)
+			got := nn.ForwardModel(g, &sc, x)
+			if got != want {
+				t.Fatalf("trial %d: twin forward %v != dense %v", trial, got, want)
+			}
+			trD, trG := nn.TraceModel(d, x), nn.TraceModel(g, x)
+			if trD.Output != trG.Output {
+				t.Fatalf("trial %d: trace outputs differ", trial)
+			}
+			for l := range trD.Outputs {
+				for i := range trD.Outputs[l] {
+					if trD.Outputs[l][i] != trG.Outputs[l][i] {
+						t.Fatalf("trial %d: trace layer %d neuron %d differs", trial, l+1, i)
+					}
+				}
+			}
+		}
+		low, err := g.Lower()
+		if err != nil {
+			t.Fatalf("trial %d: twin does not lower: %v", trial, err)
+		}
+		for _, x := range randomInputs(r, d.InputDim, 3) {
+			if low.Forward(x) != d.Forward(x) {
+				t.Fatalf("trial %d: Lower round-trip drifted", trial)
+			}
+		}
+	}
+}
+
+// TestFaultBitIdentityAllModels is the acceptance criterion: on a
+// layer-expressible sparse graph, every registered fault model must
+// price out bit-identically to the lowered dense oracle through the
+// compiled plan engine. Stochastic models get one same-seeded stream
+// per engine; bitwise agreement then also proves both engines consume
+// randomness in the same order.
+func TestFaultBitIdentityAllModels(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 40; trial++ {
+		in := r.Intn(4) + 1
+		g := graph.NewSparse(r, in, randomWidths(r), randomAct(r), r.Range(0.3, 1))
+		low, err := g.Lower()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		planG := randomGraphPlan(r, g)
+		planD := mapPlanToDense(g, planG)
+		if err := planG.Validate(g); err != nil {
+			t.Fatalf("trial %d: graph plan invalid: %v", trial, err)
+		}
+		if err := planD.Validate(low); err != nil {
+			t.Fatalf("trial %d: dense plan invalid: %v", trial, err)
+		}
+		inputs := randomInputs(r, in, 4)
+		trsG := fault.CleanTraces(g, inputs)
+		trsD := fault.CleanTraces(low, inputs)
+		seed := r.Uint64()
+		for _, m := range fault.Models() {
+			mk := func(net nn.Model) fault.Injector {
+				inj, err := m.New(fault.Params{
+					C: 0.7, Value: 0.4, Prob: 0.6,
+					Bits: 8, Bit: trial % 8,
+					Net: net, R: rng.New(seed),
+				})
+				if err != nil {
+					t.Fatalf("trial %d: %s: %v", trial, m.Name, err)
+				}
+				return inj
+			}
+			injG, injD := mk(g), mk(low)
+			cpG := fault.Compile(g, planG)
+			cpD := fault.Compile(low, planD)
+			for i := range inputs {
+				eg := cpG.ErrorOnTrace(injG, trsG[i])
+				ed := cpD.ErrorOnTrace(injD, trsD[i])
+				if eg != ed {
+					t.Fatalf("trial %d: model %s input %d: graph %v != dense %v",
+						trial, m.Name, i, eg, ed)
+				}
+			}
+			// The fused path (no precomputed trace) must agree too.
+			injG, injD = mk(g), mk(low)
+			for i, x := range inputs {
+				if eg, ed := cpG.ErrorOn(injG, x), cpD.ErrorOn(injD, x); eg != ed {
+					t.Fatalf("trial %d: model %s input %d fused: graph %v != dense %v",
+						trial, m.Name, i, eg, ed)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPlanDAGFallback(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 30; trial++ {
+		in := r.Intn(4) + 1
+		g := graph.NewSmallWorld(r, in, randomWidths(r), randomAct(r), 2, r.Range(0, 1))
+		inputs := randomInputs(r, in, 3)
+		trs := fault.CleanTraces(g, inputs)
+		bp := fault.CompileBatch(g, 4)
+		plans := make([]fault.Plan, 3)
+		for p := range plans {
+			plans[p] = randomGraphPlan(r, g)
+		}
+		bp.Reset(plans)
+		injs := []fault.Injector{fault.Crash{}, fault.SignFlip{}, fault.StuckAt{V: 0.3}}
+		out := make([]float64, 3)
+		for _, tr := range trs {
+			bp.ErrorsOnTrace(injs, tr, out)
+			for p := range plans {
+				want := fault.Compile(g, plans[p]).ErrorOnTrace(injs[p], tr)
+				if out[p] != want {
+					t.Fatalf("trial %d: lane %d batched %v != scalar %v", trial, p, out[p], want)
+				}
+			}
+		}
+	}
+}
+
+// naiveEval is an independent reference evaluator over the raw CSR
+// arrays: plain left-to-right accumulation, no lane tricks. It is NOT
+// bit-identical to the kernels, so comparisons use a tolerance.
+func naiveEval(g *graph.Net, p fault.Plan, inj fault.Injector, x []float64) (clean, faulted float64) {
+	L := g.NumLayers()
+	act := g.Act
+	byLayerN := make(map[int][]fault.NeuronFault)
+	byLayerS := make(map[int][]fault.SynapseFault)
+	for _, f := range p.Neurons {
+		byLayerN[f.Layer] = append(byLayerN[f.Layer], f)
+	}
+	for _, f := range p.Synapses {
+		byLayerS[f.Layer] = append(byLayerS[f.Layer], f)
+	}
+	sweep := func(damaged bool, cleanYs [][]float64) ([][]float64, float64) {
+		ys := make([][]float64, L+1)
+		ys[0] = x
+		for l := 1; l <= L; l++ {
+			lv := g.Levels[l-1]
+			out := make([]float64, lv.N)
+			for to := 0; to < lv.N; to++ {
+				s := 0.0
+				for e := lv.Ptr[to]; e < lv.Ptr[to+1]; e++ {
+					s += lv.W[e] * ys[lv.SrcLevel[e]][lv.SrcIdx[e]]
+				}
+				if lv.Bias != nil {
+					s += lv.Bias[to]
+				}
+				out[to] = s
+			}
+			if damaged {
+				for _, f := range byLayerS[l] {
+					e := lv.Ptr[f.To] + f.From
+					out[f.To] += inj.SynapseDelta(f, lv.W[e]*ys[lv.SrcLevel[e]][lv.SrcIdx[e]])
+				}
+			}
+			for i := range out {
+				out[i] = act.Eval(out[i])
+			}
+			if damaged {
+				for _, f := range byLayerN[l] {
+					out[f.Index] = inj.NeuronValue(f, cleanYs[l][f.Index])
+				}
+			}
+			ys[l] = out
+		}
+		ov := g.Output
+		s := 0.0
+		for e := ov.Ptr[0]; e < ov.Ptr[1]; e++ {
+			s += ov.W[e] * ys[ov.SrcLevel[e]][ov.SrcIdx[e]]
+		}
+		if ov.Bias != nil {
+			s += ov.Bias[0]
+		}
+		if damaged {
+			for _, f := range byLayerS[L+1] {
+				e := ov.Ptr[0] + f.From
+				s += inj.SynapseDelta(f, ov.W[e]*ys[ov.SrcLevel[e]][ov.SrcIdx[e]])
+			}
+		}
+		return ys, s
+	}
+	cleanYs, cleanOut := sweep(false, nil)
+	_, faultedOut := sweep(true, cleanYs)
+	return cleanOut, faultedOut
+}
+
+// TestSkipGraphMatchesNaiveReference checks the DAG engine on graphs
+// with real skip connections against the naive evaluator.
+func TestSkipGraphMatchesNaiveReference(t *testing.T) {
+	r := rng.New(19)
+	for trial := 0; trial < 60; trial++ {
+		in := r.Intn(4) + 1
+		g := graph.NewSmallWorld(r, in, randomWidths(r), randomAct(r), 2, r.Range(0.2, 0.9))
+		plan := randomGraphPlan(r, g)
+		var sc nn.Scratch
+		for _, x := range randomInputs(r, in, 3) {
+			wantClean, wantFaulted := naiveEval(g, plan, fault.SignFlip{}, x)
+			gotClean := nn.ForwardModel(g, &sc, x)
+			if math.Abs(gotClean-wantClean) > 1e-9*(1+math.Abs(wantClean)) {
+				t.Fatalf("trial %d: clean %v != naive %v", trial, gotClean, wantClean)
+			}
+			gotFaulted := fault.Forward(g, plan, fault.SignFlip{}, x)
+			if math.Abs(gotFaulted-wantFaulted) > 1e-9*(1+math.Abs(wantFaulted)) {
+				t.Fatalf("trial %d: faulted %v != naive %v", trial, gotFaulted, wantFaulted)
+			}
+			wantErr := math.Abs(wantClean - wantFaulted)
+			gotErr := fault.ErrorOn(g, plan, fault.SignFlip{}, x)
+			if math.Abs(gotErr-wantErr) > 1e-9*(1+wantErr) {
+				t.Fatalf("trial %d: error %v != naive %v", trial, gotErr, wantErr)
+			}
+		}
+	}
+}
+
+// TestWorstCaseLayeredGraphMatchesDense runs the tree search on a
+// layer-expressible graph and its dense twin: identical results,
+// bit for bit, including the first-attaining index.
+func TestWorstCaseLayeredGraphMatchesDense(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 20; trial++ {
+		in := r.Intn(3) + 1
+		widths := []int{r.Intn(3) + 2, r.Intn(3) + 2}
+		g := graph.NewSparse(r, in, widths, randomAct(r), r.Range(0.5, 1))
+		low, err := g.Lower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perLayer := []int{r.Intn(widths[0]) + 1, r.Intn(widths[1]) + 1}
+		inputs := randomInputs(r, in, 3)
+		resG, err := fault.ExhaustiveWorstCrash(g, perLayer, inputs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resD, err := fault.ExhaustiveWorstCrash(low, perLayer, inputs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resG.WorstError != resD.WorstError {
+			t.Fatalf("trial %d: graph worst %v != dense %v", trial, resG.WorstError, resD.WorstError)
+		}
+		if len(resG.WorstPlan.Neurons) != len(resD.WorstPlan.Neurons) {
+			t.Fatalf("trial %d: worst plans differ", trial)
+		}
+		for i := range resG.WorstPlan.Neurons {
+			if resG.WorstPlan.Neurons[i] != resD.WorstPlan.Neurons[i] {
+				t.Fatalf("trial %d: worst plans differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestWorstCaseFlatFallback checks the arbitrary-topology search: on a
+// skip graph the engine must fall back to flat evaluation (pruning
+// off) and agree with a brute-force enumeration.
+func TestWorstCaseFlatFallback(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 15; trial++ {
+		in := r.Intn(3) + 1
+		widths := []int{3, 3}
+		g := graph.NewSmallWorld(r, in, widths, randomAct(r), 2, 0.6)
+		if nn.IsLayered(g) {
+			continue // rewiring happened to stay banded; nothing to test
+		}
+		perLayer := []int{r.Intn(2) + 1, r.Intn(2) + 1}
+		inputs := randomInputs(r, in, 2)
+		w, err := fault.NewWorstCase(g, perLayer, inputs, fault.WorstCaseOptions{
+			Prune: true, Sequential: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pruned != 0 {
+			t.Fatalf("trial %d: flat fallback pruned %d configurations", trial, res.Pruned)
+		}
+		// Brute force in the same tree order.
+		trs := fault.CleanTraces(g, inputs)
+		bestErr, bestFlat := 0.0, int64(-1)
+		for flat := int64(0); flat < w.Total(); flat++ {
+			p := w.PlanAt(flat)
+			cp := fault.Compile(g, p)
+			worst := 0.0
+			for _, tr := range trs {
+				if e := cp.ErrorOnTrace(fault.Crash{}, tr); e > worst {
+					worst = e
+				}
+			}
+			if worst > bestErr {
+				bestErr, bestFlat = worst, flat
+			}
+		}
+		if res.WorstError != bestErr {
+			t.Fatalf("trial %d: flat search %v != brute force %v", trial, res.WorstError, bestErr)
+		}
+		if bestFlat >= 0 {
+			want := w.PlanAt(bestFlat).Neurons
+			if len(res.WorstPlan.Neurons) != len(want) {
+				t.Fatalf("trial %d: worst plan differs", trial)
+			}
+			for i := range want {
+				if res.WorstPlan.Neurons[i] != want[i] {
+					t.Fatalf("trial %d: worst plan differs at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		in := r.Intn(4) + 1
+		var g *graph.Net
+		if r.Bool(0.5) {
+			g = graph.NewSparse(r, in, randomWidths(r), randomAct(r), r.Range(0.3, 1))
+		} else {
+			g = graph.NewSmallWorld(r, in, randomWidths(r), randomAct(r), 2, r.Range(0, 1))
+		}
+		blob, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back graph.Net
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var sc nn.Scratch
+		for _, x := range randomInputs(r, in, 3) {
+			if nn.ForwardModel(&back, &sc, x) != nn.ForwardModel(g, &sc, x) {
+				t.Fatalf("trial %d: decoded net evaluates differently", trial)
+			}
+		}
+		blob2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("trial %d: re-marshal not stable", trial)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, blob string }{
+		{"wrong arch", `{"arch":"dense","input_dim":1}`},
+		{"unknown field", `{"arch":"graph","input_dim":1,"bogus":1}`},
+		{"no levels", `{"arch":"graph","input_dim":1,"activation":"relu","levels":[],"output":{"n":1,"ptr":[0,0],"src_level":[],"src_idx":[],"w":[]}}`},
+		{"bad csr", `{"arch":"graph","input_dim":1,"activation":"relu","levels":[{"n":1,"ptr":[0],"src_level":[],"src_idx":[],"w":[]}],"output":{"n":1,"ptr":[0,0],"src_level":[],"src_idx":[],"w":[]}}`},
+		{"edge from future", `{"arch":"graph","input_dim":1,"activation":"relu","levels":[{"n":1,"ptr":[0,1],"src_level":[1],"src_idx":[0],"w":[1]}],"output":{"n":1,"ptr":[0,1],"src_level":[1],"src_idx":[0],"w":[1]}}`},
+		{"nan weight", `{"arch":"graph","input_dim":1,"activation":"relu","levels":[{"n":1,"ptr":[0,1],"src_level":[0],"src_idx":[0],"w":["NaN"]}],"output":{"n":1,"ptr":[0,1],"src_level":[1],"src_idx":[0],"w":[1]}}`},
+	}
+	for _, tc := range cases {
+		var g graph.Net
+		if err := json.Unmarshal([]byte(tc.blob), &g); err == nil {
+			t.Errorf("%s: unmarshal accepted malformed input", tc.name)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	r := rng.New(37)
+	// Determinism: the same seed reproduces the same graph bytes.
+	g1 := graph.NewSmallWorld(rng.New(7), 3, []int{4, 4}, activation.NewSigmoid(1), 2, 0.5)
+	g2 := graph.NewSmallWorld(rng.New(7), 3, []int{4, 4}, activation.NewSigmoid(1), 2, 0.5)
+	b1, _ := json.Marshal(g1)
+	b2, _ := json.Marshal(g2)
+	if string(b1) != string(b2) {
+		t.Fatal("NewSmallWorld is not deterministic for a fixed seed")
+	}
+	for trial := 0; trial < 30; trial++ {
+		in := r.Intn(4) + 1
+		widths := randomWidths(r)
+		act := randomAct(r)
+		// beta = 0 keeps the lattice banded: layer-expressible.
+		g := graph.NewSmallWorld(r, in, widths, act, 2, 0)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := g.Lower(); err != nil {
+			t.Fatalf("trial %d: beta=0 lattice should lower: %v", trial, err)
+		}
+		if !nn.IsLayered(g) {
+			t.Fatalf("trial %d: beta=0 lattice should be layered", trial)
+		}
+		// Sparse graphs keep at least one in-edge per node.
+		s := graph.NewSparse(r, in, widths, act, r.Range(0, 1))
+		for l := 1; l <= s.NumLayers()+1; l++ {
+			for to := 0; to < s.Width(l); to++ {
+				if s.FanIn(l, to) < 1 {
+					t.Fatalf("trial %d: node (%d,%d) has no in-edges", trial, l, to)
+				}
+			}
+		}
+	}
+}
+
+// TestOutgoingScorer pins the OutgoingScorer fast path to the generic
+// scan on layer-expressible graphs (adversarial plans must agree with
+// the lowered network's).
+func TestOutgoingScorer(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 30; trial++ {
+		in := r.Intn(4) + 1
+		g := graph.NewSparse(r, in, randomWidths(r), randomAct(r), r.Range(0.3, 1))
+		low, err := g.Lower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 1; l <= g.NumLayers(); l++ {
+			for idx := 0; idx < g.Width(l); idx++ {
+				got := g.OutgoingWeight(l, idx)
+				want := 0.0
+				if l == low.Layers() {
+					want = math.Abs(low.Output[idx])
+				} else {
+					for j := 0; j < low.Width(l+1); j++ {
+						if w := math.Abs(low.Hidden[l].At(j, idx)); w > want {
+							want = w
+						}
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d: OutgoingWeight(%d,%d) = %v, generic scan %v",
+						trial, l, idx, got, want)
+				}
+			}
+		}
+	}
+}

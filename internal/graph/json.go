@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+)
+
+// Arch is the architecture tag of serialised graph documents.
+const Arch = "graph"
+
+type jsonNet struct {
+	Arch       string   `json:"arch"`
+	InputDim   int      `json:"input_dim"`
+	Activation string   `json:"activation"`
+	Levels     []*Level `json:"levels"`
+	Output     *Level   `json:"output"`
+}
+
+// MarshalJSON serialises the net with its architecture tag and the
+// activation by name. Float64 JSON encoding round-trips exactly, so a
+// loaded net's forward outputs are bit-identical to the saved one's.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonNet{
+		Arch:       Arch,
+		InputDim:   n.InputDim,
+		Activation: n.Act.Name(),
+		Levels:     n.Levels,
+		Output:     n.Output,
+	})
+}
+
+// UnmarshalJSON restores a net serialised by MarshalJSON. Unknown
+// fields are errors (see nn.Network.UnmarshalJSON for the rationale),
+// and the document must pass full structural validation — the codec is
+// the trust boundary for stored and posted models.
+func (n *Net) UnmarshalJSON(data []byte) error {
+	var j jsonNet
+	if err := nn.StrictUnmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Arch != Arch {
+		return fmt.Errorf("graph: document arch %q, want %q", j.Arch, Arch)
+	}
+	act, err := activation.FromName(j.Activation)
+	if err != nil {
+		return err
+	}
+	n.InputDim = j.InputDim
+	n.Act = act
+	n.Levels = j.Levels
+	n.Output = j.Output
+	n.once = sync.Once{}
+	n.meta = nil
+	n.outMax = nil
+	n.compileErr = nil
+	return n.Validate()
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Lower returns the dense nn.Network computing the same function, or an
+// error when the graph is not layer-expressible (some level reads a
+// level other than the preceding one). Absent edges become exact zero
+// entries, and the dense kernels accumulate rows in the same four-lane
+// order the graph kernels replay, so the lowered network's outputs are
+// bit-identical to graph-native evaluation — Lower is the test oracle
+// for every engine path.
+func (n *Net) Lower() (*nn.Network, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	L := len(n.Levels)
+	for l := 1; l <= L+1; l++ {
+		if !n.meta[l-1].prevOnly {
+			return nil, fmt.Errorf("graph: not layer-expressible: level %d reads levels %v", l, n.meta[l-1].srcLevels)
+		}
+	}
+	d := &nn.Network{
+		InputDim: n.InputDim,
+		Act:      n.Act,
+		Hidden:   make([]*tensor.Matrix, L),
+	}
+	anyBias := false
+	biases := make([][]float64, L)
+	for l := 1; l <= L; l++ {
+		lv := n.Levels[l-1]
+		m := tensor.NewMatrix(lv.N, n.width(l-1))
+		for to := 0; to < lv.N; to++ {
+			for e := lv.Ptr[to]; e < lv.Ptr[to+1]; e++ {
+				m.Set(to, lv.SrcIdx[e], lv.W[e])
+			}
+		}
+		d.Hidden[l-1] = m
+		if lv.Bias != nil {
+			biases[l-1] = append([]float64(nil), lv.Bias...)
+			anyBias = true
+		}
+	}
+	if anyBias {
+		d.Biases = biases
+	}
+	d.Output = make([]float64, n.width(L))
+	for e := n.Output.Ptr[0]; e < n.Output.Ptr[1]; e++ {
+		d.Output[n.Output.SrcIdx[e]] = n.Output.W[e]
+	}
+	d.OutputBias = n.outputBias()
+	return d, nil
+}

@@ -25,18 +25,13 @@ func (sc *BatchScratch) Ensure(m Model, lanes int) {
 		return
 	}
 	L := m.NumLayers()
+	sc.flat = EnsureLayerSlices(m, lanes, sc.flat)
 	if cap(sc.lanes) < L {
 		sc.lanes = make([][][]float64, L)
-		sc.flat = make([][]float64, L)
 	}
 	sc.lanes = sc.lanes[:L]
-	sc.flat = sc.flat[:L]
 	for l := 1; l <= L; l++ {
 		w := m.Width(l)
-		if cap(sc.flat[l-1]) < w*lanes {
-			sc.flat[l-1] = make([]float64, w*lanes)
-		}
-		sc.flat[l-1] = sc.flat[l-1][:w*lanes]
 		if cap(sc.lanes[l-1]) < lanes {
 			sc.lanes[l-1] = make([][]float64, lanes)
 		}

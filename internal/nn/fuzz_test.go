@@ -1,0 +1,55 @@
+package nn_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// FuzzNetworkJSON exercises the dense codec with arbitrary bytes:
+// decoding must never panic, an accepted network must pass Validate,
+// and the encoding must be a stable fixed point under round trips.
+func FuzzNetworkJSON(f *testing.F) {
+	r := rng.New(5)
+	for _, cfg := range []nn.Config{
+		{InputDim: 2, Widths: []int{3, 2}, Act: activation.NewSigmoid(1), Bias: true},
+		{InputDim: 1, Widths: []int{1}, Act: activation.NewTanh(2)},
+		{InputDim: 4, Widths: []int{5, 4, 3}, Act: activation.NewHardSigmoid(1), Bias: true},
+	} {
+		if doc, err := json.Marshal(nn.NewRandom(r.Split(), cfg, 0.5)); err == nil {
+			f.Add(doc)
+		}
+	}
+	f.Add([]byte(`{"input_dim":-1}`))
+	f.Add([]byte(`{"input_dim":1,"activation":"sigmoid(K=1)","layers":[]}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n nn.Network
+		if err := json.Unmarshal(data, &n); err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("codec accepted a network that fails Validate: %v", err)
+		}
+		doc, err := json.Marshal(&n)
+		if err != nil {
+			t.Fatalf("accepted network failed to marshal: %v", err)
+		}
+		var n2 nn.Network
+		if err := json.Unmarshal(doc, &n2); err != nil {
+			t.Fatalf("re-marshalled network rejected: %v", err)
+		}
+		doc2, err := json.Marshal(&n2)
+		if err != nil {
+			t.Fatalf("round-tripped network failed to marshal: %v", err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("encoding not stable:\n%s\n%s", doc, doc2)
+		}
+	})
+}

@@ -18,30 +18,57 @@ import (
 
 // Model is a feed-forward network with L hidden layers and a linear
 // output node, exposed at the granularity the evaluation engine and the
-// bounds need. Implementations must keep LayerSums/LayerSums2/OutputSum
-// allocation-free and bit-identical to the equivalent dense network's
-// kernels (zeros outside a conv layer's receptive field contribute
-// exact zeros, so sparse evaluation can and must reproduce the dense
-// accumulation order — see tensor.ConvAcc).
+// bounds need.
+//
+// # The Model contract
+//
+// This is the one authoritative statement of the conventions every
+// implementation (dense, conv, graph) and every consumer relies on;
+// per-method comments elsewhere point here rather than restating them.
+//
+//   - Indexing: layers are 1-based. Width(0) is the input dimension,
+//     Width(L+1) is 1 (the single linear output node).
+//
+//   - Bias exclusion: MaxWeight covers a layer's DISTINCT weights only
+//     — all N_l·N_{l-1} entries for a dense layer, the R(l) shared
+//     kernel values for a convolutional one (Section VI), the per-edge
+//     weights for a graph level. Biases are EXCLUDED: a bias is a
+//     weight to a constant neuron, constant neurons never fail, so
+//     biases never enter w_m or any Fep-style bound.
+//
+//   - Skip rows: the `skip` argument of LayerSums (and LevelSums) is a
+//     sorted, deduplicated list of destination rows the caller will
+//     override; the kernel MAY leave them uncomputed but is free to
+//     compute them anyway (large layers do, to keep row ranges
+//     contiguous for parallel dispatch).
+//
+//   - Bit-identity: LayerSums/LayerSums2/OutputSum must be
+//     allocation-free and bit-identical to the equivalent dense
+//     network's kernels. Zeros outside a conv receptive field (or
+//     absent graph edges) contribute exact zeros, so sparse evaluation
+//     can and must reproduce the dense accumulation order — see
+//     tensor.ConvAcc and graph.Net.
+//
+//   - Optional refinements: LaneSummer (multi-lane sums), DAGModel
+//     (arbitrary-topology models; its InEdge/FanIn ordinal addressing
+//     supersedes Weight for engines that support it), and
+//     fault.OutgoingScorer (per-neuron outgoing weight mass) are
+//     discovered by type assertion with generic fallbacks.
 type Model interface {
 	// NumLayers returns L, the number of hidden layers.
 	NumLayers() int
 	// Width returns N_l for 1 <= l <= L; l = 0 returns the input
 	// dimension and l = L+1 returns 1 (the output node).
 	Width(l int) int
-	// MaxWeight returns w_m^{(l)} for 1 <= l <= L+1: the maximum
-	// absolute value over the layer's DISTINCT weights — all N_l·N_{l-1}
-	// entries for a dense layer, only the R(l) shared kernel values for
-	// a convolutional one (Section VI). Biases are excluded (they are
-	// weights to constant neurons, which never fail).
+	// MaxWeight returns w_m^{(l)} for 1 <= l <= L+1 over the layer's
+	// distinct weights, biases excluded (see the Model contract above).
 	MaxWeight(l int) float64
 	// Activation returns the shared squashing function ϕ.
 	Activation() activation.Func
 	// LayerSums computes the pre-activation sums s^{(l)} of layer l
 	// (1 <= l <= L) into dst (length Width(l)) from the previous
-	// layer's outputs y (length Width(l-1)), including biases. Rows
-	// listed in skip (sorted ascending, deduplicated) may be left
-	// uncomputed — the caller overrides them anyway.
+	// layer's outputs y (length Width(l-1)), including biases. skip
+	// follows the Model contract's skip-rows convention.
 	LayerSums(l int, dst, y []float64, skip []int)
 	// LayerSums2 computes dst1 from y1 and dst2 from y2 in one fused
 	// sweep over the layer's weights, bit-identical to two LayerSums
@@ -110,6 +137,9 @@ func (n *Network) OutputSum(y []float64) float64 {
 // ForwardInto. This is the generic engine entry — conv nets expose it
 // as their own ForwardInto.
 func ForwardModel(m Model, sc *Scratch, x []float64) float64 {
+	if dm, ok := m.(DAGModel); ok {
+		return forwardDAG(dm, sc, x)
+	}
 	sc.ensure(m)
 	y := x
 	for l := 1; l <= m.NumLayers(); l++ {
@@ -126,6 +156,9 @@ func ForwardModel(m Model, sc *Scratch, x []float64) float64 {
 func TraceModel(m Model, x []float64) *Trace {
 	if n, ok := m.(*Network); ok {
 		return n.ForwardTrace(x)
+	}
+	if dm, ok := m.(DAGModel); ok {
+		return traceDAG(dm, x)
 	}
 	L := m.NumLayers()
 	tr := &Trace{

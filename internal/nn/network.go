@@ -128,12 +128,9 @@ func (n *Network) Validate() error {
 
 // MaxWeight returns w_m^{(l)}: the maximum absolute weight of the synapses
 // into layer l, for 1 <= l <= L+1 (L+1 selects the output synapses).
-//
-// Biases are excluded: under the paper's convention they are weights to
-// constant neurons, and this implementation's fault model never fails a
-// constant neuron, so bias synapses carry no deviation — the propagation
-// factors of Theorem 2 only ever multiply deviations travelling over real
-// synapses. Excluding biases keeps the bound sound and strictly tighter.
+// Biases are excluded per the Model contract (see nn.Model): they are
+// weights to constant neurons, which never fail, so they carry no
+// deviation and excluding them keeps the bound sound and tighter.
 func (n *Network) MaxWeight(l int) float64 {
 	L := n.Layers()
 	if l < 1 || l > L+1 {
@@ -374,6 +371,13 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	n.Act = act
 	n.Hidden = make([]*tensor.Matrix, len(j.Hidden))
 	for l, rows := range j.Hidden {
+		// FromRows panics on ragged input; this is the trust boundary
+		// for uploaded documents, so reject it as a decode error.
+		for _, row := range rows {
+			if len(row) != len(rows[0]) {
+				return fmt.Errorf("nn: layer %d has ragged weight rows", l+1)
+			}
+		}
 		n.Hidden[l] = tensor.FromRows(rows)
 	}
 	n.Biases = j.Biases

@@ -21,6 +21,9 @@ type Scratch struct {
 	sums [][]float64
 	in   []float64
 	tr   Trace
+	// levels[v] aliases level v's outputs during DAG evaluation
+	// (levels[0] is the input, levels[l] aliases outs[l-1]).
+	levels [][]float64
 }
 
 // NewScratch returns a Scratch pre-sized for m (any Model: dense or
@@ -42,18 +45,8 @@ func grow(buf []float64, want int) []float64 {
 
 // ensure sizes the buffers for m (grow-only; cheap when already sized).
 func (sc *Scratch) ensure(m Model) {
-	L := m.NumLayers()
-	if cap(sc.outs) < L {
-		sc.outs = make([][]float64, L)
-		sc.sums = make([][]float64, L)
-	}
-	sc.outs = sc.outs[:L]
-	sc.sums = sc.sums[:L]
-	for l := 1; l <= L; l++ {
-		w := m.Width(l)
-		sc.outs[l-1] = grow(sc.outs[l-1], w)
-		sc.sums[l-1] = grow(sc.sums[l-1], w)
-	}
+	sc.outs = EnsureLayerSlices(m, 1, sc.outs)
+	sc.sums = EnsureLayerSlices(m, 1, sc.sums)
 	sc.in = grow(sc.in, m.Width(0))
 }
 

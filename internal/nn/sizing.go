@@ -1,0 +1,22 @@
+package nn
+
+// EnsureLayerSlices sizes bufs as per-layer buffers for m: on return
+// bufs has exactly NumLayers entries and bufs[l-1] holds lanes*Width(l)
+// float64s. Growth is reuse-friendly (backing arrays are kept when
+// capacity allows), so steady-state callers allocate nothing. This is
+// the one sizing loop behind Scratch, BatchScratch and the compiled
+// fault engine's evaluation buffers — a new engine should call it
+// instead of adding another copy.
+func EnsureLayerSlices(m Model, lanes int, bufs [][]float64) [][]float64 {
+	L := m.NumLayers()
+	if cap(bufs) < L {
+		next := make([][]float64, L)
+		copy(next, bufs)
+		bufs = next
+	}
+	bufs = bufs[:L]
+	for l := 1; l <= L; l++ {
+		bufs[l-1] = grow(bufs[l-1], lanes*m.Width(l))
+	}
+	return bufs
+}

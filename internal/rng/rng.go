@@ -189,3 +189,64 @@ func (r *Rand) Floats(dst []float64, lo, hi float64) {
 		dst[i] = r.Range(lo, hi)
 	}
 }
+
+// WattsStrogatz generates the classic small-world graph on n ring
+// nodes (Watts & Strogatz 1998): start from a ring lattice where every
+// node connects to its k nearest neighbours (k even, k/2 per side),
+// then rewire each lattice edge (i, i+j mod n) with probability beta —
+// keeping endpoint i, redrawing the other endpoint uniformly while
+// rejecting self-loops and duplicate edges. Edges are undirected and
+// returned once each as [2]int{lo, hi}; the edge count n·k/2 is
+// preserved exactly. beta = 0 returns the pure lattice, beta = 1 an
+// Erdős–Rényi-like random graph with the lattice's edge budget.
+//
+// This is the reference topology generator the paper-style robustness
+// sweeps contrast with layered stacks; graph.NewSmallWorld applies the
+// same rewiring idea to DAG levels, where edges must stay acyclic.
+func (r *Rand) WattsStrogatz(n, k int, beta float64) [][2]int {
+	if n < 3 {
+		panic("rng: WattsStrogatz needs n >= 3")
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		panic("rng: WattsStrogatz needs even k with 2 <= k < n")
+	}
+	if beta < 0 || beta > 1 || beta != beta {
+		panic("rng: WattsStrogatz beta outside [0, 1]")
+	}
+	norm := func(a, b int) [2]int {
+		if a < b {
+			return [2]int{a, b}
+		}
+		return [2]int{b, a}
+	}
+	have := make(map[[2]int]bool, n*k/2)
+	edges := make([][2]int, 0, n*k/2)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			have[norm(i, (i+j)%n)] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			e := norm(i, (i+j)%n)
+			if beta > 0 && r.Float64() < beta {
+				// Redraw the far endpoint; keep the lattice edge if no
+				// legal target exists after a bounded number of tries
+				// (possible only in near-complete graphs).
+				for try := 0; try < 2*n; try++ {
+					m := r.Intn(n)
+					cand := norm(i, m)
+					if m == i || have[cand] {
+						continue
+					}
+					delete(have, e)
+					have[cand] = true
+					e = cand
+					break
+				}
+			}
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}

@@ -272,3 +272,80 @@ func BenchmarkNormFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta = 0 is exactly the ring lattice.
+	lat := New(1).WattsStrogatz(10, 4, 0)
+	if len(lat) != 10*4/2 {
+		t.Fatalf("lattice has %d edges, want %d", len(lat), 20)
+	}
+	wantLat := map[[2]int]bool{}
+	for i := 0; i < 10; i++ {
+		for j := 1; j <= 2; j++ {
+			a, b := i, (i+j)%10
+			if a > b {
+				a, b = b, a
+			}
+			wantLat[[2]int{a, b}] = true
+		}
+	}
+	for _, e := range lat {
+		if !wantLat[e] {
+			t.Fatalf("beta=0 produced non-lattice edge %v", e)
+		}
+	}
+	// Any beta: edge count preserved, no self-loops, no duplicates,
+	// endpoints normalised, deterministic for a fixed seed.
+	for _, beta := range []float64{0.1, 0.5, 1} {
+		es := New(7).WattsStrogatz(30, 6, beta)
+		if len(es) != 30*6/2 {
+			t.Fatalf("beta=%v: %d edges, want %d", beta, len(es), 90)
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range es {
+			if e[0] >= e[1] {
+				t.Fatalf("beta=%v: unnormalised or self-loop edge %v", beta, e)
+			}
+			if e[0] < 0 || e[1] >= 30 {
+				t.Fatalf("beta=%v: endpoint out of range %v", beta, e)
+			}
+			if seen[e] {
+				t.Fatalf("beta=%v: duplicate edge %v", beta, e)
+			}
+			seen[e] = true
+		}
+		again := New(7).WattsStrogatz(30, 6, beta)
+		for i := range es {
+			if es[i] != again[i] {
+				t.Fatalf("beta=%v: not deterministic at edge %d", beta, i)
+			}
+		}
+	}
+	// beta = 1 should actually move edges off the lattice.
+	moved := 0
+	for _, e := range New(3).WattsStrogatz(50, 4, 1) {
+		d := e[1] - e[0]
+		if d != 1 && d != 2 && d != 48 && d != 49 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("beta=1 rewired nothing")
+	}
+	// Malformed parameters panic.
+	for _, fn := range []func(){
+		func() { New(1).WattsStrogatz(2, 2, 0) },
+		func() { New(1).WattsStrogatz(10, 3, 0) },
+		func() { New(1).WattsStrogatz(10, 10, 0) },
+		func() { New(1).WattsStrogatz(10, 4, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("malformed WattsStrogatz parameters did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -27,8 +27,15 @@ type cachedNet struct {
 	model nn.Model
 
 	shape core.Shape
+	// node prices certificates for arbitrary-topology models: the
+	// layered Certifier algebra assumes every edge spans exactly one
+	// level and is unsound under skip connections, so non-layered
+	// models route every Fep query through the per-node shape instead.
+	// nil for layered models.
+	node *core.NodeShape
 	// certs pools bounds scratch: Certifiers are not concurrent-safe,
-	// so each request borrows one.
+	// so each request borrows one. (A NodeShape is immutable and
+	// concurrent-safe; non-layered scratch shares it.)
 	certs sync.Pool
 
 	// inputsOnce guards the standard evaluation inputs and their clean
@@ -57,22 +64,50 @@ func newCachedNet(id string, m nn.Model) (*cachedNet, error) {
 		shape: shape,
 		plans: map[string]*fault.CompiledPlan{},
 	}
+	if !nn.IsLayered(m) {
+		ns, err := core.NodeShapeOf(m)
+		if err != nil {
+			return nil, err
+		}
+		cn.node = ns
+	}
 	cn.certs.New = func() any {
+		bs := &boundsScratch{synFaults: make([]int, shape.Layers()+1)}
+		if cn.node != nil {
+			// Shared by every pooled unit: NodeShape is read-only after
+			// construction.
+			bs.cert = cn.node
+			return bs
+		}
 		c, err := core.NewCertifier(shape)
 		if err != nil {
 			// Validated above; a failure here is a programming error.
 			panic(err)
 		}
-		return &boundsScratch{cert: c, synFaults: make([]int, shape.Layers()+1)}
+		bs.cert = c
+		return bs
 	}
 	return cn, nil
 }
 
-// boundsScratch is one pooled unit of bounds-path scratch: a certifier
+// certPricer is the certificate query surface shared by the layered
+// core.Certifier and the arbitrary-topology core.NodeShape; every
+// bounds-path computation prices through it so the handlers never care
+// which algebra backs a model.
+type certPricer interface {
+	Fep(faults []int, c float64) float64
+	CrashFep(faults []int) float64
+	SynapseFep(faults []int, c float64) float64
+	Tolerates(faults []int, c, eps, epsPrime float64) bool
+	CrashTolerates(faults []int, eps, epsPrime float64) bool
+	RequiredSignals(faults []int) []int
+}
+
+// boundsScratch is one pooled unit of bounds-path scratch: a pricer
 // plus the synapse-distribution buffer, so a steady-state bounds query
 // performs zero allocations in the certificate computation.
 type boundsScratch struct {
-	cert      *core.Certifier
+	cert      certPricer
 	synFaults []int
 }
 
@@ -137,7 +172,7 @@ func faultsKey(faults []int) string {
 // network resolves a request's model reference: a store ID (cached
 // across requests) or an inline model payload (served uncached). Both
 // accept any architecture: untagged dense documents and "arch"-tagged
-// conv1d/conv2d documents.
+// conv1d/conv2d/graph documents.
 func (s *Server) network(ref netRef) (*cachedNet, error) {
 	switch {
 	case ref.NetworkID != "" && len(ref.Network) > 0:

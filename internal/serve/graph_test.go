@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// testSkipGraph builds a small-world graph with skip connections — a
+// model the layered certificate algebra cannot price.
+func testSkipGraph(t *testing.T) *graph.Net {
+	t.Helper()
+	g := graph.NewSmallWorld(rng.New(41), 2, []int{5, 4, 4}, activation.NewSigmoid(1), 2, 0.7)
+	if nn.IsLayered(g) {
+		t.Fatal("test graph is layered; pick another seed")
+	}
+	return g
+}
+
+// TestGraphEndToEnd is the serving acceptance round trip for
+// arbitrary-topology models: upload a skip graph, list it, evaluate
+// it, certify it via the per-node shape, inject every registered fault
+// model, profile it, and exhaustively certify it through the flat
+// worst-case fallback — all against the native sparse-DAG engine.
+func TestGraphEndToEnd(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	g := testSkipGraph(t)
+	doc, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload.
+	var up struct {
+		ID     string `json:"id"`
+		Arch   string `json:"arch"`
+		Layers int    `json:"layers"`
+		Widths []int  `json:"widths"`
+	}
+	if code := do(t, s, "POST", "/v1/networks", string(doc), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+	if up.Arch != graph.Arch || up.Layers != 3 || len(up.Widths) != 3 {
+		t.Fatalf("upload response %+v", up)
+	}
+
+	// List includes it under its own kind, architecture-tagged.
+	var list struct {
+		Networks []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+			Arch string `json:"arch"`
+		} `json:"networks"`
+	}
+	if code := do(t, s, "GET", "/v1/networks", nil, &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	found := false
+	for _, e := range list.Networks {
+		if e.ID == up.ID {
+			found = true
+			if e.Kind != store.KindGraph || e.Arch != graph.Arch {
+				t.Fatalf("listed as kind=%q arch=%q", e.Kind, e.Arch)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("uploaded graph model not listed")
+	}
+
+	// Eval: bit-identical to the local native forward pass.
+	x := []float64{0.3, 0.7}
+	var ev struct {
+		Outputs []float64 `json:"outputs"`
+	}
+	if code := do(t, s, "POST", "/v1/eval",
+		map[string]any{"network_id": up.ID, "inputs": [][]float64{x}}, &ev); code != http.StatusOK {
+		t.Fatalf("eval status %d", code)
+	}
+	want := nn.ForwardModel(g, nn.NewScratch(g), x)
+	if len(ev.Outputs) != 1 || ev.Outputs[0] != want {
+		t.Fatalf("eval %v, want [%v]", ev.Outputs, want)
+	}
+
+	// Bounds: priced by the per-node shape, bit-equal to a direct
+	// NodeShape query — the layered algebra must not be consulted.
+	ns, err := core.NodeShapeOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bd struct {
+		Fep        float64 `json:"fep"`
+		CrashFep   float64 `json:"crash_fep"`
+		SynapseFep float64 `json:"synapse_fep"`
+		Tolerated  *bool   `json:"tolerated"`
+	}
+	if code := do(t, s, "POST", "/v1/bounds",
+		map[string]any{"network_id": up.ID, "faults": 1, "c": 0.5, "eps": 100.0}, &bd); code != http.StatusOK {
+		t.Fatalf("bounds status %d", code)
+	}
+	faults := []int{1, 1, 1}
+	if bd.Fep != ns.Fep(faults, 0.5) || bd.CrashFep != ns.CrashFep(faults) {
+		t.Fatalf("bounds fep %v crash %v, want NodeShape %v / %v",
+			bd.Fep, bd.CrashFep, ns.Fep(faults, 0.5), ns.CrashFep(faults))
+	}
+	if bd.SynapseFep != ns.SynapseFep([]int{1, 1, 1, 0}, 0.5) {
+		t.Fatalf("bounds synapse fep %v, want NodeShape %v", bd.SynapseFep, ns.SynapseFep([]int{1, 1, 1, 0}, 0.5))
+	}
+	if bd.Tolerated == nil || !*bd.Tolerated {
+		t.Fatalf("tolerated = %v with eps 100", bd.Tolerated)
+	}
+
+	// Inject: every registered model against the sparse-DAG engine,
+	// measured error within the NodeShape bound.
+	for _, model := range []string{"crash", "byzantine", "stuck", "intermittent", "noise", "signflip", "bitflip", "byzantine-random"} {
+		var inj struct {
+			Measured float64 `json:"measured"`
+			Bound    float64 `json:"bound"`
+		}
+		if code := do(t, s, "POST", "/v1/inject",
+			map[string]any{"network_id": up.ID, "faults": 1, "model": model}, &inj); code != http.StatusOK {
+			t.Fatalf("inject %s status %d", model, code)
+		}
+		if inj.Measured > inj.Bound*(1+1e-9) {
+			t.Fatalf("inject %s: measured %v above bound %v", model, inj.Measured, inj.Bound)
+		}
+	}
+
+	// Monte Carlo through the batched DAG fallback.
+	var mc struct {
+		Trials int     `json:"trials"`
+		Max    float64 `json:"max"`
+		Bound  float64 `json:"bound"`
+	}
+	if code := do(t, s, "POST", "/v1/montecarlo",
+		map[string]any{"network_id": up.ID, "faults": 1, "trials": 64, "seed": 3, "c": 0.5}, &mc); code != http.StatusOK {
+		t.Fatalf("montecarlo status %d", code)
+	}
+	if mc.Trials != 64 || mc.Max > mc.Bound*(1+1e-9) {
+		t.Fatalf("montecarlo %+v", mc)
+	}
+	if mc.Bound != ns.Fep(faults, 0.5) {
+		t.Fatalf("montecarlo bound %v, want NodeShape %v", mc.Bound, ns.Fep(faults, 0.5))
+	}
+
+	// Exhaustive worst case through the flat fallback of the tree
+	// engine (prefix sharing assumes strict layering).
+	var wc struct {
+		Configurations int64   `json:"configurations"`
+		WorstError     float64 `json:"worst_error"`
+		Bound          float64 `json:"bound"`
+	}
+	if code := do(t, s, "POST", "/v1/worstcase",
+		map[string]any{"network_id": up.ID, "faults": 1}, &wc); code != http.StatusOK {
+		t.Fatalf("worstcase status %d", code)
+	}
+	if wc.Configurations != 5*4*4 {
+		t.Fatalf("worstcase visited %d configurations, want 80", wc.Configurations)
+	}
+	if wc.WorstError <= 0 || wc.WorstError > wc.Bound*(1+1e-9) {
+		t.Fatalf("worstcase error %v, bound %v", wc.WorstError, wc.Bound)
+	}
+}
+
+// TestGraphInlineNetwork serves inline graph documents without a store
+// round trip.
+func TestGraphInlineNetwork(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	doc, err := json.Marshal(testSkipGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bd struct {
+		Arch   string `json:"arch"`
+		Widths []int  `json:"widths"`
+	}
+	code := do(t, s, "POST", "/v1/bounds",
+		map[string]any{"network": json.RawMessage(doc), "faults": 2}, &bd)
+	if code != http.StatusOK {
+		t.Fatalf("inline graph bounds status %d", code)
+	}
+	if bd.Arch != graph.Arch || len(bd.Widths) != 3 {
+		t.Fatalf("inline graph bounds %+v", bd)
+	}
+}
+
+// TestTypedRejections extends the malformed-request table with the
+// error paths the graph work added: negative capacities on C-agnostic
+// models (previously a panic in the Fep computation), stochastic
+// models in the exhaustive engine, malformed graph documents, and the
+// same shape mismatches against a NodeShape-priced network.
+func TestTypedRejections(t *testing.T) {
+	s, _, id := newTestServer(t)
+	graphDoc, err := json.Marshal(testSkipGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An edge reading a future level: structurally well-formed JSON
+	// rejected by graph validation.
+	badGraph := `{"arch":"graph","input_dim":1,"activation":"sigmoid(K=1)",
+		"levels":[{"n":1,"ptr":[0,1],"src_level":[1],"src_idx":[0],"w":[1]}],
+		"output":{"n":1,"ptr":[0,1],"src_level":[1],"src_idx":[0],"w":[1]}}`
+
+	for _, tc := range []struct {
+		name string
+		path string
+		body any
+		code int
+	}{
+		{"eval malformed inline model", "/v1/eval", map[string]any{"network": json.RawMessage(`{"arch":"alien"}`), "inputs": [][]float64{{1}}}, 400},
+		{"eval invalid graph document", "/v1/eval", map[string]any{"network": json.RawMessage(badGraph), "inputs": [][]float64{{1}}}, 400},
+		{"bounds negative fault count", "/v1/bounds", map[string]any{"network_id": id, "faults": -1}, 400},
+
+		{"inject negative c", "/v1/inject", map[string]any{"network_id": id, "model": "crash", "c": -1.0}, 400},
+		{"inject negative c byzantine", "/v1/inject", map[string]any{"network_id": id, "model": "byzantine", "c": -1.0}, 400},
+		{"inject bad probability", "/v1/inject", map[string]any{"network_id": id, "model": "intermittent", "prob": 1.5}, 400},
+
+		{"montecarlo negative c", "/v1/montecarlo", map[string]any{"network_id": id, "c": -0.1}, 400},
+		{"montecarlo wrong input dimension", "/v1/montecarlo", map[string]any{"network_id": id, "inputs": [][]float64{{1, 2, 3, 4, 5}}}, 400},
+
+		{"worstcase stochastic model", "/v1/worstcase", map[string]any{"network_id": id, "model": "noise"}, 400},
+		{"worstcase negative c", "/v1/worstcase", map[string]any{"network_id": id, "model": "crash", "c": -2.0}, 400},
+		{"worstcase negative cap", "/v1/worstcase", map[string]any{"network_id": id, "max_configs": -1}, 400},
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := do(t, s, "POST", tc.path, tc.body, &e); code != tc.code {
+			t.Fatalf("%s: status %d (%q), want %d", tc.name, code, e.Error, tc.code)
+		}
+		if e.Error == "" {
+			t.Fatalf("%s: missing error envelope", tc.name)
+		}
+	}
+
+	// The same malformed shapes against a graph-backed network: the
+	// NodeShape pricing path must reject, not panic.
+	var up struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, s, "POST", "/v1/networks", string(graphDoc), &up); code != http.StatusCreated {
+		t.Fatalf("upload status %d", code)
+	}
+	for _, tc := range []struct {
+		name string
+		path string
+		body any
+	}{
+		{"graph bounds negative c", "/v1/bounds", map[string]any{"network_id": up.ID, "faults": 1, "c": -0.5}},
+		{"graph bounds fault above width", "/v1/bounds", map[string]any{"network_id": up.ID, "faults": 100}},
+		{"graph inject negative c", "/v1/inject", map[string]any{"network_id": up.ID, "model": "crash", "c": -1.0}},
+		{"graph montecarlo negative c", "/v1/montecarlo", map[string]any{"network_id": up.ID, "c": -0.1}},
+		{"graph worstcase negative c", "/v1/worstcase", map[string]any{"network_id": up.ID, "model": "crash", "c": -2.0}},
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := do(t, s, "POST", tc.path, tc.body, &e); code != 400 {
+			t.Fatalf("%s: status %d (%q), want 400", tc.name, code, e.Error)
+		}
+	}
+}

@@ -203,7 +203,8 @@ func (s *Server) handleUploadNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Any model document is accepted: untagged dense networks and
-	// "arch"-tagged conv1d/conv2d nets, stored under their own kinds.
+	// "arch"-tagged conv1d/conv2d/graph nets, stored under their own
+	// kinds.
 	m, err := conv.ParseModel(data)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("network document: %v", err))
@@ -343,6 +344,16 @@ func (s *Server) computeBounds(req boundsRequest) (boundsResponse, error) {
 	}
 	copy(b.synFaults, faults)
 	b.synFaults[len(b.synFaults)-1] = 0
+	if cn.node != nil {
+		// A sparse level can have fewer in-edges than nodes; cap the
+		// derived synapse distribution at the edges that exist (beyond
+		// that every edge into the level is already faulty).
+		for l := range b.synFaults {
+			if n := cn.node.SynapseCount(l + 1); b.synFaults[l] > n {
+				b.synFaults[l] = n
+			}
+		}
+	}
 	resp.SynapseFep = b.cert.SynapseFep(b.synFaults, c)
 	if req.Eps > 0 {
 		tol := b.cert.Tolerates(faults, c, req.Eps, req.EpsPrime)
@@ -403,6 +414,12 @@ func (s *Server) computeInject(req injectRequest) (map[string]any, error) {
 	faults, err := req.Faults.resolve(cn.shape.Widths)
 	if err != nil {
 		return nil, err
+	}
+	// Checked here, not left to the model constructor: models that
+	// ignore C (crash, stuck, ...) would otherwise carry the negative
+	// cap into the Fep computation, which panics on it.
+	if req.C != nil && *req.C < 0 {
+		return nil, badRequest("c is negative")
 	}
 	seed := req.Seed
 	if seed == 0 {

@@ -72,6 +72,11 @@ func (s *Server) resolveWorstCase(req worstCaseRequest) (wcResolved, error) {
 	if err != nil {
 		return wc, err
 	}
+	// Same rationale as computeInject: C-agnostic models would carry a
+	// negative cap into the Fep computation, which panics on it.
+	if req.C != nil && *req.C < 0 {
+		return wc, badRequest("c is negative")
+	}
 	params := fault.Params{
 		C:     orDefault(req.C, 1),
 		Sem:   core.DeviationCap,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/conv"
+	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/quant"
 )
@@ -34,11 +35,12 @@ func (s *Store) Network(ref string) (*nn.Network, Entry, error) {
 }
 
 // PutModel stores any nn.Model under its architecture's kind: dense
-// networks as "network", conv nets as "conv" with their
-// architecture-tagged JSON documents ("arch": conv1d/conv2d). Every
-// codec round-trips float64 exactly, so a loaded model's forward
-// outputs are bit-identical to the saved one's. The returned entry's
-// meta carries the architecture tag.
+// networks as "network", conv nets as "conv", sparse-DAG graphs as
+// "graph" — conv and graph documents carry their architecture tag
+// ("arch": conv1d/conv2d/graph). Every codec round-trips float64
+// exactly, so a loaded model's forward outputs are bit-identical to
+// the saved one's. The returned entry's meta carries the architecture
+// tag.
 func (s *Store) PutModel(m nn.Model, meta map[string]string) (Entry, error) {
 	if err := m.Validate(); err != nil {
 		return Entry{}, err
@@ -46,8 +48,12 @@ func (s *Store) PutModel(m nn.Model, meta map[string]string) (Entry, error) {
 	if net, ok := m.(*nn.Network); ok {
 		return s.PutNetwork(net, meta)
 	}
+	kind := ""
 	switch m.(type) {
 	case *conv.Net, *conv.Net2D:
+		kind = KindConv
+	case *graph.Net:
+		kind = KindGraph
 	default:
 		return Entry{}, fmt.Errorf("store: unsupported model type %T", m)
 	}
@@ -58,17 +64,17 @@ func (s *Store) PutModel(m nn.Model, meta map[string]string) (Entry, error) {
 	// Written last: the tag must reflect the document, never a
 	// caller-supplied override.
 	withArch["arch"] = conv.ArchOf(m)
-	return s.Put(KindConv, m, withArch)
+	return s.Put(kind, m, withArch)
 }
 
-// Model loads a stored model (kind "network" or "conv") by ID or unique
-// prefix, dispatching on the document's architecture tag.
+// Model loads a stored model (kind "network", "conv" or "graph") by ID
+// or unique prefix, dispatching on the document's architecture tag.
 func (s *Store) Model(ref string) (nn.Model, Entry, error) {
 	data, e, err := s.Raw(ref)
 	if err != nil {
 		return nil, Entry{}, err
 	}
-	if e.Kind != KindNetwork && e.Kind != KindConv {
+	if e.Kind != KindNetwork && e.Kind != KindConv && e.Kind != KindGraph {
 		return nil, Entry{}, fmt.Errorf("store: artifact %s is a %q, not a model", shortID(e.ID), e.Kind)
 	}
 	m, err := conv.ParseModel(data)
@@ -78,11 +84,12 @@ func (s *Store) Model(ref string) (nn.Model, Entry, error) {
 	return m, e, nil
 }
 
-// Models lists every stored model entry — dense networks and conv nets
-// — oldest first with ID as the tiebreak (List's order).
+// Models lists every stored model entry — dense networks, conv nets
+// and graphs — oldest first with ID as the tiebreak (List's order).
 func (s *Store) Models() []Entry {
 	out := s.List(KindNetwork)
 	out = append(out, s.List(KindConv)...)
+	out = append(out, s.List(KindGraph)...)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Created.Equal(out[j].Created) {
 			return out[i].Created.Before(out[j].Created)

@@ -40,6 +40,7 @@ import (
 const (
 	KindNetwork   = "network"
 	KindConv      = "conv"
+	KindGraph     = "graph"
 	KindQuantized = "quantized"
 	KindOutcomes  = "outcomes"
 )
@@ -363,6 +364,8 @@ func sniffKind(data []byte) string {
 		return "unknown"
 	}
 	switch {
+	case probe.Arch == "graph":
+		return KindGraph
 	case probe.Arch != "":
 		return KindConv
 	case probe.NetworkID != "" && len(probe.Options) > 0:

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/quant"
@@ -73,6 +74,13 @@ type (
 	KernelFault = conv.KernelFault
 	// KernelFault2D addresses one shared kernel value of a 2-D conv layer.
 	KernelFault2D = conv.KernelFault2D
+	// GraphNet is the arbitrary-topology sparse-DAG model: CSR levels,
+	// per-edge weights, skip connections across any earlier level,
+	// evaluated natively by the same engine tiers as the dense and conv
+	// models.
+	GraphNet = graph.Net
+	// GraphLevel is one CSR level of a GraphNet.
+	GraphLevel = graph.Level
 	// NetworkConfig describes a network to construct.
 	NetworkConfig = nn.Config
 	// Activation is a squashing function with a known Lipschitz constant.
@@ -155,7 +163,8 @@ func TrainConv2D(n *ConvNet2D, xs [][]float64, ys []float64, cfg ConvTrainConfig
 }
 
 // ParseModel decodes an architecture-tagged model document: untagged
-// dense networks, "conv1d" and "conv2d" nets.
+// dense networks, "conv1d"/"conv2d" nets and "graph" sparse-DAG
+// models.
 func ParseModel(data []byte) (Model, error) { return conv.ParseModel(data) }
 
 // ForwardModel evaluates any model on scratch buffers: zero steady-state
@@ -484,6 +493,90 @@ type Certifier = core.Certifier
 
 // NewCertifier validates the shape and returns a Certifier for it.
 func NewCertifier(s Shape) (*Certifier, error) { return core.NewCertifier(s) }
+
+// NewLayeredGraph generates a fully connected layered graph — the
+// dense special case of the sparse-DAG model.
+func NewLayeredGraph(r *Rand, in int, widths []int, act Activation) *GraphNet {
+	return graph.NewLayered(r, in, widths, act)
+}
+
+// NewSparseGraph generates a layered graph where every node reads a
+// random density-fraction of the previous level (at least one
+// in-edge). The result is layer-expressible: LowerGraph succeeds.
+func NewSparseGraph(r *Rand, in int, widths []int, act Activation, density float64) *GraphNet {
+	return graph.NewSparse(r, in, widths, act, density)
+}
+
+// NewSmallWorldGraph generates a feed-forward Watts-Strogatz graph:
+// a ring-lattice wiring of in-degree k per node, each edge rewired to
+// a uniformly random earlier node with probability beta. beta = 0 is
+// layer-expressible; beta > 0 generally introduces skip connections
+// and exercises the native DAG engine.
+func NewSmallWorldGraph(r *Rand, in int, widths []int, act Activation, k int, beta float64) *GraphNet {
+	return graph.NewSmallWorld(r, in, widths, act, k, beta)
+}
+
+// LowerGraph materialises the dense network equivalent to a
+// layer-expressible graph — the bit-identity test oracle; it errors
+// when skip connections make the graph not layer-expressible.
+func LowerGraph(g *GraphNet) (*Network, error) { return g.Lower() }
+
+// GraphFromNetwork builds the exact sparse-DAG twin of a dense
+// network (all edges present, zeros included): forward outputs are
+// bit-identical.
+func GraphFromNetwork(n *Network) *GraphNet { return graph.FromNetwork(n) }
+
+// IsLayered reports whether every edge of the model spans exactly one
+// level — the premise of the layered Shape algebra (Theorems 2-4) and
+// of the prefix-sharing worst-case tree engine. Non-layered models
+// are priced by NodeShape and evaluated by the DAG engine tiers.
+func IsLayered(m Model) bool { return nn.IsLayered(m) }
+
+// WattsStrogatz samples a classic undirected Watts-Strogatz
+// small-world graph on n ring nodes (even degree k, rewiring
+// probability beta), returning the edge list — the topology source of
+// NewSmallWorldGraph, exported for standalone topology studies.
+func WattsStrogatz(r *Rand, n, k int, beta float64) [][2]int {
+	return r.WattsStrogatz(n, k, beta)
+}
+
+// NodeShape is the per-node certificate surface for arbitrary-
+// topology models: each node carries its own amplification factor
+// (the tightest product of Lipschitz gains over all paths to the
+// output), and every Theorem 2-4 style query prices against the
+// worst top-f nodes per level. For layered models it coincides with
+// the Shape bounds; for skip graphs it is the sound generalisation.
+// Immutable after construction and safe for concurrent use.
+type NodeShape = core.NodeShape
+
+// NodeShapeOf computes the per-node shape of any model in O(E).
+func NodeShapeOf(m Model) (*NodeShape, error) { return core.NodeShapeOf(m) }
+
+// SubnetCert is an independently certified span of a network: input
+// and output widths, per-output worst-case fault deviations (Fep),
+// and the input-to-output gain matrix that lets downstream
+// certificates amplify upstream ones.
+type SubnetCert = core.SubnetCert
+
+// CertifySpan certifies levels [lo, hi] of a model as a standalone
+// subnetwork under the span's fault distribution; it errors when an
+// edge crosses the cut boundaries (use Cuts for admissible
+// boundaries).
+func CertifySpan(m Model, lo, hi int, faults []int, c float64) (SubnetCert, error) {
+	return core.CertifySpan(m, lo, hi, faults, c)
+}
+
+// ComposeCerts stitches two certified spans wired in series: the
+// composite Fep is b's own deviation plus a's deviations amplified
+// through b's gains. Compositional certification — certify halves
+// independently, stitch, and the bound still dominates the measured
+// monolith.
+func ComposeCerts(a, b SubnetCert) (SubnetCert, error) { return core.Compose(a, b) }
+
+// Cuts lists the levels after which a model can be cut into two
+// independently certifiable spans: exactly those spanned by no skip
+// edge. Strictly layered models can be cut everywhere.
+func Cuts(m Model) []int { return core.Cuts(m) }
 
 // ServeConfig sizes the robustness-query service.
 type ServeConfig = serve.Config

@@ -238,6 +238,80 @@ func TestFacadeFaultModelRegistry(t *testing.T) {
 	}
 }
 
+// TestFacadeGraph exercises the arbitrary-topology surface through the
+// facade only: generate a small-world graph, price it with the
+// per-node shape, verify an injection against the bound, and stitch a
+// compositional certificate across a cut of its layered twin.
+func TestFacadeGraph(t *testing.T) {
+	r := neurofail.NewRand(17)
+	g := neurofail.NewSmallWorldGraph(r, 2, []int{6, 5, 4}, neurofail.NewSigmoid(1), 2, 0.6)
+	ns, err := neurofail.NodeShapeOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{1, 1, 1}
+	bound := ns.Fep(faults, 0.8)
+	if bound <= 0 {
+		t.Fatalf("NodeShape Fep = %v", bound)
+	}
+	plan := neurofail.AdversarialPlan(g, faults)
+	inputs := metrics.Grid(2, 9)
+	measured := neurofail.MaxFaultError(g, plan, neurofail.Byzantine(0.8, neurofail.DeviationCap), inputs)
+	if measured > bound*(1+1e-9) {
+		t.Fatalf("graph injection %v above per-node bound %v", measured, bound)
+	}
+
+	// The dense twin is bit-identical through the facade.
+	dense := neurofail.NewRandomNetwork(r, neurofail.NetworkConfig{
+		InputDim: 2, Widths: []int{5, 4}, Act: neurofail.NewSigmoid(1),
+	}, 0.7)
+	twin := neurofail.GraphFromNetwork(dense)
+	x := []float64{0.3, 0.6}
+	if neurofail.ForwardModel(twin, neurofail.NewScratch(twin), x) != dense.Forward(x) {
+		t.Fatal("GraphFromNetwork twin not bit-identical")
+	}
+	if !neurofail.IsLayered(twin) {
+		t.Fatal("dense twin should be layered")
+	}
+	back, err := neurofail.LowerGraph(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Forward(x) != dense.Forward(x) {
+		t.Fatal("LowerGraph round trip not bit-identical")
+	}
+
+	// Compositional certification across an admissible cut.
+	cuts := neurofail.Cuts(twin)
+	if len(cuts) != 2 || cuts[0] != 1 {
+		t.Fatalf("Cuts(layered twin) = %v", cuts)
+	}
+	tf := []int{1, 1}
+	a, err := neurofail.CertifySpan(twin, 1, 1, tf[:1], 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := neurofail.CertifySpan(twin, 2, 3, tf[1:], 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := neurofail.ComposeCerts(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := neurofail.AdversarialPlan(twin, tf)
+	tm := neurofail.MaxFaultError(twin, tp, neurofail.Byzantine(0.8, neurofail.DeviationCap), inputs)
+	if tm > st.Fep[0]*(1+1e-9) {
+		t.Fatalf("measured %v above stitched bound %v", tm, st.Fep[0])
+	}
+
+	// The raw topology sampler is exported too.
+	edges := neurofail.WattsStrogatz(neurofail.NewRand(3), 12, 4, 0.5)
+	if len(edges) != 24 {
+		t.Fatalf("WattsStrogatz returned %d edges, want 24", len(edges))
+	}
+}
+
 // TestFacadeStoreAndServe exercises the persistence + serving surface
 // through the public facade only: store a network, boot the query
 // service on a real listener, ask it for a certificate, shut down.
