@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-conv bench-batch bench-exhaustive bench-graph fuzz-smoke staticcheck vuln serve-smoke load load-smoke
+.PHONY: ci fmt vet build test race bench bench-conv bench-batch bench-exhaustive bench-graph bench-graph-batch bench-snapshot fuzz-smoke staticcheck vuln serve-smoke load load-smoke
 
-ci: fmt vet staticcheck vuln build test bench bench-conv bench-batch bench-exhaustive bench-graph fuzz-smoke serve-smoke load-smoke
+ci: fmt vet staticcheck vuln build test bench bench-conv bench-batch bench-exhaustive bench-graph bench-graph-batch fuzz-smoke serve-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "$$out"; echo "gofmt: files need formatting"; exit 1; }
@@ -61,6 +61,24 @@ bench-exhaustive:
 bench-graph:
 	NEUROFAIL_BENCH_GRAPH=1 $(GO) test -run 'TestGraphNativeSpeedSmoke' -count=1 -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkGraph(Forward|FaultedForward)' -benchtime=20x -benchmem .
+
+# Batched-vs-scalar smoke on the sparse-DAG engine (BENCH_10.json
+# workload): keeps the fused level-scheduled multi-lane path honest —
+# TestGraphBatchSpeedSmoke FAILS if the batched DAG sweep stops clearly
+# beating the scalar one-at-a-time engine (the shape of the lane-by-lane
+# fallback it replaced), or if the two engines disagree bitwise on any
+# lane; the benchmark run prints the current scalar/batched and
+# flat/tree exhaustive columns.
+bench-graph-batch:
+	NEUROFAIL_BENCH_GRAPH_BATCH=1 $(GO) test -run 'TestGraphBatchSpeedSmoke' -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkGraph(BatchedSweep|Exhaustive)' -benchtime=5x -benchmem .
+
+# Regenerates a BENCH_N.json skeleton from the gated benchmark suite:
+# runs the acceptance benchmarks, parses the `go test -bench` output,
+# and emits the environment + acceptance stanzas so PR snapshots stop
+# being hand-assembled. Usage: make bench-snapshot N=11 [> BENCH_11.json]
+bench-snapshot:
+	sh scripts/bench_snapshot.sh $(N)
 
 # Short coverage-guided runs of every fuzz target, starting from the
 # committed seed corpora (testdata/fuzz/ in each package). Any crasher

@@ -890,3 +890,181 @@ func TestExhaustiveSpeedSmoke(t *testing.T) {
 	}
 	t.Logf("flat %v, tree %v (%.2fx), best of %d rounds x %d reps", flat, tree, float64(flat)/float64(tree), rounds, reps)
 }
+
+// --- batched + pruned graph engine (BENCH_10.json workloads) -------------
+
+// benchGraphBatchFixture is the fixed batched-vs-scalar graph workload:
+// the BENCH_9 past-L2 sparse shape (1024-wide levels, density 0.01 —
+// ~10 in-edges per node) loaded with BatchLanes distinct crash plans, 4
+// faults per level so every lane diverges at level 1 and the whole net
+// recomputes — the regime where the scalar engine re-streams each
+// level's edge list once per plan and the lanes kernel streams it once
+// per batch.
+func benchGraphBatchFixture(tb testing.TB) (*neurofail.GraphNet, []neurofail.Plan, []*nn.Trace) {
+	tb.Helper()
+	g := neurofail.NewSparseGraph(rng.New(1), 8, []int{1024, 1024, 1024}, neurofail.NewSigmoid(1), 0.01)
+	r := rng.New(7)
+	plans := make([]neurofail.Plan, neurofail.BatchLanes)
+	for p := range plans {
+		plans[p] = fault.RandomNeuronPlan(r, g, []int{4, 4, 4})
+	}
+	inputs := metrics.RandomPoints(rng.New(2), 8, 4)
+	return g, plans, fault.CleanTraces(g, inputs)
+}
+
+// BenchmarkGraphBatchedSweep measures a fixed plans-x-traces crash sweep
+// on the sparse graph: the one-at-a-time scalar engine (the shape of
+// the retired lane-by-lane DAG fallback) vs the fused level-scheduled
+// multi-lane sweep.
+func BenchmarkGraphBatchedSweep(b *testing.B) {
+	g, plans, traces := benchGraphBatchFixture(b)
+	inj := neurofail.Crash()
+	b.Run("scalar", func(b *testing.B) {
+		cps := make([]*neurofail.CompiledPlan, len(plans))
+		for p, plan := range plans {
+			cps[p] = fault.Compile(g, plan)
+		}
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, cp := range cps {
+				for _, tr := range traces {
+					sink += cp.ErrorOnTrace(inj, tr)
+				}
+			}
+		}
+		_ = sink
+	})
+	b.Run("batched", func(b *testing.B) {
+		bp := neurofail.CompileBatch(g, neurofail.BatchLanes)
+		injs := make([]fault.Injector, len(plans))
+		for p := range injs {
+			injs[p] = inj
+		}
+		out := make([]float64, len(plans))
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			bp.Reset(plans)
+			for _, tr := range traces {
+				bp.ErrorsOnTrace(injs, tr, out)
+				sink += out[0]
+			}
+		}
+		_ = sink
+	})
+}
+
+// benchGraphExhaustiveFixture is the fixed worst-case workload on a
+// genuinely non-layered topology: a rewired Watts–Strogatz graph whose
+// skip edges used to force the flat fallback. C(24,2)^2 = 76176 crash
+// configurations x 4 inputs.
+func benchGraphExhaustiveFixture(tb testing.TB) (*neurofail.GraphNet, [][]float64) {
+	tb.Helper()
+	g := neurofail.NewSmallWorldGraph(rng.New(5), 8, []int{24, 24}, neurofail.NewSigmoid(1), 2, 0.5)
+	if nn.IsLayered(g) {
+		tb.Fatal("fixture graph is layered; the DAG search path would go unmeasured")
+	}
+	return g, metrics.RandomPoints(rng.New(3), 8, 4)
+}
+
+// BenchmarkGraphExhaustive measures the exhaustive worst-case search on
+// the skip graph: the flat enumeration (what non-layered models ran
+// before the per-node bounder) vs the pruned prefix-sharing tree walk.
+func BenchmarkGraphExhaustive(b *testing.B) {
+	g, inputs := benchGraphExhaustiveFixture(b)
+	perLayer := []int{2, 2}
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fault.ExhaustiveWorstCrashFlat(g, perLayer, inputs, 1_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := neurofail.ExhaustiveWorstCrash(g, perLayer, inputs, 1_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestGraphBatchSpeedSmoke is the enforced form of the BENCH_10.json
+// acceptance gate (make bench-graph-batch runs it in CI): on the
+// past-L2 sparse shape the fused multi-lane DAG sweep must clearly beat
+// the one-at-a-time scalar engine — the shape of the lane-by-lane
+// fallback it replaced — and must agree with it bitwise lane for lane
+// before any timing. Same protocol as the other speed smokes:
+// interleaved best-of-rounds, a 1.5x assertion below the measured gap,
+// armed only under the bench target's env flag.
+func TestGraphBatchSpeedSmoke(t *testing.T) {
+	if os.Getenv("NEUROFAIL_BENCH_GRAPH_BATCH") == "" {
+		t.Skip("timing smoke; run via make bench-graph-batch (NEUROFAIL_BENCH_GRAPH_BATCH=1)")
+	}
+	g, plans, traces := benchGraphBatchFixture(t)
+	inj := neurofail.Crash()
+	cps := make([]*neurofail.CompiledPlan, len(plans))
+	for p, plan := range plans {
+		cps[p] = fault.Compile(g, plan)
+	}
+	bp := neurofail.CompileBatch(g, neurofail.BatchLanes)
+	injs := make([]fault.Injector, len(plans))
+	for p := range injs {
+		injs[p] = inj
+	}
+	out := make([]float64, len(plans))
+	bp.Reset(plans)
+	for _, tr := range traces {
+		bp.ErrorsOnTrace(injs, tr, out)
+		for p := range plans {
+			if want := cps[p].ErrorOnTrace(inj, tr); out[p] != want {
+				t.Fatalf("lane %d: batched %v != scalar %v: the fused DAG sweep changed the answer", p, out[p], want)
+			}
+		}
+	}
+	const (
+		rounds = 6
+		reps   = 3
+	)
+	var sink float64
+	scalarSweep := func() {
+		for _, cp := range cps {
+			for _, tr := range traces {
+				sink += cp.ErrorOnTrace(inj, tr)
+			}
+		}
+	}
+	batchedSweep := func() {
+		bp.Reset(plans)
+		for _, tr := range traces {
+			bp.ErrorsOnTrace(injs, tr, out)
+			sink += out[0]
+		}
+	}
+	time1 := func(sweep func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			sweep()
+		}
+		return time.Since(start)
+	}
+	scalarSweep() // warm pools and caches
+	batchedSweep()
+	scalar := time.Duration(math.MaxInt64)
+	batched := time.Duration(math.MaxInt64)
+	for r := 0; r < rounds; r++ {
+		if d := time1(scalarSweep); d < scalar {
+			scalar = d
+		}
+		if d := time1(batchedSweep); d < batched {
+			batched = d
+		}
+	}
+	_ = sink
+	if batched*15 >= scalar*10 {
+		t.Fatalf("batched graph sweep (best %v/%d reps) not clearly faster than scalar (best %v/%d reps): has the multi-lane CSR path regressed?",
+			batched, reps, scalar, reps)
+	}
+	t.Logf("scalar %v, batched %v (%.2fx), best of %d rounds x %d reps", scalar, batched, float64(scalar)/float64(batched), rounds, reps)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// DAGSubtreeBounder prices branch-and-bound pruning for the
+// tree-structured exhaustive search over arbitrary-topology models. The
+// layered SubtreeBounder compresses each layer to one propagation
+// coefficient Coef(l), which is sound only when every path from a
+// damaged layer to the output threads the strict layer chain — a skip
+// edge routes a deviation AROUND the measured intermediate layers, so
+// the layered bound can undershoot and pruning with it would be
+// unsound. This bounder keeps one coefficient PER NODE instead (the
+// NodeShape construction restricted to free suffixes), so skip edges
+// are priced exactly along their own paths.
+//
+// Write δ_u(x) ≥ 0 for the absolute deviation of node u's emitted value
+// from the clean trace on input x. At a depth-d tree node the levels
+// 1..d are damaged and measured (δ exact), the levels > d are free. For
+// any completion of the free levels, a correct free node is K-Lipschitz
+// in its received sum and a faulty free node emits inj(clean) — a
+// deviation that is exact and independent of upstream damage. Unrolling
+// those two facts along every path gives
+//
+//	|Fneu(x) - Ffail(x)| <= Σ_{lvl(u) <= d} coef_d(u)·δ_u(x)
+//	                      + Σ_{l > d} topf_l(x)
+//
+// where coef_d(u) — Coef(d, lvl(u))[idx(u)] — sums |w| products times
+// K per correct intermediate node over every path from u to the output
+// that stays strictly inside the free levels (paths through other
+// measured nodes are already accounted by THEIR δ), and topf_l(x)
+// bounds Σ amp(u)·dev_u(x) over any admissible choice of the f_l faulty
+// nodes of free level l, with amp(u) the all-levels-free amplification
+// — exactly NodeShape's Amp, exposed here so callers price the tails
+// and the leaf layer's own combinations with the same coefficients.
+//
+// Soundness is what makes pruning free: the bound dominates every leaf
+// of the subtree in real arithmetic, so skipping a subtree whose bound
+// is STRICTLY below an attained error (modulo the caller's rounding
+// slack) can never discard a configuration attaining the maximum, and
+// ties are never pruned. On a strictly layered model coef_d(u) is zero
+// for every u at levels < d — all paths thread the measured level d —
+// recovering the layered bound's structure with per-edge weights
+// instead of per-layer maxima.
+type DAGSubtreeBounder struct {
+	layers   int
+	maxDepth int
+	// amp[l-1][i]: node (l, i)'s all-levels-free amplification (the
+	// NodeShape amp — one reverse sweep with every level free).
+	amp [][]float64
+	// coef[d][v-1][i]: node (v, i)'s amplification through the free
+	// levels > d only, for 1 <= v <= d <= maxDepth.
+	coef [][][]float64
+}
+
+// NewDAGSubtreeBounder builds per-node propagation coefficients for a
+// fault distribution (faults[l-1] faulty neurons in layer l) over any
+// Model — one reverse topological sweep per damaged depth, O(dl·E)
+// total. Like NewSubtreeBounder it validates and returns errors: the
+// tree engine is reachable from serve requests.
+func NewDAGSubtreeBounder(m nn.Model, faults []int) (*DAGSubtreeBounder, error) {
+	act := m.Activation()
+	k := act.Lipschitz()
+	if k <= 0 || math.IsNaN(k) {
+		return nil, fmt.Errorf("core: Lipschitz constant %v", k)
+	}
+	L := m.NumLayers()
+	if len(faults) != L {
+		return nil, fmt.Errorf("core: fault distribution has %d entries for %d layers", len(faults), L)
+	}
+	maxDepth := 0
+	for l := 1; l <= L; l++ {
+		w := m.Width(l)
+		if w <= 0 {
+			return nil, fmt.Errorf("core: layer %d has width %d", l, w)
+		}
+		if f := faults[l-1]; f < 0 || f > w {
+			return nil, fmt.Errorf("core: f_%d = %d outside [0, N_%d=%d]", l, f, l, w)
+		}
+		if faults[l-1] > 0 {
+			maxDepth = l
+		}
+	}
+	b := &DAGSubtreeBounder{layers: L, maxDepth: maxDepth}
+	full, err := b.sweep(m, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.amp = full
+	b.coef = make([][][]float64, maxDepth+1)
+	for d := 1; d <= maxDepth; d++ {
+		restricted, err := b.sweep(m, k, d)
+		if err != nil {
+			return nil, err
+		}
+		b.coef[d] = restricted[:d]
+	}
+	return b, nil
+}
+
+// sweep computes, for every node, the amplification of a unit deviation
+// of its emitted value into the output along paths whose INTERMEDIATE
+// nodes all sit at levels > d (d = 0 frees every level: the NodeShape
+// amp). One reverse pass: nodes at levels <= d accumulate incoming
+// amplification but forward nothing — their deviations are measured,
+// not propagated.
+func (b *DAGSubtreeBounder) sweep(m nn.Model, k float64, d int) ([][]float64, error) {
+	L := b.layers
+	full := make([][]float64, L+2)
+	for t := 1; t <= L; t++ {
+		full[t] = make([]float64, m.Width(t))
+	}
+	full[L+1] = []float64{1}
+	for t := L + 1; t > d; t-- {
+		wt := 1
+		if t <= L {
+			wt = m.Width(t)
+		}
+		for j := 0; j < wt; j++ {
+			g := full[t][j]
+			if t <= L {
+				g *= k
+			}
+			if g == 0 {
+				continue
+			}
+			deg := nn.FanInOf(m, t, j)
+			for e := 0; e < deg; e++ {
+				sl, si, w := nn.InEdgeOf(m, t, j, e)
+				if math.IsNaN(w) {
+					return nil, fmt.Errorf("core: NaN weight into layer %d", t)
+				}
+				if sl == 0 {
+					continue // inputs cannot deviate
+				}
+				full[sl][si] += math.Abs(w) * g
+			}
+		}
+	}
+	return full[1 : L+1], nil
+}
+
+// Layers returns L.
+func (b *DAGSubtreeBounder) Layers() int { return b.layers }
+
+// MaxDepth returns the deepest 1-based layer hosting faults (0 when the
+// distribution is empty); Coef is defined for depths 1..MaxDepth.
+func (b *DAGSubtreeBounder) MaxDepth() int { return b.maxDepth }
+
+// Amp returns level l's all-levels-free per-node amplifications
+// (l = 1..L) — the coefficients pricing faults at FREE levels: a faulty
+// node's exact deviation propagates through downstream levels that are
+// all free at any bound depth above it. The slice is owned by the
+// bounder; callers must not mutate it.
+func (b *DAGSubtreeBounder) Amp(l int) []float64 { return b.amp[l-1] }
+
+// Coef returns level v's per-node coefficients for a bound at depth d
+// (1 <= v <= d <= MaxDepth): entry i multiplies the measured deviation
+// of node (v, i). The slice is owned by the bounder; callers must not
+// mutate it.
+func (b *DAGSubtreeBounder) Coef(d, v int) []float64 { return b.coef[d][v-1] }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/activation"
 	"repro/internal/nn"
 )
 
@@ -21,6 +22,16 @@ const BatchLanes = 8
 // instead of once per plan (tensor.MulVecLanesAddTo), which is where
 // the structural speedup over the one-at-a-time engine comes from.
 //
+// Arbitrary-topology models run the same fusion level-scheduled: each
+// lane carries a per-level pointer array over the virtual source
+// concatenation — levels off the lane's divergence frontier alias the
+// clean trace, levels on it point at the lane's scratch — and every
+// frontier level gathers its lanes through the multi-lane CSR kernel
+// (tensor.CSR.GatherLanesAddTo) in one pass over the level's edge
+// list. A divergent level with no synapse faults and clean sources
+// copies the trace outputs and overrides the faulty neurons, the DAG
+// form of the layered divergence-layer fast path.
+//
 // Per lane the arithmetic replays CompiledPlan.ErrorOnTrace exactly
 // (same kernels, same accumulation order, same fault-application
 // order), so batched float64 results are bit-identical to the
@@ -31,12 +42,8 @@ const BatchLanes = 8
 // serve's Monte Carlo do).
 type BatchPlan struct {
 	net   nn.Model
+	dag   nn.DAGModel // non-nil for arbitrary-topology models
 	lanes []*CompiledPlan
-	// dagFallback marks arbitrary-topology models: the multi-lane
-	// layered sweep assumes single-source levels, so DAG models evaluate
-	// lane by lane through the level-scheduled scalar engine instead
-	// (same results, no lane fusion).
-	dagFallback bool
 
 	active int
 	sc     nn.BatchScratch
@@ -47,6 +54,12 @@ type BatchPlan struct {
 	dsts   [][]float64
 	laneOf []int
 	trs    []*nn.Trace
+	// levels[p][v] is lane p's pointer to level v's outputs during a DAG
+	// sweep (entry 0 the input; clean levels alias the lane's trace,
+	// frontier levels the lane's scratch buffer); srcs is the kernel's
+	// per-slot view of the live lanes' level arrays.
+	levels [][][]float64
+	srcs   [][][]float64
 }
 
 // CompileBatch builds a batched evaluator with the given lane capacity
@@ -67,11 +80,16 @@ func CompileBatch(m nn.Model, lanes int) *BatchPlan {
 	for p := range bp.lanes {
 		bp.lanes[p] = Compile(m, Plan{})
 	}
-	if _, ok := m.(nn.DAGModel); ok {
-		bp.dagFallback = true
-		return bp
-	}
 	bp.sc.Ensure(m, lanes)
+	if dm, ok := m.(nn.DAGModel); ok {
+		bp.dag = dm
+		L := m.NumLayers()
+		bp.levels = make([][][]float64, lanes)
+		for p := range bp.levels {
+			bp.levels[p] = make([][]float64, L+1)
+		}
+		bp.srcs = make([][][]float64, lanes)
+	}
 	return bp
 }
 
@@ -131,10 +149,8 @@ func (bp *BatchPlan) evalLanes(injs []Injector, out []float64) {
 	if len(injs) < n || len(out) < n {
 		panic("fault: BatchPlan evaluation with short injector or output slice")
 	}
-	if bp.dagFallback {
-		for p := 0; p < n; p++ {
-			out[p] = bp.lanes[p].ErrorOnTrace(injs[p], bp.trs[p])
-		}
+	if bp.dag != nil {
+		bp.evalLanesDAG(injs, out)
 		return
 	}
 	m := bp.net
@@ -237,5 +253,102 @@ func (bp *BatchPlan) evalLanes(injs []Injector, out []float64) {
 			faulted += injs[p].SynapseDelta(f, transmitted)
 		}
 		out[p] = math.Abs(tr.Output - faulted)
+	}
+}
+
+// evalLanesDAG is the level-scheduled form of evalLanes for
+// arbitrary-topology models. Each lane owns a per-level pointer array:
+// levels off the lane's divergence frontier alias the clean trace and
+// cost nothing, frontier levels evaluate into the lane's scratch — and
+// all lanes live at a level gather together through the multi-lane
+// sparse kernel, one pass over the level's edge list per lane pair.
+// Per lane the arithmetic replays evalDAG's trace path exactly, so
+// results stay bit-identical to the scalar engine for every injector.
+func (bp *BatchPlan) evalLanesDAG(injs []Injector, out []float64) {
+	m := bp.dag
+	L := m.NumLayers()
+	act := m.Activation()
+	bp.sc.Ensure(bp.net, len(bp.lanes))
+	n := bp.active
+
+	// Wire each lane's level pointers to its clean trace; frontier
+	// levels are repointed at scratch as the sweep computes them.
+	minD := L + 1
+	for p := 0; p < n; p++ {
+		tr := bp.trs[p]
+		ys := bp.levels[p]
+		ys[0] = tr.Input
+		for l := 1; l <= L; l++ {
+			ys[l] = tr.Outputs[l-1]
+		}
+		if d := bp.lanes[p].diverge; d < minD {
+			minD = d
+		}
+	}
+
+	for l := minD; l <= L; l++ {
+		k := 0
+		lanebufs := bp.sc.Layer(l)
+		for p := 0; p < n; p++ {
+			cp := bp.lanes[p]
+			if !cp.frontier[l] {
+				continue
+			}
+			if len(cp.synapsesAt[l]) == 0 && !cp.srcDirty[l] {
+				// Divergent level with clean sources and no synapse
+				// faults: the received sums equal the clean ones, so
+				// non-overridden outputs are bitwise the trace's — copy
+				// and override instead of joining the kernel batch (the
+				// DAG form of the layered divergence-layer fast path).
+				tr := bp.trs[p]
+				dst := lanebufs[p]
+				copy(dst, tr.Outputs[l-1])
+				_, isCrash := injs[p].(Crash)
+				cp.overrideNeurons(injs[p], isCrash, l, dst, tr.Outputs[l-1])
+				bp.levels[p][l] = dst
+				continue
+			}
+			bp.dsts[k] = lanebufs[p]
+			bp.srcs[k] = bp.levels[p]
+			bp.laneOf[k] = p
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		// One sweep over the level's edge list serves every live lane.
+		nn.LevelSumsLanesModel(m, l, bp.dsts[:k], bp.srcs[:k])
+		// Fault application per lane, in the exact order of the scalar
+		// level-scheduled engine: synapse deltas on the received sums
+		// (in-edge ordinal addressing — a fault can sit on a skip edge),
+		// activation, then neuron overrides reading nominals off the
+		// clean trace. Overridden rows are computed and then overwritten,
+		// which leaves the same final values as the scalar skip lists.
+		for s := 0; s < k; s++ {
+			p := bp.laneOf[s]
+			cp := bp.lanes[p]
+			inj := injs[p]
+			sF := bp.dsts[s]
+			ys := bp.levels[p]
+			for _, f := range cp.synapsesAt[l] {
+				sl, si, w := m.InEdge(l, f.To, f.From)
+				sF[f.To] += inj.SynapseDelta(f, w*ys[sl][si])
+			}
+			activation.Eval(act, sF, sF)
+			_, isCrash := inj.(Crash)
+			cp.overrideNeurons(inj, isCrash, l, sF, bp.trs[p].Outputs[l-1])
+			ys[l] = sF
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		cp := bp.lanes[p]
+		ys := bp.levels[p]
+		faulted := m.OutputSumLevels(ys)
+		for _, f := range cp.synapsesAt[L+1] {
+			sl, si, w := m.InEdge(L+1, f.To, f.From)
+			faulted += injs[p].SynapseDelta(f, w*ys[sl][si])
+		}
+		out[p] = math.Abs(bp.trs[p].Output - faulted)
 	}
 }

@@ -1,0 +1,321 @@
+package fault
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/activation"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// This file holds the arbitrary-topology variants of the tree-walk
+// steps (tree.go dispatches here when the model is a non-layered
+// DAGModel). The walk itself — spine decode, damaged-prefix sharing,
+// branch-and-bound fast-forward, leaf grouping — is topology-agnostic
+// and shared; what changes is how a depth is materialised and how a
+// subtree is priced:
+//
+//   - Each walker keeps per-input per-level output pointers
+//     (wcWalker.lvls): levels off the static frontier alias the clean
+//     trace forever, damaged levels point at the walker's stack
+//     buffers. Recomputing depths >= firstDiff in ascending level order
+//     keeps every pointer authoritative, because a level only reads
+//     levels before it — the same invariant the compiled
+//     level-scheduled engine relies on.
+//   - A depth with faults whose sources are all clean takes the
+//     divergence-copy fast path (copy the clean outputs, apply the
+//     overrides); otherwise the level's sums run through the
+//     multi-lane level kernel across all P inputs at once, hitting the
+//     CSR lanes kernel on graph models.
+//   - Pruning prices subtrees with core.DAGSubtreeBounder's per-node
+//     coefficients over per-node measured deviations, sound in the
+//     presence of skip edges (see that type's contract). Ties are never
+//     pruned, so results — including first-attaining tie-breaks — are
+//     bit-identical to the unpruned walk and to the flat oracle.
+//
+// The arithmetic of every materialised level replays CompiledPlan's
+// scalar evalDAG exactly (divergence copy, LevelSums + activation,
+// overrides from the CLEAN nominal, ascending levels), so recorded
+// errors are bit-identical to ErrorOnTrace on the same configuration.
+
+// buildPruneTablesDAG is buildPruneTables over per-node coefficients:
+// deviations at free levels are weighted by their node's amplification
+// BEFORE the worst-f selection, so tails and topfLeaf need no further
+// propagation factor.
+func (w *WorstCase) buildPruneTablesDAG(perLayer []int) error {
+	b, err := core.NewDAGSubtreeBounder(w.m, perLayer)
+	if err != nil {
+		return err
+	}
+	w.nb = b
+	P := len(w.traces)
+	dl := w.lastF
+	topf := make([][]float64, w.L) // topf[l-1][x]; nil for fault-free layers
+	var devs []float64
+	for l := 1; l <= w.L; l++ {
+		f := perLayer[l-1]
+		if f == 0 {
+			continue
+		}
+		width := w.m.Width(l)
+		if cap(devs) < width {
+			devs = make([]float64, width)
+		}
+		devs = devs[:width]
+		amp := b.Amp(l)
+		topf[l-1] = make([]float64, P)
+		for x, tr := range w.traces {
+			clean := tr.Outputs[l-1]
+			for i := 0; i < width; i++ {
+				v := 0.0
+				if !w.isCrash {
+					v = w.inj.NeuronValue(NeuronFault{Layer: l, Index: i}, clean[i])
+				}
+				devs[i] = amp[i] * math.Abs(v-clean[i])
+			}
+			sort.Float64s(devs)
+			s := 0.0
+			for i := width - f; i < width; i++ {
+				s += devs[i]
+			}
+			topf[l-1][x] = s
+		}
+	}
+	w.tails = make([][]float64, dl+1)
+	for d := 0; d <= dl; d++ {
+		w.tails[d] = make([]float64, P)
+		for x := 0; x < P; x++ {
+			t := 0.0
+			for l := d + 1; l <= w.L; l++ {
+				if topf[l-1] != nil {
+					t += topf[l-1][x]
+				}
+			}
+			w.tails[d][x] = t
+		}
+	}
+	w.topfLeaf = topf[dl-1]
+	return nil
+}
+
+// applyDepthDAG materialises depth d's damaged outputs for combination
+// ci; shallower levels' pointers (wk.lvls) are authoritative.
+func (w *WorstCase) applyDepthDAG(wk *wcWalker, d int, ci int64) {
+	if !w.dirtyLvl[d] {
+		// No own faults and every source clean: the trace aliases set at
+		// walker construction are authoritative, deviations are zero.
+		return
+	}
+	combo := w.combos[d-1][ci]
+	P := len(w.traces)
+	dst := wk.ps.Layer(d)[:P]
+	if !w.srcDirty[d] {
+		// First divergent level: received sums are the clean ones, so
+		// outputs are the trace's with the overrides applied (the
+		// compiled engine's divergence-copy fast path).
+		for x, tr := range w.traces {
+			copy(dst[x], tr.Outputs[d-1])
+		}
+	} else {
+		for x := 0; x < P; x++ {
+			wk.dsts[x] = dst[x]
+			wk.srcs[x] = wk.lvls[x]
+		}
+		nn.LevelSumsLanesModel(w.dag, d, wk.dsts[:P], wk.srcs[:P])
+		act := w.m.Activation()
+		for x := 0; x < P; x++ {
+			activation.Eval(act, dst[x], dst[x])
+		}
+	}
+	// Faulty neurons broadcast values derived from the CLEAN nominal —
+	// the same convention as the compiled engines, and what makes the
+	// pruning tables exact.
+	if w.isCrash {
+		for x := 0; x < P; x++ {
+			row := dst[x]
+			for _, idx := range combo {
+				row[idx] = 0
+			}
+		}
+	} else {
+		for x, tr := range w.traces {
+			row := dst[x]
+			clean := tr.Outputs[d-1]
+			for _, idx := range combo {
+				row[idx] = w.inj.NeuronValue(NeuronFault{Layer: d, Index: idx}, clean[idx])
+			}
+		}
+	}
+	for x := 0; x < P; x++ {
+		wk.lvls[x][d] = dst[x]
+	}
+	if w.prune {
+		nd := wk.nodeDeltas[d]
+		for x, tr := range w.traces {
+			clean := tr.Outputs[d-1]
+			row := dst[x]
+			out := nd[x]
+			for i := range row {
+				out[i] = math.Abs(row[i] - clean[i])
+			}
+		}
+	}
+}
+
+// nodeBoundDAG prices the subtree rooted at depth d: every measured
+// node's deviation times its free-suffix path coefficient, plus the
+// pre-weighted free-layer tail, maximised over inputs.
+func (w *WorstCase) nodeBoundDAG(wk *wcWalker, d int) float64 {
+	maxB := math.Inf(-1)
+	for x := range w.traces {
+		b := w.tails[d][x]
+		for v := 1; v <= d; v++ {
+			if wk.nodeDeltas[v] == nil {
+				continue // clean level: deviations identically zero
+			}
+			coef := w.nb.Coef(d, v)
+			nd := wk.nodeDeltas[v][x]
+			for i, c := range coef {
+				b += c * nd[i]
+			}
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	return maxB
+}
+
+// leafBoundDAG prices a whole leaf group: measured prefix through the
+// depth-dl coefficients, the deepest layer's base deviation and worst
+// own combination already Amp-weighted (buildBaseDAG /
+// buildPruneTablesDAG), plus the (empty) tail.
+func (w *WorstCase) leafBoundDAG(wk *wcWalker) float64 {
+	dl := w.lastF
+	maxB := math.Inf(-1)
+	for x := range w.traces {
+		b := w.tails[dl][x] + wk.baseDelta[x] + w.topfLeaf[x]
+		for v := 1; v < dl; v++ {
+			if wk.nodeDeltas[v] == nil {
+				continue
+			}
+			coef := w.nb.Coef(dl, v)
+			nd := wk.nodeDeltas[v][x]
+			for i, c := range coef {
+				b += c * nd[i]
+			}
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	return maxB
+}
+
+// buildBaseDAG materialises the deepest faulty level's outputs under
+// the current spine WITHOUT that level's own faults — the shared base
+// every leaf of the group overrides in place. baseDelta is the
+// Amp-weighted deviation (the per-node analogue of the layered l1
+// base delta).
+func (w *WorstCase) buildBaseDAG(wk *wcWalker) {
+	dl := w.lastF
+	P := len(w.traces)
+	base := wk.ps.Layer(dl)[:P]
+	if !w.srcDirty[dl] {
+		for x, tr := range w.traces {
+			copy(base[x], tr.Outputs[dl-1])
+			wk.lvls[x][dl] = base[x]
+		}
+		if w.prune {
+			for x := range w.traces {
+				wk.baseDelta[x] = 0
+			}
+		}
+		return
+	}
+	for x := 0; x < P; x++ {
+		wk.dsts[x] = base[x]
+		wk.srcs[x] = wk.lvls[x]
+	}
+	nn.LevelSumsLanesModel(w.dag, dl, wk.dsts[:P], wk.srcs[:P])
+	act := w.m.Activation()
+	for x := 0; x < P; x++ {
+		activation.Eval(act, base[x], base[x])
+		wk.lvls[x][dl] = base[x]
+	}
+	if w.prune {
+		amp := w.nb.Amp(dl)
+		for x, tr := range w.traces {
+			clean := tr.Outputs[dl-1]
+			row := base[x]
+			s := 0.0
+			for i := range row {
+				s += amp[i] * math.Abs(row[i]-clean[i])
+			}
+			wk.baseDelta[x] = s
+		}
+	}
+}
+
+// evalLeavesDAG evaluates leaf configurations [li, leafEnd) of group g:
+// each overrides its combination's rows of the shared base, propagates
+// the dirty suffix levels, reads the output over the level pointers,
+// and restores — bit-identical to a full compiled evaluation of the
+// same configuration.
+func (w *WorstCase) evalLeavesDAG(wk *wcWalker, g, li, leafEnd int64, st *SearchState) {
+	dl := w.lastF
+	base := wk.ps.Layer(dl)[:len(w.traces)]
+	for ci := li; ci < leafEnd; ci++ {
+		combo := w.combos[dl-1][ci]
+		worst := 0.0
+		for x, tr := range w.traces {
+			row := base[x]
+			if w.isCrash {
+				for j, idx := range combo {
+					wk.saved[j] = row[idx]
+					row[idx] = 0
+				}
+			} else {
+				clean := tr.Outputs[dl-1]
+				for j, idx := range combo {
+					wk.saved[j] = row[idx]
+					row[idx] = w.inj.NeuronValue(NeuronFault{Layer: dl, Index: idx}, clean[idx])
+				}
+			}
+			out := w.propagateSuffixDAG(wk, x)
+			for j, idx := range combo {
+				row[idx] = wk.saved[j]
+			}
+			if e := math.Abs(tr.Output - out); e > worst {
+				worst = e
+			}
+		}
+		st.Visited++
+		if worst > st.WorstError {
+			st.WorstError = worst
+			st.WorstFlat = g*w.leaves + ci
+			st.WorstPlan = w.PlanAt(st.WorstFlat).Neurons
+			w.raiseFloor(worst)
+		}
+	}
+}
+
+// propagateSuffixDAG pushes one input's damaged state through the
+// levels past the deepest faulty one: levels off the frontier keep
+// their clean-trace aliases (zero cost, like the compiled engine),
+// dirty ones recompute over the level pointers.
+func (w *WorstCase) propagateSuffixDAG(wk *wcWalker, x int) float64 {
+	ys := wk.lvls[x]
+	act := w.m.Activation()
+	for l := w.lastF + 1; l <= w.L; l++ {
+		if !w.dirtyLvl[l] {
+			continue
+		}
+		dst := wk.ps.Layer(l)[x]
+		w.dag.LevelSums(l, dst, ys, nil)
+		activation.Eval(act, dst, dst)
+		ys[l] = dst
+	}
+	return w.dag.OutputSumLevels(ys)
+}

@@ -116,11 +116,12 @@ type WorstCase struct {
 	inj     Injector
 	isCrash bool
 	prune   bool
-	// flat marks arbitrary-topology models: the prefix-sharing walk and
-	// the pruning tables both assume strict layering, so non-layered
-	// DAG models evaluate every configuration through the compiled
-	// level-scheduled engine instead (see runFlat).
-	flat bool
+	// dag is non-nil for arbitrary-topology models: the walk then runs
+	// level-scheduled — per-input per-level output pointers with
+	// clean-trace aliasing off the static frontier — and pruning prices
+	// subtrees through core.DAGSubtreeBounder's per-node coefficients
+	// instead of the per-layer chain bound (see dagtree.go).
+	dag  nn.DAGModel
 	seq  bool
 	pool *parallel.Pool
 
@@ -136,10 +137,23 @@ type WorstCase struct {
 	inputs [][]float64
 	traces []*nn.Trace
 
+	// Static frontier (dag only): dirtyLvl[l] reports whether level l
+	// can differ from the clean trace under the FULL perLayer pattern
+	// (own faults or any damaged source level); srcDirty[l] the source
+	// half alone. Every configuration of the search damages exactly the
+	// layers with perLayer > 0, so the frontier — and with it every
+	// alias/copy/recompute decision — is one fixed bitmask, identical to
+	// the compiled engine's per-plan frontier for each leaf.
+	dirtyLvl []bool
+	srcDirty []bool
+
 	// Pruning tables (Prune only): tails[d][x] prices the free layers
 	// below depth d on input x; topfLeaf[x] bounds the deepest layer's
-	// own combination deviations.
+	// own combination deviations. Layered models use the per-layer
+	// bounder; DAG models the per-node nb (whose Amp weighting is
+	// already folded into tails/topfLeaf/baseDelta).
 	bounder  *core.SubtreeBounder
+	nb       *core.DAGSubtreeBounder
 	tails    [][]float64
 	topfLeaf []float64
 
@@ -153,13 +167,22 @@ type wcWalker struct {
 	ps     nn.PartialStack
 	cur    []int64 // cur[d]: combination index materialised at depth d (-1 = invalid)
 	digits []int64
-	deltas [][]float64 // deltas[d][x]: l1 deviation at depth d (prune only)
+	deltas [][]float64 // deltas[d][x]: l1 deviation at depth d (layered prune only)
 
 	saved     []float64 // override save/restore buffer for leaf rows
-	baseDelta []float64
-	baseGroup int64 // leaf-group whose base occupies ps.Layer(lastF); -1 = none
+	baseDelta []float64 // layered: l1 base deviation; dag: Amp-weighted
+	baseGroup int64     // leaf-group whose base occupies ps.Layer(lastF); -1 = none
 
-	cp *CompiledPlan // flat mode only: per-walker compiled evaluator
+	// DAG walk state: lvls[x][v] points at input x's authoritative
+	// level-v outputs — the clean trace for levels off the frontier, the
+	// walker's stack buffers for damaged ones (levels the search never
+	// dirties keep their trace alias forever). dsts/srcs are the lane
+	// argument scratch for the multi-lane level kernel; nodeDeltas[d][x]
+	// holds per-node |damaged - clean| at damaged depths (prune only).
+	lvls       [][][]float64
+	dsts       [][]float64
+	srcs       [][][]float64
+	nodeDeltas [][][]float64
 }
 
 // NewWorstCase prepares a search for perLayer[l-1] faulty neurons per
@@ -206,18 +229,19 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 		inputs:  inputs,
 		total:   total,
 	}
-	// Arbitrary-topology fallback. The tree walk shares damaged prefixes
-	// layer by layer and the pruning tables (core.SubtreeBounder) price
-	// free suffixes through per-layer propagation coefficients — both
-	// arguments assume every layer reads only its predecessor. A skip
-	// edge lets a shallow fault's deviation bypass intermediate layers
-	// entirely, so for non-layered models pruning is forced OFF (it
-	// would be unsound) and every configuration is evaluated via the
-	// level-scheduled compiled engine. Layered models — including
-	// layer-expressible graphs — keep the full tree machinery.
+	// Arbitrary-topology models run the same prefix-sharing walk
+	// level-scheduled: the walk keeps per-input per-level output
+	// pointers so a level can read ANY earlier level (damaged buffer or
+	// clean-trace alias), and pruning swaps the per-layer chain bound —
+	// unsound under skip edges, which route a deviation around the
+	// measured layers — for core.DAGSubtreeBounder's per-node path
+	// coefficients. Layered models keep the original machinery.
 	if !nn.IsLayered(m) {
-		w.flat = true
-		w.prune = false
+		dm, ok := nn.AsDAG(m)
+		if !ok {
+			return nil, fmt.Errorf("fault: non-layered model %T has no DAG view", m)
+		}
+		w.dag = dm
 	}
 	for l := L; l >= 1; l-- {
 		if perLayer[l-1] > 0 {
@@ -226,6 +250,19 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 		}
 	}
 	w.traces = CleanTraces(m, inputs)
+	if w.dag != nil {
+		w.dirtyLvl = make([]bool, L+1)
+		w.srcDirty = make([]bool, L+1)
+		for l := 1; l <= L; l++ {
+			for _, v := range w.dag.SrcLevels(l) {
+				if v >= 1 && w.dirtyLvl[v] {
+					w.srcDirty[l] = true
+					break
+				}
+			}
+			w.dirtyLvl[l] = w.srcDirty[l] || perLayer[l-1] > 0
+		}
+	}
 
 	if w.lastF > 0 {
 		dl := w.lastF
@@ -259,11 +296,20 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 	dl := w.lastF
 	w.walkers.New = func() any {
 		wk := &wcWalker{baseGroup: -1}
-		if w.flat {
-			wk.cp = Compile(m, Plan{})
-			return wk
-		}
 		wk.ps.Ensure(m, P)
+		if w.dag != nil {
+			wk.lvls = make([][][]float64, P)
+			for x, tr := range w.traces {
+				ys := make([][]float64, L+1)
+				ys[0] = tr.Input
+				for v := 1; v <= L; v++ {
+					ys[v] = tr.Outputs[v-1]
+				}
+				wk.lvls[x] = ys
+			}
+			wk.dsts = make([][]float64, P)
+			wk.srcs = make([][][]float64, P)
+		}
 		if dl > 0 {
 			wk.cur = make([]int64, dl)
 			wk.digits = make([]int64, dl)
@@ -272,9 +318,23 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 			}
 			wk.saved = make([]float64, perLayer[dl-1])
 			if w.prune {
-				wk.deltas = make([][]float64, dl)
-				for d := 1; d < dl; d++ {
-					wk.deltas[d] = make([]float64, P)
+				if w.dag != nil {
+					wk.nodeDeltas = make([][][]float64, dl)
+					for d := 1; d < dl; d++ {
+						if !w.dirtyLvl[d] {
+							continue // stays clean: deviations identically zero
+						}
+						nd := make([][]float64, P)
+						for x := range nd {
+							nd[x] = make([]float64, m.Width(d))
+						}
+						wk.nodeDeltas[d] = nd
+					}
+				} else {
+					wk.deltas = make([][]float64, dl)
+					for d := 1; d < dl; d++ {
+						wk.deltas[d] = make([]float64, P)
+					}
 				}
 				wk.baseDelta = make([]float64, P)
 			}
@@ -290,6 +350,9 @@ func NewWorstCase(m nn.Model, perLayer []int, inputs [][]float64, opts WorstCase
 // CLEAN nominal, see core.SubtreeBounder), and tails[d][x] folds them
 // through the propagation coefficients for layers > d.
 func (w *WorstCase) buildPruneTables(perLayer []int) error {
+	if w.dag != nil {
+		return w.buildPruneTablesDAG(perLayer)
+	}
 	shape := core.ShapeOfModel(w.m)
 	b, err := core.NewSubtreeBounder(shape, perLayer)
 	if err != nil {
@@ -414,37 +477,7 @@ func (w *WorstCase) RunRange(ctx context.Context, lo, hi int64, st *SearchState)
 	}
 	wk := w.walkers.Get().(*wcWalker)
 	defer w.walkers.Put(wk)
-	if w.flat {
-		return w.runFlat(ctx, wk, lo, hi, st)
-	}
 	return w.walk(ctx, wk, lo, hi, st)
-}
-
-// runFlat is the arbitrary-topology walk: one compiled evaluation per
-// configuration, no prefix sharing, no pruning. The enumeration order
-// (and therefore every first-attaining tie-break) is the same tree
-// order as the layered walk, so results are directly comparable.
-func (w *WorstCase) runFlat(ctx context.Context, wk *wcWalker, lo, hi int64, st *SearchState) error {
-	for pos := lo; pos < hi; pos++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		p := w.PlanAt(pos)
-		wk.cp.Reset(p)
-		worst := 0.0
-		for _, tr := range w.traces {
-			if e := wk.cp.ErrorOnTrace(w.inj, tr); e > worst {
-				worst = e
-			}
-		}
-		st.Visited++
-		if worst > st.WorstError {
-			st.WorstError = worst
-			st.WorstFlat = pos
-			st.WorstPlan = p.Neurons
-		}
-	}
-	return ctx.Err()
 }
 
 func (w *WorstCase) walk(ctx context.Context, wk *wcWalker, lo, hi int64, st *SearchState) error {
@@ -509,14 +542,7 @@ func (w *WorstCase) walk(ctx context.Context, wk *wcWalker, lo, hi int64, st *Se
 			wk.baseGroup = g
 		}
 		if w.prune {
-			maxB := math.Inf(-1)
-			for x := range w.traces {
-				b := w.bounder.Bound(dl, wk.baseDelta[x]+w.topfLeaf[x], w.tails[dl][x])
-				if b > maxB {
-					maxB = b
-				}
-			}
-			if maxB*pruneSlack < w.floor(st) {
+			if w.leafBound(wk)*pruneSlack < w.floor(st) {
 				st.Pruned += leafEnd - li
 				pos = g*w.leaves + leafEnd
 				continue
@@ -531,6 +557,10 @@ func (w *WorstCase) walk(ctx context.Context, wk *wcWalker, lo, hi int64, st *Se
 // applyDepth materialises depth d's damaged outputs for combination ci
 // on top of the current depth d-1 state.
 func (w *WorstCase) applyDepth(wk *wcWalker, d int, ci int64) {
+	if w.dag != nil {
+		w.applyDepthDAG(wk, d, ci)
+		return
+	}
 	combo := w.combos[d-1][ci]
 	prevDirty := wk.ps.Dirty(d - 1)
 	if len(combo) == 0 && !prevDirty {
@@ -597,9 +627,30 @@ func (w *WorstCase) applyDepth(wk *wcWalker, d int, ci int64) {
 // depth d: measured prefix deviation propagated forward plus the
 // free-suffix tail, maximised over inputs.
 func (w *WorstCase) nodeBound(wk *wcWalker, d int) float64 {
+	if w.dag != nil {
+		return w.nodeBoundDAG(wk, d)
+	}
 	maxB := math.Inf(-1)
 	for x := range w.traces {
 		b := w.bounder.Bound(d, wk.deltas[d][x], w.tails[d][x])
+		if b > maxB {
+			maxB = b
+		}
+	}
+	return maxB
+}
+
+// leafBound prices a whole leaf group: the measured prefix plus the
+// deepest layer bounded by its base deviation and worst own
+// combination.
+func (w *WorstCase) leafBound(wk *wcWalker) float64 {
+	if w.dag != nil {
+		return w.leafBoundDAG(wk)
+	}
+	dl := w.lastF
+	maxB := math.Inf(-1)
+	for x := range w.traces {
+		b := w.bounder.Bound(dl, wk.baseDelta[x]+w.topfLeaf[x], w.tails[dl][x])
 		if b > maxB {
 			maxB = b
 		}
@@ -611,6 +662,10 @@ func (w *WorstCase) nodeBound(wk *wcWalker, d int) float64 {
 // current spine WITHOUT that layer's own faults — the shared base every
 // leaf of the group overrides in place.
 func (w *WorstCase) buildBase(wk *wcWalker) {
+	if w.dag != nil {
+		w.buildBaseDAG(wk)
+		return
+	}
 	dl := w.lastF
 	P := len(w.traces)
 	base := wk.ps.Layer(dl)[:P]
@@ -649,6 +704,10 @@ func (w *WorstCase) buildBase(wk *wcWalker) {
 // output, and restores — no subtraction tricks, so the arithmetic is
 // bit-identical to a full scalar evaluation of the same configuration.
 func (w *WorstCase) evalLeaves(wk *wcWalker, g, li, leafEnd int64, st *SearchState) {
+	if w.dag != nil {
+		w.evalLeavesDAG(wk, g, li, leafEnd, st)
+		return
+	}
 	dl := w.lastF
 	P := len(w.traces)
 	base := wk.ps.Layer(dl)[:P]

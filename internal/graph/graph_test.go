@@ -192,7 +192,10 @@ func TestFaultBitIdentityAllModels(t *testing.T) {
 	}
 }
 
-func TestBatchPlanDAGFallback(t *testing.T) {
+// TestBatchPlanDAGFusedLanes spot-checks the fused level-scheduled
+// batch path on random skip graphs (the exhaustive per-model matrix
+// lives in batch_test.go).
+func TestBatchPlanDAGFusedLanes(t *testing.T) {
 	r := rng.New(17)
 	for trial := 0; trial < 30; trial++ {
 		in := r.Intn(4) + 1
@@ -351,19 +354,42 @@ func TestWorstCaseLayeredGraphMatchesDense(t *testing.T) {
 	}
 }
 
-// TestWorstCaseFlatFallback checks the arbitrary-topology search: on a
-// skip graph the engine must fall back to flat evaluation (pruning
-// off) and agree with a brute-force enumeration.
-func TestWorstCaseFlatFallback(t *testing.T) {
+// TestWorstCaseDAGPruningSound is the soundness property test of the
+// per-node branch-and-bound on arbitrary topologies: across layered,
+// sparse and Watts–Strogatz graphs — including genuinely non-layered
+// skip graphs, which historically fell back to an unpruned flat sweep —
+// the pruned tree search must return the identical worst error AND the
+// identical first-attaining plan (tree-order argmax) as a brute-force
+// enumeration through the compiled scalar engine, with every tree
+// position accounted for as visited or pruned.
+func TestWorstCaseDAGPruningSound(t *testing.T) {
 	r := rng.New(29)
-	for trial := 0; trial < 15; trial++ {
+	skewed, pruned := 0, int64(0)
+	for trial := 0; trial < 30; trial++ {
 		in := r.Intn(3) + 1
 		widths := []int{3, 3}
-		g := graph.NewSmallWorld(r, in, widths, randomAct(r), 2, 0.6)
-		if nn.IsLayered(g) {
-			continue // rewiring happened to stay banded; nothing to test
+		if trial%2 == 1 {
+			widths = []int{4, 3, 4} // deeper: mid-spine bounds + dirty suffix levels
 		}
-		perLayer := []int{r.Intn(2) + 1, r.Intn(2) + 1}
+		var g *graph.Net
+		switch trial % 3 {
+		case 0:
+			g = graph.NewLayered(r, in, widths, randomAct(r))
+		case 1:
+			g = graph.NewSparse(r, in, widths, randomAct(r), r.Range(0.4, 1))
+		default:
+			g = graph.NewSmallWorld(r, in, widths, randomAct(r), 2, 0.6)
+		}
+		if !nn.IsLayered(g) {
+			skewed++
+		}
+		perLayer := make([]int, len(widths))
+		for l := range perLayer {
+			perLayer[l] = r.Intn(2) + 1
+		}
+		if trial%5 == 0 {
+			perLayer[len(perLayer)-1] = 0 // fault-free deepest layer: suffix propagation
+		}
 		inputs := randomInputs(r, in, 2)
 		w, err := fault.NewWorstCase(g, perLayer, inputs, fault.WorstCaseOptions{
 			Prune: true, Sequential: true,
@@ -375,10 +401,12 @@ func TestWorstCaseFlatFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Pruned != 0 {
-			t.Fatalf("trial %d: flat fallback pruned %d configurations", trial, res.Pruned)
+		if res.Visited+res.Pruned != w.Total() {
+			t.Fatalf("trial %d: visited %d + pruned %d != total %d",
+				trial, res.Visited, res.Pruned, w.Total())
 		}
-		// Brute force in the same tree order.
+		pruned += res.Pruned
+		// Brute force in the same tree order through the scalar engine.
 		trs := fault.CleanTraces(g, inputs)
 		bestErr, bestFlat := 0.0, int64(-1)
 		for flat := int64(0); flat < w.Total(); flat++ {
@@ -395,7 +423,7 @@ func TestWorstCaseFlatFallback(t *testing.T) {
 			}
 		}
 		if res.WorstError != bestErr {
-			t.Fatalf("trial %d: flat search %v != brute force %v", trial, res.WorstError, bestErr)
+			t.Fatalf("trial %d: pruned search %v != brute force %v", trial, res.WorstError, bestErr)
 		}
 		if bestFlat >= 0 {
 			want := w.PlanAt(bestFlat).Neurons
@@ -408,6 +436,12 @@ func TestWorstCaseFlatFallback(t *testing.T) {
 				}
 			}
 		}
+	}
+	if skewed == 0 {
+		t.Fatal("no trial produced a non-layered graph; the DAG path went untested")
+	}
+	if pruned == 0 {
+		t.Log("note: no configuration was pruned across all trials (bounds loose on these nets)")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/activation"
+	"repro/internal/tensor"
 )
 
 // Level is one topological level of a Net in CSR form: node `to` owns
@@ -75,7 +76,8 @@ type levelMeta struct {
 	cut       int   // concatW &^ 3 — the dense kernel's lane boundary
 	col       []int // per-edge concat column
 	maxW      float64
-	prevOnly  bool // srcLevels ⊆ {l-1}: LayerSums/OutputSum are valid
+	prevOnly  bool       // srcLevels ⊆ {l-1}: LayerSums/OutputSum are valid
+	csr       tensor.CSR // zero-copy view over the level's edge arrays
 }
 
 // level returns level l's CSR block (1 <= l <= L+1).
@@ -219,6 +221,15 @@ func (n *Net) compileLevel(l int) error {
 	for e := 0; e < ne; e++ {
 		i := sort.SearchInts(m.srcLevels, lv.SrcLevel[e])
 		m.col[e] = m.offsets[i] + lv.SrcIdx[e]
+	}
+	m.csr = tensor.CSR{
+		Rows: lv.N,
+		Ptr:  lv.Ptr,
+		Lvl:  lv.SrcLevel,
+		Idx:  lv.SrcIdx,
+		Col:  m.col,
+		W:    lv.W,
+		Cut:  m.cut,
 	}
 	return nil
 }
@@ -365,6 +376,31 @@ func (n *Net) LevelSums(l int, dst []float64, ys [][]float64, skip []int) {
 		}
 		dst[to] = s
 	}
+}
+
+// LevelSumsLanes computes level l's pre-activation sums for every lane
+// k into dsts[k] from that lane's per-level outputs srcs[k] (srcs[k][v]
+// holds level v, srcs[k][0] the input), biases included — the
+// multi-lane nn.LevelLaneSummer kernel. Each node's edge list streams
+// from memory once per lane pair instead of once per lane, and every
+// lane is bit-identical to a LevelSums call over the same sources.
+func (n *Net) LevelSumsLanes(l int, dsts [][]float64, srcs [][][]float64) {
+	n.mustCompile()
+	lv := n.Levels[l-1]
+	n.meta[l-1].csr.GatherLanesAddTo(dsts, srcs, lv.Bias)
+}
+
+// LayerSumsLanes is the multi-lane nn.LaneSummer kernel for prevOnly
+// levels (panics otherwise, like LayerSums): dsts[k] = s^{(l)}(ys[k])
+// with biases, each lane bit-identical to LayerSums.
+func (n *Net) LayerSumsLanes(l int, dsts, ys [][]float64) {
+	n.mustCompile()
+	lv := n.Levels[l-1]
+	m := &n.meta[l-1]
+	if !m.prevOnly {
+		panic(fmt.Sprintf("graph: LayerSumsLanes on level %d, which reads levels %v — evaluate via LevelSumsLanes", l, m.srcLevels))
+	}
+	m.csr.GatherLanesFlatAddTo(dsts, ys, lv.Bias)
 }
 
 // LayerSums is the layered Model kernel; it is only valid for levels

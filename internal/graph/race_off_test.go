@@ -1,0 +1,9 @@
+//go:build !race
+
+package graph_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it (the instrumented
+// sync.Pool allocates on Get, which is a property of the detector, not
+// of the engine).
+const raceEnabled = false

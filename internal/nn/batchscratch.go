@@ -95,3 +95,26 @@ func LayerSumsLanesModel(m Model, l int, dsts, ys [][]float64) {
 		m.LayerSums(l, dsts[k], ys[k], nil)
 	}
 }
+
+// LevelLaneSummer is the DAGModel analogue of LaneSummer: models whose
+// levels can compute several lanes' pre-activation sums in one sweep
+// over the level's edge list, each lane reading its own per-level
+// source array (srcs[k][v] holds lane k's outputs of level v, srcs[k][0]
+// the input). Each lane must be bit-identical to a LevelSums call with
+// no skip rows over the same sources.
+type LevelLaneSummer interface {
+	LevelSumsLanes(l int, dsts [][]float64, srcs [][][]float64)
+}
+
+// LevelSumsLanesModel dispatches to m's multi-lane level kernel when it
+// has one and falls back to per-lane LevelSums otherwise (bit-identical
+// either way).
+func LevelSumsLanesModel(m DAGModel, l int, dsts [][]float64, srcs [][][]float64) {
+	if ls, ok := m.(LevelLaneSummer); ok {
+		ls.LevelSumsLanes(l, dsts, srcs)
+		return
+	}
+	for k := range srcs {
+		m.LevelSums(l, dsts[k], srcs[k], nil)
+	}
+}

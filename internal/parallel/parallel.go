@@ -30,9 +30,67 @@ func For(n int, body func(i int)) {
 	})
 }
 
+// chunkTask carries one ForChunked dispatch to the persistent helper
+// workers. Instances are pooled and the helpers never retain one past
+// their final wg.Done(), so a steady-state ForChunked call allocates
+// nothing (the 4 allocs/op the BENCH_9 lowered matvec paid were this
+// dispatch: the per-call goroutine closures and the escaping next/wg).
+type chunkTask struct {
+	body   func(lo, hi int)
+	n      int
+	grain  int
+	chunks int64
+	next   int64
+	wg     sync.WaitGroup
+}
+
+// run claims chunks off the shared atomic cursor until none remain.
+func (t *chunkTask) run() {
+	for {
+		c := atomic.AddInt64(&t.next, 1) - 1
+		if c >= t.chunks {
+			return
+		}
+		lo := int(c) * t.grain
+		hi := lo + t.grain
+		if hi > t.n {
+			hi = t.n
+		}
+		t.body(lo, hi)
+	}
+}
+
+var (
+	chunkWorkOnce sync.Once
+	chunkWork     chan *chunkTask
+	chunkTaskPool = sync.Pool{New: func() any { return new(chunkTask) }}
+)
+
+// startChunkWorkers lazily boots the persistent helper workers that
+// serve every ForChunked call in the process. Helpers idle on a channel
+// receive between dispatches; they are started once and never exit.
+func startChunkWorkers() {
+	workers := Workers()
+	// Unbuffered: a non-blocking send succeeds only when a helper is
+	// parked on the receive, so a dispatch can never queue behind a
+	// helper that is busy running someone else's chunks.
+	chunkWork = make(chan *chunkTask)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range chunkWork {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
 // ForChunked partitions [0, n) into contiguous chunks of at least grain
 // iterations (grain <= 0 selects an automatic grain) and runs body(lo, hi)
-// for each chunk across the default number of workers.
+// for each chunk across the default number of workers. The caller always
+// participates; helper workers are persistent and enlisted with
+// non-blocking sends, so nested or concurrent calls never deadlock —
+// when every helper is busy the caller simply runs all chunks itself.
 func ForChunked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -49,30 +107,28 @@ func ForChunked(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	if chunks < workers {
-		workers = chunks
+	chunkWorkOnce.Do(startChunkWorkers)
+	t := chunkTaskPool.Get().(*chunkTask)
+	t.body, t.n, t.grain, t.chunks, t.next = body, n, grain, int64(chunks), 0
+	helpers := workers - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
+	for h := 0; h < helpers; h++ {
+		t.wg.Add(1)
+		select {
+		case chunkWork <- t:
+		default:
+			// Every helper is mid-dispatch for someone else; don't
+			// queue behind them — the caller covers the rest.
+			t.wg.Done()
+			h = helpers
+		}
 	}
-	wg.Wait()
+	t.run()
+	t.wg.Wait()
+	t.body = nil
+	chunkTaskPool.Put(t)
 }
 
 // Map applies f to every index in [0, n) and collects the results in order.

@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"testing"
+	"time"
 
 	"repro/internal/activation"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/store"
@@ -27,8 +32,8 @@ func testSkipGraph(t *testing.T) *graph.Net {
 // TestGraphEndToEnd is the serving acceptance round trip for
 // arbitrary-topology models: upload a skip graph, list it, evaluate
 // it, certify it via the per-node shape, inject every registered fault
-// model, profile it, and exhaustively certify it through the flat
-// worst-case fallback — all against the native sparse-DAG engine.
+// model, profile it, and exhaustively certify it through the pruned
+// level-scheduled tree walk — all against the native sparse-DAG engine.
 func TestGraphEndToEnd(t *testing.T) {
 	s, _, _ := newTestServer(t)
 	g := testSkipGraph(t)
@@ -150,8 +155,8 @@ func TestGraphEndToEnd(t *testing.T) {
 		t.Fatalf("montecarlo bound %v, want NodeShape %v", mc.Bound, ns.Fep(faults, 0.5))
 	}
 
-	// Exhaustive worst case through the flat fallback of the tree
-	// engine (prefix sharing assumes strict layering).
+	// Exhaustive worst case through the tree engine's level-scheduled
+	// walk (prefix sharing and per-node pruning on the skip topology).
 	var wc struct {
 		Configurations int64   `json:"configurations"`
 		WorstError     float64 `json:"worst_error"`
@@ -265,5 +270,104 @@ func TestTypedRejections(t *testing.T) {
 		if code := do(t, s, "POST", tc.path, tc.body, &e); code != 400 {
 			t.Fatalf("%s: status %d (%q), want 400", tc.name, code, e.Error)
 		}
+	}
+}
+
+// TestGraphWorstCaseJobDrainResume is the resumability claim on the
+// sparse-DAG engine: an exhaustive sweep over a genuinely non-layered
+// skip graph — now walked by the pruned, prefix-sharing tree engine
+// instead of the historical flat fallback — interrupted mid-frontier by
+// a drain parks durably, a second server finishes it, and the result
+// document AND its content address are bit-identical to an
+// uninterrupted run.
+func TestGraphWorstCaseJobDrainResume(t *testing.T) {
+	skipGraph := func() *graph.Net {
+		g := graph.NewSmallWorld(rng.New(17), 2, []int{14, 14, 6}, activation.NewSigmoid(1), 2, 0.6)
+		if nn.IsLayered(g) {
+			t.Fatal("test graph is layered; pick another seed")
+		}
+		return g
+	}
+	dir := t.TempDir()
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := stA.PutModel(skipGraph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := json.Marshal(metricsPoints(20))
+	// C(14,2)^2 * C(6,1) = 49686 configurations in checkpointed chunks.
+	request := fmt.Sprintf(`{"network_id": %q, "faults": [2, 2, 1], "inputs": %s}`, entry.ID, pts)
+
+	a := mustNew(t, Config{Store: stA, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	jr, rec := submitJob(t, a, "worstcase", request)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	// Wait for a durable frontier, then drain mid-sweep.
+	pollJob(t, a, jr.ID, func(r jobs.Record) bool { return r.Checkpoints >= 2 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	a.Close()
+
+	var parked jobs.Record
+	if ok, err := stA.JobRecord(jr.ID, &parked); err != nil || !ok {
+		t.Fatalf("parked record: %v %v", ok, err)
+	}
+	if parked.State != jobs.StateCheckpointed {
+		t.Fatalf("parked state = %s, want checkpointed", parked.State)
+	}
+	if parked.Completed == 0 || parked.Completed >= parked.Total {
+		t.Fatalf("parked mid-sweep progress = %d/%d", parked.Completed, parked.Total)
+	}
+
+	// Server B recovers the store and finishes the sweep.
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustNew(t, Config{Store: stB, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	defer b.Close()
+	final := pollJob(t, b, jr.ID, func(r jobs.Record) bool { return r.State.Terminal() })
+	if final.State != jobs.StateDone {
+		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+	}
+	resumed := doRec(t, b, "GET", "/v1/jobs/"+jr.ID+"/result", nil)
+	if resumed.Code != http.StatusOK {
+		t.Fatalf("resumed result status %d: %s", resumed.Code, resumed.Body.Bytes())
+	}
+
+	// Reference: the same sweep, uninterrupted, on a fresh store.
+	stC, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stC.PutModel(skipGraph(), nil); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Store: stC, Workers: 2, JobWorkers: 1, JobCheckpointTrials: 4})
+	defer c.Close()
+	ref, rc := submitJob(t, c, "worstcase", request)
+	if rc.Code != http.StatusAccepted {
+		t.Fatalf("reference submit status %d: %s", rc.Code, rc.Body.Bytes())
+	}
+	refFinal := pollJob(t, c, ref.ID, func(r jobs.Record) bool { return r.State.Terminal() })
+	if refFinal.State != jobs.StateDone {
+		t.Fatalf("reference ended %s (%s)", refFinal.State, refFinal.Error)
+	}
+	refRes := doRec(t, c, "GET", "/v1/jobs/"+ref.ID+"/result", nil)
+
+	if !bytes.Equal(resumed.Body.Bytes(), refRes.Body.Bytes()) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n%s\nvs\n%s",
+			resumed.Body.Bytes(), refRes.Body.Bytes())
+	}
+	// Same content address too: the artifacts are identical objects.
+	if final.ResultID != refFinal.ResultID {
+		t.Fatalf("result content addresses differ: %s vs %s", final.ResultID, refFinal.ResultID)
 	}
 }

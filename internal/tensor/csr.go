@@ -1,0 +1,235 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// CSR is a compressed-sparse-row gather view over a virtual column
+// concatenation: row r owns edges Ptr[r]..Ptr[r+1], and edge e reads
+// source value number Idx[e] of source block Lvl[e] with weight W[e].
+// Col[e] is the edge's column in the virtual concatenation of the
+// source blocks and Cut its four-lane boundary (concat width &^ 3):
+// columns below Cut feed accumulator Col&3, the tail feeds accumulator
+// 0, exactly the dense kernel's (Dot's) four-way order on that
+// concatenation. The sparse-DAG engine builds these views zero-copy
+// over its per-level edge arrays.
+type CSR struct {
+	Rows int
+	Ptr  []int
+	Lvl  []int // nil for single-block views (GatherLanesFlat)
+	Idx  []int
+	Col  []int
+	W    []float64
+	Cut  int
+}
+
+// csrParallelMin is the edges×lanes work floor past which the lanes
+// gather distributes row ranges over goroutines — same order as the
+// dense kernels' 1<<15 element threshold.
+const csrParallelMin = 1 << 15
+
+// GatherLanesAddTo computes, for every lane k,
+//
+//	ys[k][r] = Σ_e W[e]·srcs[k][Lvl[e]][Idx[e]]  (+ b[r])
+//
+// in one sweep over the edge list: each row's indices and weights are
+// loaded once and applied across the lanes in paired-accumulator
+// groups, mirroring MulVecLanesAddTo's register discipline (two lanes x
+// four accumulators fill the vector registers without spilling). Per
+// (row, lane) the accumulation replays the four-way order keyed by
+// Col/Cut, so lane k is bit-identical to a scalar gather of the same
+// row over srcs[k]. b may be nil. Outputs must not alias any source.
+func (c *CSR) GatherLanesAddTo(ys [][]float64, srcs [][][]float64, b []float64) {
+	if len(ys) != len(srcs) {
+		panic(fmt.Sprintf("tensor: GatherLanesAddTo %d outputs for %d lanes", len(ys), len(srcs)))
+	}
+	for k := range ys {
+		if len(ys[k]) != c.Rows {
+			panic(fmt.Sprintf("tensor: GatherLanesAddTo lane %d output length %d, want %d", k, len(ys[k]), c.Rows))
+		}
+	}
+	if b != nil && len(b) != c.Rows {
+		panic("tensor: GatherLanesAddTo bias length mismatch")
+	}
+	if len(srcs) == 0 {
+		return
+	}
+	if len(c.W)*len(srcs) >= csrParallelMin {
+		d := mvPool.Get().(*mvDispatch)
+		d.kind, d.csr, d.ys, d.srcs, d.b = mvCSRLanes, c, ys, srcs, b
+		parallel.ForChunked(c.Rows, 16, d.run)
+		d.release()
+		return
+	}
+	c.gatherLanesRange(ys, srcs, b, 0, c.Rows)
+}
+
+// gatherLanesRange is the serial core of GatherLanesAddTo: rows outer,
+// lanes inner in pairs, so a row's edge list (Idx, Col, W) is streamed
+// once per pair while both lanes' gathers ride the same loads.
+func (c *CSR) gatherLanesRange(ys [][]float64, srcs [][][]float64, b []float64, lo, hi int) {
+	cut := c.Cut
+	for r := lo; r < hi; r++ {
+		start, end := c.Ptr[r], c.Ptr[r+1]
+		k := 0
+		for ; k+2 <= len(srcs); k += 2 {
+			sa, sb := srcs[k], srcs[k+1]
+			var a0, a1, a2, a3 float64
+			var b0, b1, b2, b3 float64
+			for e := start; e < end; e++ {
+				w := c.W[e]
+				lvl, idx := c.Lvl[e], c.Idx[e]
+				va := w * sa[lvl][idx]
+				vb := w * sb[lvl][idx]
+				if col := c.Col[e]; col < cut {
+					switch col & 3 {
+					case 0:
+						a0 += va
+						b0 += vb
+					case 1:
+						a1 += va
+						b1 += vb
+					case 2:
+						a2 += va
+						b2 += vb
+					case 3:
+						a3 += va
+						b3 += vb
+					}
+				} else {
+					a0 += va
+					b0 += vb
+				}
+			}
+			ys[k][r] = a0 + a1 + a2 + a3
+			ys[k+1][r] = b0 + b1 + b2 + b3
+		}
+		if k < len(srcs) {
+			s := srcs[k]
+			var a0, a1, a2, a3 float64
+			for e := start; e < end; e++ {
+				v := c.W[e] * s[c.Lvl[e]][c.Idx[e]]
+				if col := c.Col[e]; col < cut {
+					switch col & 3 {
+					case 0:
+						a0 += v
+					case 1:
+						a1 += v
+					case 2:
+						a2 += v
+					case 3:
+						a3 += v
+					}
+				} else {
+					a0 += v
+				}
+			}
+			ys[k][r] = a0 + a1 + a2 + a3
+		}
+		if b != nil {
+			for k := range ys {
+				ys[k][r] += b[r]
+			}
+		}
+	}
+}
+
+// GatherLanesFlatAddTo is GatherLanesAddTo for a single-block view:
+// every edge reads xs[k][Idx[e]] and its accumulator column is Idx[e]
+// itself (Lvl and Col are ignored and may be nil). This is the
+// prev-level-only fast path — the sparse analogue of MulVecLanesAddTo —
+// and each lane is bit-identical to the single-lane flat gather.
+func (c *CSR) GatherLanesFlatAddTo(ys, xs [][]float64, b []float64) {
+	if len(ys) != len(xs) {
+		panic(fmt.Sprintf("tensor: GatherLanesFlatAddTo %d outputs for %d lanes", len(ys), len(xs)))
+	}
+	for k := range ys {
+		if len(ys[k]) != c.Rows {
+			panic(fmt.Sprintf("tensor: GatherLanesFlatAddTo lane %d output length %d, want %d", k, len(ys[k]), c.Rows))
+		}
+	}
+	if b != nil && len(b) != c.Rows {
+		panic("tensor: GatherLanesFlatAddTo bias length mismatch")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	if len(c.W)*len(xs) >= csrParallelMin {
+		d := mvPool.Get().(*mvDispatch)
+		d.kind, d.csr, d.ys, d.xs, d.b = mvCSRFlatLanes, c, ys, xs, b
+		parallel.ForChunked(c.Rows, 16, d.run)
+		d.release()
+		return
+	}
+	c.gatherLanesFlatRange(ys, xs, b, 0, c.Rows)
+}
+
+// gatherLanesFlatRange is the serial core of GatherLanesFlatAddTo.
+func (c *CSR) gatherLanesFlatRange(ys, xs [][]float64, b []float64, lo, hi int) {
+	cut := c.Cut
+	for r := lo; r < hi; r++ {
+		start, end := c.Ptr[r], c.Ptr[r+1]
+		k := 0
+		for ; k+2 <= len(xs); k += 2 {
+			xa, xb := xs[k], xs[k+1]
+			var a0, a1, a2, a3 float64
+			var b0, b1, b2, b3 float64
+			for e := start; e < end; e++ {
+				w := c.W[e]
+				idx := c.Idx[e]
+				va := w * xa[idx]
+				vb := w * xb[idx]
+				if idx < cut {
+					switch idx & 3 {
+					case 0:
+						a0 += va
+						b0 += vb
+					case 1:
+						a1 += va
+						b1 += vb
+					case 2:
+						a2 += va
+						b2 += vb
+					case 3:
+						a3 += va
+						b3 += vb
+					}
+				} else {
+					a0 += va
+					b0 += vb
+				}
+			}
+			ys[k][r] = a0 + a1 + a2 + a3
+			ys[k+1][r] = b0 + b1 + b2 + b3
+		}
+		if k < len(xs) {
+			x := xs[k]
+			var a0, a1, a2, a3 float64
+			for e := start; e < end; e++ {
+				v := c.W[e] * x[c.Idx[e]]
+				if idx := c.Idx[e]; idx < cut {
+					switch idx & 3 {
+					case 0:
+						a0 += v
+					case 1:
+						a1 += v
+					case 2:
+						a2 += v
+					case 3:
+						a3 += v
+					}
+				} else {
+					a0 += v
+				}
+			}
+			ys[k][r] = a0 + a1 + a2 + a3
+		}
+		if b != nil {
+			for k := range ys {
+				ys[k][r] += b[r]
+			}
+		}
+	}
+}

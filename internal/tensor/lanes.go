@@ -45,9 +45,10 @@ func (m *Matrix) MulVecLanesAddTo(ys, xs [][]float64, b []float64) {
 		return
 	}
 	if m.Rows*m.Cols >= 1<<15 {
-		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
-			m.mulVecLanesAddRange(ys, xs, b, lo, hi)
-		})
+		d := mvPool.Get().(*mvDispatch)
+		d.kind, d.m, d.ys, d.xs, d.b = mvLanes, m, ys, xs, b
+		parallel.ForChunked(m.Rows, 16, d.run)
+		d.release()
 		return
 	}
 	m.mulVecLanesAddRange(ys, xs, b, 0, m.Rows)

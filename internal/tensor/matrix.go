@@ -119,9 +119,10 @@ func (m *Matrix) MulVecAddTo(y, x, b []float64) {
 		panic("tensor: MulVecAddTo bias length mismatch")
 	}
 	if m.Rows*m.Cols >= 1<<15 {
-		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
-			m.mulVecAddRange(y, x, b, lo, hi)
-		})
+		d := mvPool.Get().(*mvDispatch)
+		d.kind, d.m, d.y1, d.x1, d.b = mvSingle, m, y, x, b
+		parallel.ForChunked(m.Rows, 16, d.run)
+		d.release()
 		return
 	}
 	m.mulVecAddRange(y, x, b, 0, m.Rows)
@@ -214,9 +215,10 @@ func (m *Matrix) MulVec2AddTo(y1, x1, y2, x2, b []float64) {
 		panic("tensor: MulVec2AddTo bias length mismatch")
 	}
 	if m.Rows*m.Cols >= 1<<15 {
-		parallel.ForChunked(m.Rows, 16, func(lo, hi int) {
-			m.mulVec2AddRange(y1, x1, y2, x2, b, lo, hi)
-		})
+		d := mvPool.Get().(*mvDispatch)
+		d.kind, d.m, d.y1, d.x1, d.y2, d.x2, d.b = mvPair, m, y1, x1, y2, x2, b
+		parallel.ForChunked(m.Rows, 16, d.run)
+		d.release()
 		return
 	}
 	m.mulVec2AddRange(y1, x1, y2, x2, b, 0, m.Rows)

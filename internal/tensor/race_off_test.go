@@ -1,0 +1,8 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation assertions skip under -race, whose instrumented
+// sync.Pool allocates on Get.
+const raceEnabled = false
